@@ -1,0 +1,39 @@
+// E22 — owner downlink constraints (paper §3.1): "ground station owners
+// can maintain control over their resources ... or to maintain regulatory
+// restrictions".  Each station's M-bit bitmap denies a random fraction of
+// satellites.  How much fragmentation can the network absorb before the
+// distributed advantage erodes?
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace dgs;
+  using namespace dgs::bench;
+
+  std::printf("=== E22: owner constraint bitmaps (24 h, 173 stations) "
+              "===\n\n");
+  weather::SyntheticWeatherProvider wx(kWeatherSeed, kEpoch, 25.0);
+
+  std::printf("  %10s %12s %12s %12s %12s %11s\n", "denied", "lat med",
+              "lat p90", "backlog med", "backlog p99", "delivered");
+  for (double denial : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9}) {
+    groundseg::NetworkOptions opts;
+    opts.constraint_denial_fraction = denial;
+    const auto sats = groundseg::generate_constellation(opts, kEpoch);
+    const auto stations = groundseg::generate_dgs_stations(opts);
+    const core::SimulationResult r =
+        core::Simulator(sats, stations, &wx, day_sim()).run();
+    std::printf("  %9.0f%% %8.1f min %8.1f min %9.2f GB %9.2f GB %8.1f TB\n",
+                denial * 100.0, r.latency_minutes.median(),
+                r.latency_minutes.percentile(90.0), r.backlog_gb.median(),
+                r.backlog_gb.percentile(99.0),
+                r.total_delivered_bytes / 1e12);
+  }
+  std::printf("\n  reading: random fragmentation removes capacity smoothly "
+              "(each satellite still finds SOME allowed station), so even "
+              "a heavily balkanized network degrades gracefully — the "
+              "constraint bitmap is cheap to honor, supporting the paper's "
+              "choice to make it a first-class scheduling input.\n");
+  return 0;
+}

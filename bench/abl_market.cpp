@@ -1,0 +1,57 @@
+// E21 — the bidding market (paper §3.1/§3.3): two operators share the DGS
+// network; operator B raises its network-wide bid and buys a larger share
+// of station time.  Measures each operator's delivered volume and backlog
+// as the bid sweeps — the supply/demand curve of the fragmented ground
+// segment.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/core/market.h"
+
+int main() {
+  using namespace dgs;
+  using namespace dgs::bench;
+
+  std::printf("=== E21: priority-access bidding (24 h, two operators, "
+              "DGS 25%% = 43 stations, where contention exists) ===\n\n");
+  const Setup setup = make_paper_setup();
+  weather::SyntheticWeatherProvider wx(kWeatherSeed, kEpoch, 25.0);
+
+  // Interleaved fleets: both operators fly comparable orbits.
+  std::vector<int> operator_of(setup.sats.size());
+  for (std::size_t s = 0; s < setup.sats.size(); ++s) {
+    operator_of[s] = static_cast<int>(s % 2);
+  }
+
+  std::printf("  %8s | %21s | %21s\n", "B's bid", "operator A (bid 1x)",
+              "operator B");
+  std::printf("  %8s | %10s %10s | %10s %10s\n", "", "delivered",
+              "backlog", "delivered", "backlog");
+  for (double bid : {1.0, 1.5, 2.0, 4.0, 8.0}) {
+    core::BidMatrix bids(operator_of);
+    bids.set_default_bid(1, bid);
+
+    core::SimulationOptions opts = day_sim();
+    opts.edge_value_modifier = bids.as_modifier();
+    const core::SimulationResult r =
+        core::Simulator(setup.sats, setup.dgs25, &wx, opts).run();
+
+    double delivered[2] = {0, 0}, backlog[2] = {0, 0};
+    int count[2] = {0, 0};
+    for (std::size_t s = 0; s < setup.sats.size(); ++s) {
+      const int op = operator_of[s];
+      delivered[op] += r.per_satellite[s].delivered_bytes;
+      backlog[op] += r.per_satellite[s].backlog_bytes;
+      count[op] += 1;
+    }
+    std::printf("  %7.1fx | %7.2f TB %7.2f GB | %7.2f TB %7.2f GB\n", bid,
+                delivered[0] / 1e12, backlog[0] / count[0] / 1e9,
+                delivered[1] / 1e12, backlog[1] / count[1] / 1e9);
+  }
+  std::printf("\n  expected shape: B's delivered share and A's backlog both "
+              "rise with B's bid; the effect saturates once B wins every "
+              "contested instant (most of DGS's capacity is uncontested, "
+              "which bounds how much money can buy — a nice property of "
+              "the distributed design).\n");
+  return 0;
+}

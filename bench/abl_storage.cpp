@@ -1,0 +1,53 @@
+// E17 — extension: on-board recorder sizing under the ack-free protocol
+// (paper §3.3: "DGS does not necessarily reduce a satellite's storage
+// requirement" because delivered data waits on-board for acks).
+//
+// Sweeps recorder capacity against the TX-capable fraction: a small
+// recorder combined with rare ack opportunities loses data at the sensor
+// even though the downlink itself keeps up.
+#include <cstdio>
+
+#include "bench/common.h"
+
+int main() {
+  using namespace dgs;
+  using namespace dgs::bench;
+
+  std::printf("=== E17: recorder capacity x TX fraction (24 h, 173 "
+              "stations) ===\n\n");
+  weather::SyntheticWeatherProvider wx(kWeatherSeed, kEpoch, 25.0);
+
+  std::printf("  %10s %8s %12s %12s %12s %11s\n", "recorder", "tx",
+              "dropped", "delivered", "storage p99", "lat med");
+  for (double capacity_gb : {25.0, 50.0, 100.0, 200.0, 0.0}) {
+    for (double tx_fraction : {0.02, 0.10}) {
+      groundseg::NetworkOptions opts;
+      opts.tx_fraction = tx_fraction;
+      auto sats = groundseg::generate_constellation(opts, kEpoch);
+      for (auto& s : sats) s.storage_capacity_bytes = capacity_gb * 1e9;
+      const auto stations = groundseg::generate_dgs_stations(opts);
+
+      const core::SimulationResult r =
+          core::Simulator(sats, stations, &wx, day_sim()).run();
+      util::SampleSet storage_gb;
+      for (const auto& o : r.per_satellite) {
+        storage_gb.add(o.storage_high_water_bytes / 1e9);
+      }
+      char label[32];
+      if (capacity_gb > 0.0) {
+        std::snprintf(label, sizeof(label), "%.0f GB", capacity_gb);
+      } else {
+        std::snprintf(label, sizeof(label), "unlimited");
+      }
+      std::printf("  %10s %6.0f%% %9.2f TB %9.2f TB %9.1f GB %7.1f min\n",
+                  label, tx_fraction * 100.0, r.total_dropped_bytes / 1e12,
+                  r.total_delivered_bytes / 1e12,
+                  storage_gb.percentile(99.0), r.latency_minutes.median());
+    }
+  }
+  std::printf("\n  expected shape: drops appear when the recorder is "
+              "smaller than (production x ack round-trip time); a thin TX "
+              "subset therefore sets a floor on recorder size — the "
+              "quantitative form of the paper's Sec. 3.3 storage remark.\n");
+  return 0;
+}

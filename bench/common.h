@@ -1,0 +1,67 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Builds the paper's evaluation setup (§4): 259 satellites, 173 DGS ground
+// stations (43 in the 25% variant), 5 high-end polar baseline stations, a
+// 24-hour horizon at 60 s scheduling quanta, 100 GB/day generated per
+// satellite, synthetic weather.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/core/dgs.h"
+
+namespace dgs::bench {
+
+inline const util::Epoch kEpoch(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+inline constexpr std::uint64_t kWeatherSeed = 777;
+
+struct Setup {
+  std::vector<groundseg::SatelliteConfig> sats;       ///< 1-channel radio.
+  std::vector<groundseg::SatelliteConfig> sats_6ch;   ///< Baseline radio.
+  std::vector<groundseg::GroundStation> dgs;          ///< 173 stations.
+  std::vector<groundseg::GroundStation> dgs25;        ///< 43 stations.
+  std::vector<groundseg::GroundStation> baseline;     ///< 5 polar stations.
+};
+
+inline Setup make_paper_setup() {
+  groundseg::NetworkOptions opts;  // defaults = paper scale
+  Setup s;
+  s.sats = groundseg::generate_constellation(opts, kEpoch);
+  s.sats_6ch = s.sats;
+  for (auto& sat : s.sats_6ch) sat.radio.channels = 6;
+  s.dgs = groundseg::generate_dgs_stations(opts);
+  s.dgs25 = groundseg::subsample_stations(s.dgs, 0.25);
+  s.baseline = groundseg::baseline_stations();
+  return s;
+}
+
+inline core::SimulationOptions day_sim(
+    core::ValueKind value = core::ValueKind::kLatency) {
+  core::SimulationOptions o;
+  o.start = kEpoch;
+  o.duration_hours = 24.0;
+  o.step_seconds = 60.0;
+  o.value = value;
+  return o;
+}
+
+/// Prints "label: median (p90, p99)" in the format the paper reports.
+inline void print_percentiles(const char* label, const util::SampleSet& s,
+                              const char* unit) {
+  std::printf("  %-28s median %7.1f %s   p90 %7.1f %s   p99 %7.1f %s\n",
+              label, s.percentile(50.0), unit, s.percentile(90.0), unit,
+              s.percentile(99.0), unit);
+}
+
+/// Prints an evenly-spaced CDF (the data behind the paper's CDF plots).
+inline void print_cdf(const char* label, const util::SampleSet& s,
+                      const char* unit, int points = 21) {
+  std::printf("  CDF of %s [%s]:\n", label, unit);
+  std::printf("    %10s  %6s\n", unit, "F(x)");
+  for (const auto& [x, f] : s.cdf_curve(points)) {
+    std::printf("    %10.1f  %6.3f\n", x, f);
+  }
+}
+
+}  // namespace dgs::bench

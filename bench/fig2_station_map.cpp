@@ -1,0 +1,70 @@
+// Figure 2 — the DGS ground-station footprint.
+//
+// The paper's Fig. 2 is a world map of the 173 SatNOGS-derived stations.
+// This bench renders the synthetic substitute population as an ASCII world
+// map plus per-region counts, and emits a CSV (stdout section) for external
+// plotting.
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+
+#include "bench/common.h"
+#include "src/util/angles.h"
+
+int main() {
+  using namespace dgs;
+  using namespace dgs::bench;
+  using util::rad2deg;
+
+  std::printf("=== Fig. 2: DGS station footprint (synthetic SatNOGS-like) ===\n\n");
+  groundseg::NetworkOptions opts;
+  const auto stations = groundseg::generate_dgs_stations(opts);
+
+  // ASCII map: 60 columns x 24 rows covering lon [-180, 180], lat [72, -60].
+  constexpr int kCols = 72, kRows = 23;
+  std::array<std::array<char, kCols>, kRows> grid;
+  for (auto& row : grid) row.fill('.');
+  int tx_count = 0;
+  for (const auto& gs : stations) {
+    const double lat = rad2deg(gs.location.latitude_rad);
+    const double lon = rad2deg(gs.location.longitude_rad);
+    const int col = std::clamp(
+        static_cast<int>((lon + 180.0) / 360.0 * kCols), 0, kCols - 1);
+    const int row = std::clamp(
+        static_cast<int>((72.0 - lat) / 132.0 * kRows), 0, kRows - 1);
+    // TX-capable stations render as 'T' and win over receive-only 'o'.
+    if (gs.tx_capable) {
+      grid[row][col] = 'T';
+      ++tx_count;
+    } else if (grid[row][col] != 'T') {
+      grid[row][col] = 'o';
+    }
+  }
+  std::printf("  lat 72N..60S, lon 180W..180E  "
+              "('o' receive-only, 'T' transmit-capable)\n");
+  for (const auto& row : grid) {
+    std::printf("  %.*s\n", kCols, row.data());
+  }
+
+  // Region histogram.
+  std::map<std::string, int> by_region;
+  for (const auto& gs : stations) {
+    by_region[gs.name.substr(0, gs.name.find(" #"))]++;
+  }
+  std::printf("\n  Stations by region (%zu total, %d transmit-capable):\n",
+              stations.size(), tx_count);
+  for (const auto& [region, count] : by_region) {
+    std::printf("    %-28s %3d\n", region.c_str(), count);
+  }
+
+  // CSV for external plotting.
+  std::printf("\n  CSV: id,lat_deg,lon_deg,alt_km,tx_capable,min_el_deg\n");
+  for (const auto& gs : stations) {
+    std::printf("  %d,%.4f,%.4f,%.3f,%d,%.1f\n", gs.id,
+                rad2deg(gs.location.latitude_rad),
+                rad2deg(gs.location.longitude_rad), gs.location.altitude_km,
+                gs.tx_capable ? 1 : 0, rad2deg(gs.min_elevation_rad));
+  }
+  return 0;
+}

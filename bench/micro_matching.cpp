@@ -1,0 +1,78 @@
+// E7 — matching micro-benchmarks: Gale-Shapley convergence cost vs graph
+// size (the paper quotes O(K^2), K = max(N, M)), compared with the
+// Hungarian optimal matcher (O(K^3)) and greedy (O(E log E)).
+#include <benchmark/benchmark.h>
+
+#include "src/core/matching.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using dgs::core::Edge;
+
+std::vector<Edge> make_graph(int sats, int stations, double density,
+                             std::uint64_t seed) {
+  dgs::util::Rng rng(seed);
+  std::vector<Edge> edges;
+  for (int s = 0; s < sats; ++s) {
+    for (int g = 0; g < stations; ++g) {
+      if (rng.uniform() < density) {
+        edges.push_back(Edge{s, g, rng.uniform(0.1, 100.0)});
+      }
+    }
+  }
+  return edges;
+}
+
+void BM_StableMatching(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto edges = make_graph(k, k, 0.1, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dgs::core::stable_matching(edges, k, k));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_StableMatching)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_OptimalMatching(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto edges = make_graph(k, k, 0.1, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dgs::core::optimal_matching(edges, k, k));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_OptimalMatching)->RangeMultiplier(2)->Range(32, 256)->Complexity();
+
+void BM_GreedyMatching(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto edges = make_graph(k, k, 0.1, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dgs::core::greedy_matching(edges, k, k));
+  }
+  state.SetComplexityN(k);
+}
+BENCHMARK(BM_GreedyMatching)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+// The paper-scale instance: 259 satellites x 173 stations, with the edge
+// density a real instant produces (each satellite sees a handful of
+// stations).
+void BM_StableMatchingPaperScale(benchmark::State& state) {
+  const auto edges = make_graph(259, 173, 0.04, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dgs::core::stable_matching(edges, 259, 173));
+  }
+}
+BENCHMARK(BM_StableMatchingPaperScale);
+
+void BM_OptimalMatchingPaperScale(benchmark::State& state) {
+  const auto edges = make_graph(259, 173, 0.04, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dgs::core::optimal_matching(edges, 259, 173));
+  }
+}
+BENCHMARK(BM_OptimalMatchingPaperScale);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Orbit-machinery micro-benchmarks: SGP4 propagation, frame transforms,
+// pass prediction — the per-step costs of the scheduler's "orbit
+// calculations" stage (paper §3.1).
+#include <benchmark/benchmark.h>
+
+#include "src/orbit/frames.h"
+#include "src/orbit/passes.h"
+#include "src/orbit/sgp4.h"
+#include "src/orbit/tle.h"
+#include "src/util/angles.h"
+
+namespace {
+
+const char* kIssL1 =
+    "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
+const char* kIssL2 =
+    "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
+
+void BM_TleParse(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dgs::orbit::parse_tle(kIssL1, kIssL2));
+  }
+}
+BENCHMARK(BM_TleParse);
+
+void BM_Sgp4Init(benchmark::State& state) {
+  const auto tle = dgs::orbit::parse_tle(kIssL1, kIssL2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dgs::orbit::Sgp4(tle));
+  }
+}
+BENCHMARK(BM_Sgp4Init);
+
+void BM_Sgp4Propagate(benchmark::State& state) {
+  const dgs::orbit::Sgp4 prop(dgs::orbit::parse_tle(kIssL1, kIssL2));
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1.0;
+    benchmark::DoNotOptimize(prop.propagate(t));
+  }
+}
+BENCHMARK(BM_Sgp4Propagate);
+
+void BM_TemeToEcefAndLookAngles(benchmark::State& state) {
+  const dgs::orbit::Sgp4 prop(dgs::orbit::parse_tle(kIssL1, kIssL2));
+  const auto st = prop.propagate(10.0);
+  const dgs::orbit::Geodetic site{dgs::util::deg2rad(47.6),
+                                  dgs::util::deg2rad(-122.3), 0.05};
+  const dgs::util::Epoch when = prop.epoch().plus_minutes(10.0);
+  for (auto _ : state) {
+    dgs::util::Vec3 r, v;
+    dgs::orbit::teme_to_ecef(st.position_km, st.velocity_km_s, when, r, v);
+    benchmark::DoNotOptimize(dgs::orbit::look_angles(site, r, v));
+  }
+}
+BENCHMARK(BM_TemeToEcefAndLookAngles);
+
+void BM_PassPredictionOneDay(benchmark::State& state) {
+  const dgs::orbit::Sgp4 prop(dgs::orbit::parse_tle(kIssL1, kIssL2));
+  const dgs::orbit::Geodetic site{dgs::util::deg2rad(47.6),
+                                  dgs::util::deg2rad(-122.3), 0.05};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dgs::orbit::predict_passes(
+        prop, site, prop.epoch(), prop.epoch().plus_days(1.0)));
+  }
+}
+BENCHMARK(BM_PassPredictionOneDay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

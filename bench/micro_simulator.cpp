@@ -1,0 +1,86 @@
+// Whole-pipeline micro-benchmarks: the per-step cost of each scheduler
+// stage at paper scale (259 satellites x 173 stations), and a full
+// simulated hour.  These are the numbers that say whether the backend
+// scheduler could run in real time (it must plan faster than the
+// constellation flies).
+#include <benchmark/benchmark.h>
+
+#include "src/core/dgs.h"
+#include "src/core/lookahead.h"
+
+namespace {
+
+using namespace dgs;
+
+const util::Epoch kEpoch(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+
+struct PaperScale {
+  PaperScale()
+      : sats(groundseg::generate_constellation(groundseg::NetworkOptions{},
+                                               kEpoch)),
+        stations(groundseg::generate_dgs_stations(
+            groundseg::NetworkOptions{})),
+        wx(7, kEpoch, 25.0), engine(sats, stations, &wx),
+        queues(sats.size()) {
+    for (auto& q : queues) q.generate(20e9, kEpoch.plus_seconds(-3600));
+  }
+  std::vector<groundseg::SatelliteConfig> sats;
+  std::vector<groundseg::GroundStation> stations;
+  weather::SyntheticWeatherProvider wx;
+  core::VisibilityEngine engine;
+  std::vector<core::OnboardQueue> queues;
+};
+
+PaperScale& fixture() {
+  static PaperScale ps;
+  return ps;
+}
+
+void BM_ContactGraphOneInstant(benchmark::State& state) {
+  PaperScale& ps = fixture();
+  double minute = 0.0;
+  for (auto _ : state) {
+    minute += 1.0;
+    benchmark::DoNotOptimize(
+        ps.engine.contacts(kEpoch.plus_seconds(minute * 60.0)));
+  }
+}
+BENCHMARK(BM_ContactGraphOneInstant);
+
+void BM_ScheduleOneInstant(benchmark::State& state) {
+  PaperScale& ps = fixture();
+  core::Scheduler scheduler(&ps.engine, core::SchedulerConfig{});
+  double minute = 0.0;
+  for (auto _ : state) {
+    minute += 1.0;
+    benchmark::DoNotOptimize(scheduler.schedule_instant(
+        kEpoch.plus_seconds(minute * 60.0), ps.queues));
+  }
+}
+BENCHMARK(BM_ScheduleOneInstant);
+
+void BM_PlanThreeHourHorizon(benchmark::State& state) {
+  PaperScale& ps = fixture();
+  core::LatencyValue phi;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::plan_horizon(ps.engine, ps.queues, phi, kEpoch, 180, 60.0));
+  }
+}
+BENCHMARK(BM_PlanThreeHourHorizon)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateOneHourPaperScale(benchmark::State& state) {
+  PaperScale& ps = fixture();
+  core::SimulationOptions opts;
+  opts.start = kEpoch;
+  opts.duration_hours = 1.0;
+  for (auto _ : state) {
+    core::Simulator sim(ps.sats, ps.stations, &ps.wx, opts);
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_SimulateOneHourPaperScale)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// The ack-free downlink protocol, step by step (paper §3.3).
+//
+// One satellite, three stations: two receive-only, one transmit-capable.
+// This example traces a few hours of operation and prints every protocol
+// event: data dumps to receive-only stations, ack relay through the
+// Internet-connected backend, collated-ack upload at the TX contact, and
+// on-board storage being released only then.
+#include <cstdio>
+
+#include "src/core/dgs.h"
+
+int main() {
+  using namespace dgs;
+  using util::deg2rad;
+
+  const util::Epoch epoch(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+  groundseg::NetworkOptions net;
+  net.num_satellites = 1;
+  auto sats = groundseg::generate_constellation(net, epoch);
+  sats[0].tle.inclination_deg = 97.5;  // pin an SSO orbit for the walkthrough
+  sats[0].data_generation_bytes_per_day = 200e9;
+
+  // A receive-only pair in Europe and North America, one TX site in Japan:
+  // the satellite meets the acks two continents after dumping the data.
+  auto make_station = [](int id, const char* name, double lat, double lon,
+                         bool tx) {
+    groundseg::GroundStation gs;
+    gs.id = id;
+    gs.name = name;
+    gs.location = {deg2rad(lat), deg2rad(lon), 0.2};
+    gs.min_elevation_rad = deg2rad(5.0);
+    gs.tx_capable = tx;
+    gs.refresh_ecef();
+    return gs;
+  };
+  const std::vector<groundseg::GroundStation> stations{
+      make_station(0, "Lisbon (receive-only)", 38.7, -9.1, false),
+      make_station(1, "Denver (receive-only)", 39.7, -105.0, false),
+      make_station(2, "Tokyo (TX-capable)", 35.7, 139.7, true),
+  };
+
+  std::printf("Protocol walkthrough: 1 satellite, 2 receive-only stations, "
+              "1 transmit-capable station\n");
+  std::printf("(paper Sec. 3.3: data is discarded on-board only after an "
+              "ack round-trips via a TX contact)\n\n");
+
+  core::VisibilityEngine engine(sats, stations, nullptr);
+  core::Scheduler sched(&engine, core::SchedulerConfig{});
+  std::vector<core::OnboardQueue> queues(1);
+  core::OnboardQueue& q = queues[0];
+
+  const double dt = 60.0;
+  double last_storage = -1.0;
+  for (double m = 0.0; m < 14.0 * 60.0; m += 1.0) {
+    const util::Epoch t = epoch.plus_seconds(m * 60.0);
+    q.generate(sats[0].data_generation_bytes_per_day * dt / 86400.0, t);
+
+    const auto assigned = sched.schedule_instant(t, queues);
+    for (const auto& e : assigned) {
+      const auto& gs = stations[e.station];
+      const double link_bytes = e.predicted_rate_bps * dt / 8.0;
+      const double sent = q.transmit(link_bytes, t, nullptr);
+      if (sent > 0.0) {
+        std::printf("%s  DUMP  %6.2f GB -> %-26s (%s, el %4.1f deg, %s)\n",
+                    t.to_string().c_str(), sent / 1e9, gs.name.c_str(),
+                    e.modcod->name.data(),
+                    util::rad2deg(e.elevation_rad),
+                    gs.tx_capable ? "tx" : "rx-only");
+        if (!gs.tx_capable) {
+          std::printf("%s        backend <- ack relayed over the Internet "
+                      "from %s; satellite does NOT know yet\n",
+                      t.to_string().c_str(), gs.name.c_str());
+        }
+      }
+      if (gs.tx_capable) {
+        double acked = q.pending_ack_bytes();
+        if (acked > 0.0) {
+          q.acknowledge_all(t, [&](double delay_s, double bytes) {
+            std::printf("%s  ACK   %6.2f GB confirmed after %5.1f min in "
+                        "limbo (uploaded by %s)\n",
+                        t.to_string().c_str(), bytes / 1e9, delay_s / 60.0,
+                        gs.name.c_str());
+          });
+          std::printf("%s        on-board storage released: %.2f GB -> "
+                      "%.2f GB\n",
+                      t.to_string().c_str(),
+                      (q.storage_bytes() + acked) / 1e9,
+                      q.storage_bytes() / 1e9);
+        }
+      }
+    }
+
+    // Print storage transitions sparsely (every 2 h).
+    if (std::fmod(m, 120.0) == 0.0 && q.storage_bytes() != last_storage) {
+      std::printf("%s  ....  queued %.2f GB | awaiting ack %.2f GB | "
+                  "storage %.2f GB\n",
+                  t.to_string().c_str(), q.queued_bytes() / 1e9,
+                  q.pending_ack_bytes() / 1e9, q.storage_bytes() / 1e9);
+      last_storage = q.storage_bytes();
+    }
+  }
+
+  std::printf("\nFinal state: queued %.2f GB, awaiting ack %.2f GB\n",
+              q.queued_bytes() / 1e9, q.pending_ack_bytes() / 1e9);
+  std::printf("Note how DUMPs to receive-only stations leave storage "
+              "occupied until the next TX contact collates the acks — the "
+              "cost of the hybrid design (paper Sec. 3.3: storage "
+              "requirements are unchanged vs today's systems).\n");
+  return 0;
+}

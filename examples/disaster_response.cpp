@@ -1,0 +1,71 @@
+// Disaster-response scenario (paper §1: "this latency is crucial for
+// time-sensitive applications of satellite data like flood modeling and
+// forest fires").
+//
+// A wildfire breaks out mid-simulation.  From that moment, satellites tag
+// 10% of their imagery (the fire region) as urgent.  We compare how fast
+// fire imagery reaches the ground on DGS vs the centralized baseline —
+// the difference is the paper's core motivation in one number.
+#include <cstdio>
+
+#include "src/core/dgs.h"
+
+int main() {
+  using namespace dgs;
+
+  const util::Epoch epoch(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+  groundseg::NetworkOptions net;
+  net.num_satellites = 120;
+  net.num_stations = 173;
+  auto sats = groundseg::generate_constellation(net, epoch);
+  auto dgs_stations = groundseg::generate_dgs_stations(net);
+  auto baseline_stations = groundseg::baseline_stations();
+  auto sats_6ch = sats;
+  for (auto& s : sats_6ch) s.radio.channels = 6;
+
+  weather::SyntheticWeatherProvider wx(99, epoch, 13.0);
+
+  core::SimulationOptions opts;
+  opts.start = epoch;
+  opts.duration_hours = 12.0;
+  opts.step_seconds = 60.0;
+  opts.urgent_fraction = 0.10;  // the fire region's imagery share
+  opts.urgent_priority = 10.0;
+
+  std::printf("Wildfire scenario: 10%% of imagery is tagged urgent "
+              "(priority 10x), 12 h horizon, %d satellites.\n\n",
+              net.num_satellites);
+
+  const core::SimulationResult dgs_run =
+      core::Simulator(sats, dgs_stations, &wx, opts).run();
+  const core::SimulationResult base_run =
+      core::Simulator(sats_6ch, baseline_stations, &wx, opts).run();
+
+  auto report = [](const char* name, const core::SimulationResult& r) {
+    std::printf("%s\n", name);
+    std::printf("  fire imagery (urgent): median %5.0f min, p90 %5.0f min, "
+                "p99 %5.0f min\n",
+                r.urgent_latency_minutes.median(),
+                r.urgent_latency_minutes.percentile(90.0),
+                r.urgent_latency_minutes.percentile(99.0));
+    std::printf("  bulk imagery:          median %5.0f min, p90 %5.0f min, "
+                "p99 %5.0f min\n\n",
+                r.bulk_latency_minutes.median(),
+                r.bulk_latency_minutes.percentile(90.0),
+                r.bulk_latency_minutes.percentile(99.0));
+  };
+  report("DGS (173 distributed stations):", dgs_run);
+  report("Centralized baseline (5 polar stations):", base_run);
+
+  std::printf("Time for 90%% of fire imagery to reach responders:\n");
+  std::printf("  DGS      %5.0f min\n",
+              dgs_run.urgent_latency_minutes.percentile(90.0));
+  std::printf("  baseline %5.0f min  (%.1fx slower)\n",
+              base_run.urgent_latency_minutes.percentile(90.0),
+              base_run.urgent_latency_minutes.percentile(90.0) /
+                  std::max(1.0, dgs_run.urgent_latency_minutes.percentile(90.0)));
+  std::printf("\nThe paper's point (Sec. 1, Sec. 3): for floods and forest "
+              "fires the data must arrive in tens of minutes, which only "
+              "the geographically distributed design achieves.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: the DGS public API in one sitting.
+//
+//   1. Parse a real TLE and propagate it with SGP4.
+//   2. Predict the passes over a ground station for the next day.
+//   3. Evaluate the predictive link budget at the best pass and pick the
+//      DVB-S2 MODCOD the satellite would be scheduled to transmit.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/dgs.h"
+
+int main() {
+  using namespace dgs;
+  using util::deg2rad;
+  using util::rad2deg;
+
+  // 1. A real element set (ISS, the classic SGP4 reference TLE).
+  const orbit::Tle tle = orbit::parse_tle(
+      "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927",
+      "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 "
+      "15.72125391563537");
+  const orbit::Sgp4 sat(tle);
+  std::printf("Satellite %d: period %.1f min, perigee %.0f km\n",
+              tle.satnum, sat.period_minutes(), tle.perigee_altitude_km());
+
+  const orbit::TemeState now = sat.propagate(0.0);
+  const orbit::Geodetic ssp =
+      orbit::subsatellite_point(now.position_km, sat.epoch());
+  std::printf("At epoch it flies over %.2f deg lat, %.2f deg lon at %.0f km "
+              "altitude\n",
+              rad2deg(ssp.latitude_rad), rad2deg(ssp.longitude_rad),
+              ssp.altitude_km);
+
+  // 2. Passes over a low-complexity DGS station (1 m dish in Seattle).
+  groundseg::GroundStation station;
+  station.name = "Seattle rooftop";
+  station.location = {deg2rad(47.6), deg2rad(-122.3), 0.05};
+  station.min_elevation_rad = deg2rad(10.0);
+  station.refresh_ecef();
+
+  orbit::PassPredictorOptions popts;
+  popts.min_elevation_rad = station.min_elevation_rad;
+  const auto passes = orbit::predict_passes(
+      sat, station.location, sat.epoch(), sat.epoch().plus_days(1.0), popts);
+  std::printf("\n%zu passes over %s in the next 24 h:\n", passes.size(),
+              station.name.c_str());
+  for (const auto& p : passes) {
+    std::printf("  %s  for %5.1f min, max elevation %4.1f deg\n",
+                p.aos.to_string().c_str(), p.duration_seconds() / 60.0,
+                rad2deg(p.max_elevation_rad));
+  }
+  if (passes.empty()) return 0;
+
+  // 3. Link budget at the best pass's culmination.
+  const auto best = std::max_element(
+      passes.begin(), passes.end(), [](const auto& a, const auto& b) {
+        return a.max_elevation_rad < b.max_elevation_rad;
+      });
+  const orbit::TemeState st = sat.propagate_to(best->tca);
+  util::Vec3 r_ecef, v_ecef;
+  orbit::teme_to_ecef(st.position_km, st.velocity_km_s, best->tca, r_ecef,
+                      v_ecef);
+  const orbit::LookAngles look =
+      orbit::look_angles(station.location, r_ecef, v_ecef);
+
+  link::PathConditions path;
+  path.range_km = look.range_km;
+  path.elevation_rad = look.elevation_rad;
+  path.site_latitude_rad = station.location.latitude_rad;
+  path.rain_rate_mm_h = 2.0;  // light drizzle in the forecast
+  path.cloud_liquid_kg_m2 = 0.5;
+
+  const link::LinkBudget budget =
+      link::evaluate_link(link::RadioSpec{}, station.receiver, path);
+  std::printf("\nBest pass culmination: range %.0f km, elevation %.1f deg\n",
+              look.range_km, rad2deg(look.elevation_rad));
+  std::printf("  FSPL %.1f dB, rain %.2f dB, cloud %.2f dB, gas %.2f dB\n",
+              budget.fspl_db, budget.rain_db, budget.cloud_db, budget.gas_db);
+  std::printf("  C/N0 %.1f dBHz -> Es/N0 %.1f dB\n", budget.cn0_dbhz,
+              budget.esn0_db);
+  if (budget.closes()) {
+    std::printf("  scheduled MODCOD: %s -> %.0f Mbps on one channel\n",
+                budget.modcod->name.data(), budget.data_rate_bps / 1e6);
+    std::printf("  a full %0.f-minute pass at this rate moves ~%.1f GB\n",
+                best->duration_seconds() / 60.0,
+                budget.data_rate_bps * best->duration_seconds() / 8.0 / 1e9);
+  } else {
+    std::printf("  link does not close at this elevation/weather\n");
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// What a DGS station operator actually receives: tonight's agenda.
+//
+// Plans six hours for a 60-station network and prints the busiest
+// station's tracking jobs — AOS/LOS times, pointing arcs, MODCOD, and
+// expected volume — followed by the machine-readable CSV a rotator
+// controller would consume (paper §3: the schedule is "distributed to all
+// the ground stations over the Internet").
+#include <cstdio>
+#include <iostream>
+
+#include "src/core/agenda.h"
+#include "src/core/dgs.h"
+#include "src/link/dvbs2_framing.h"
+
+int main() {
+  using namespace dgs;
+
+  const util::Epoch t0(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+  groundseg::NetworkOptions net;
+  net.num_satellites = 60;
+  net.num_stations = 60;
+  const auto sats = groundseg::generate_constellation(net, t0);
+  const auto stations = groundseg::generate_dgs_stations(net);
+
+  core::VisibilityEngine engine(sats, stations, nullptr);
+  std::vector<core::OnboardQueue> queues(sats.size());
+  for (auto& q : queues) q.generate(80e9, t0.plus_seconds(-7200));
+
+  core::LatencyValue phi;
+  const int steps = 6 * 60;  // 6 h at 60 s quanta
+  const core::HorizonPlan plan =
+      core::plan_horizon(engine, queues, phi, t0, steps, 60.0);
+  const auto agendas = core::build_agendas(engine, plan, t0, 60.0);
+
+  const core::StationAgenda* busiest = &agendas[0];
+  for (const auto& a : agendas) {
+    if (a.entries.size() > busiest->entries.size()) busiest = &a;
+  }
+  const auto& gs = stations[busiest->station];
+  std::printf("Agenda for \"%s\" (%.2f deg, %.2f deg), next 6 h — %zu "
+              "tracking jobs:\n\n",
+              gs.name.c_str(), util::rad2deg(gs.location.latitude_rad),
+              util::rad2deg(gs.location.longitude_rad),
+              busiest->entries.size());
+
+  for (const auto& e : busiest->entries) {
+    std::printf("  %s  sat %-3d  %4.1f min  az %5.1f->%5.1f deg  el %4.1f/"
+                "%4.1f/%4.1f deg  %-11s %6.2f GB\n",
+                e.start.to_string().c_str(), e.sat,
+                e.duration_seconds() / 60.0, e.aos_pointing.azimuth_deg,
+                e.los_pointing.azimuth_deg, e.aos_pointing.elevation_deg,
+                e.tca_pointing.elevation_deg, e.los_pointing.elevation_deg,
+                link::modcod_by_index(e.modcod_index).name.data(),
+                e.expected_bytes / 1e9);
+  }
+
+  std::printf("\nMachine-readable (CSV):\n");
+  core::write_agenda_csv(std::cout, *busiest);
+  return 0;
+}

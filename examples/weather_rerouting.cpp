@@ -1,0 +1,145 @@
+// Weather-adaptive scheduling in action (paper §3, "if the link from
+// satellite alpha to ground station i is expected to encounter clouds, it
+// could downlink at a different ground station j along its path").
+//
+// Two stations sit ~700 km apart; a stationary storm cell parks over one of
+// them.  We run the scheduler with and without weather awareness and show
+// the schedule steering the satellite to the dry station — and the rate
+// penalty when it doesn't.
+#include <cstdio>
+
+#include "src/core/dgs.h"
+
+namespace {
+
+/// A single stationary storm parked over a configurable point.
+class ParkedStorm final : public dgs::weather::WeatherProvider {
+ public:
+  ParkedStorm(double lat_rad, double lon_rad)
+      : lat_(lat_rad), lon_(lon_rad) {}
+
+  dgs::weather::WeatherSample actual(
+      double lat, double lon, const dgs::util::Epoch&) const override {
+    const double d_km =
+        dgs::util::great_circle_angle(lat, lon, lat_, lon_) * 6371.0;
+    dgs::weather::WeatherSample s;
+    if (d_km < 300.0) {
+      s.rain_rate_mm_h = 35.0 * std::exp(-d_km * d_km / (2 * 120.0 * 120.0));
+      s.cloud_liquid_kg_m2 = 2.5 * std::exp(-d_km * d_km / (2 * 250.0 * 250.0));
+    }
+    return s;
+  }
+
+ private:
+  double lat_, lon_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace dgs;
+  using util::deg2rad;
+  using util::rad2deg;
+
+  const util::Epoch epoch(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+
+  // One satellite on a Ku-band downlink (more weather-sensitive than X).
+  groundseg::NetworkOptions net;
+  net.num_satellites = 1;
+  net.num_stations = 1;  // regenerated below; generator needs >= 1
+  auto sats = groundseg::generate_constellation(net, epoch);
+  sats[0].radio.frequency_hz = 14.0e9;
+
+  // Two identical stations, one of which will sit under the storm.
+  groundseg::GroundStation wet, dry;
+  wet.id = 0;
+  wet.name = "Munich (under storm)";
+  wet.location = {deg2rad(48.1), deg2rad(11.6), 0.5};
+  wet.min_elevation_rad = deg2rad(5.0);
+  wet.refresh_ecef();
+  dry.id = 1;
+  dry.name = "Vienna (clear)";
+  dry.location = {deg2rad(48.2), deg2rad(16.4), 0.2};
+  dry.min_elevation_rad = deg2rad(5.0);
+  dry.refresh_ecef();
+  const std::vector<groundseg::GroundStation> stations{wet, dry};
+
+  ParkedStorm storm(wet.location.latitude_rad, wet.location.longitude_rad);
+
+  std::printf("Storm parked over %s; %s is clear, 330 km east.\n\n",
+              wet.name.c_str(), dry.name.c_str());
+
+  // Walk the day; at every instant where the satellite sees both stations,
+  // compare the weather-aware choice to the weather-blind one.
+  core::VisibilityEngine aware(sats, stations, &storm);
+  core::VisibilityEngine blind(sats, stations, nullptr);
+  core::Scheduler sched_aware(&aware, core::SchedulerConfig{});
+  core::Scheduler sched_blind(&blind, core::SchedulerConfig{});
+
+  std::vector<core::OnboardQueue> queues(1);
+  queues[0].generate(500e9, epoch);  // plenty of data to move
+
+  int both_visible = 0, aware_picked_dry = 0, blind_picked_wet = 0;
+  double aware_bytes = 0.0, blind_bytes = 0.0;
+  for (double m = 0.0; m < 24.0 * 60.0; m += 1.0) {
+    const util::Epoch t = epoch.plus_seconds(m * 60.0);
+    const auto contacts = aware.contacts(t);
+    bool sees_wet = false, sees_dry = false;
+    for (const auto& c : contacts) {
+      sees_wet |= c.station == 0;
+      sees_dry |= c.station == 1;
+    }
+    if (!(sees_wet && sees_dry)) continue;
+    ++both_visible;
+
+    const auto pick_aware = sched_aware.schedule_instant(t, queues);
+    const auto pick_blind = sched_blind.schedule_instant(t, queues);
+    if (!pick_aware.empty()) {
+      if (pick_aware[0].station == 1) ++aware_picked_dry;
+      // Realized bytes: the aware schedule predicted with true weather.
+      aware_bytes += pick_aware[0].predicted_rate_bps * 60.0 / 8.0;
+    }
+    if (!pick_blind.empty()) {
+      if (pick_blind[0].station == 0) ++blind_picked_wet;
+      // Blind schedule transmits at the clear-sky MODCOD; it only sticks if
+      // the actual Es/N0 still clears it.  Re-evaluate with the storm.
+      const auto& e = pick_blind[0];
+      const auto& gs = stations[e.station];
+      auto wx = storm.actual(gs.location.latitude_rad,
+                             gs.location.longitude_rad, t);
+      link::PathConditions path;
+      path.range_km = e.range_km;
+      path.elevation_rad = e.elevation_rad;
+      path.site_latitude_rad = gs.location.latitude_rad;
+      path.rain_rate_mm_h = wx.rain_rate_mm_h;
+      path.cloud_liquid_kg_m2 = wx.cloud_liquid_kg_m2;
+      const auto actual = link::evaluate_link(sats[0].radio, gs.receiver, path);
+      if (e.modcod != nullptr &&
+          actual.esn0_db >= e.modcod->required_esn0_db) {
+        blind_bytes += e.predicted_rate_bps * 60.0 / 8.0;
+      }
+    }
+  }
+
+  std::printf("Instants with both stations visible: %d\n", both_visible);
+  std::printf("  weather-aware scheduler picked the dry station %d/%d "
+              "times\n",
+              aware_picked_dry, both_visible);
+  std::printf("  weather-blind scheduler picked the stormy station %d/%d "
+              "times (and lost those slots when the MODCOD failed)\n",
+              blind_picked_wet, both_visible);
+  std::printf("\nData moved during contested instants:\n");
+  std::printf("  weather-aware: %.1f GB\n", aware_bytes / 1e9);
+  std::printf("  weather-blind: %.1f GB\n", blind_bytes / 1e9);
+  if (aware_bytes > blind_bytes) {
+    if (blind_bytes > 0.0) {
+      std::printf("\nThe aware scheduler rerouted around the storm and "
+                  "moved %.1fx the data.\n",
+                  aware_bytes / blind_bytes);
+    } else {
+      std::printf("\nThe aware scheduler rerouted around the storm; the "
+                  "blind one lost every contested slot.\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+#include "src/backend/backhaul.h"
+
+#include <stdexcept>
+
+namespace dgs::backend {
+
+double raw_iq_backhaul_bps(double symbol_rate_hz, double oversampling,
+                           int bits_per_component) {
+  if (symbol_rate_hz <= 0.0) {
+    throw std::invalid_argument("raw_iq_backhaul: non-positive symbol rate");
+  }
+  if (oversampling < 1.0) {
+    throw std::invalid_argument("raw_iq_backhaul: oversampling < 1");
+  }
+  if (bits_per_component <= 0) {
+    throw std::invalid_argument("raw_iq_backhaul: non-positive sample bits");
+  }
+  // Complex baseband: 2 components per sample.
+  return symbol_rate_hz * oversampling * 2.0 * bits_per_component;
+}
+
+double decoded_backhaul_bps(const link::ModCod& mc, double symbol_rate_hz,
+                            double transport_overhead) {
+  if (transport_overhead < 0.0) {
+    throw std::invalid_argument("decoded_backhaul: negative overhead");
+  }
+  return link::bitrate_bps(mc, symbol_rate_hz) * (1.0 + transport_overhead);
+}
+
+double backhaul_reduction_factor(const link::ModCod& mc,
+                                 double symbol_rate_hz, double oversampling,
+                                 int bits_per_component,
+                                 double transport_overhead) {
+  return raw_iq_backhaul_bps(symbol_rate_hz, oversampling,
+                             bits_per_component) /
+         decoded_backhaul_bps(mc, symbol_rate_hz, transport_overhead);
+}
+
+}  // namespace dgs::backend

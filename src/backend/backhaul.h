@@ -1,0 +1,35 @@
+// Ground-station backhaul sizing: DGS vs the VERGE architecture.
+//
+// Paper §2: VERGE (Lockheed/AWS) streams raw RF samples from each antenna
+// to the cloud, where a software receiver decodes them; DGS co-locates the
+// receiver with the antenna and backhauls decoded (and optionally
+// edge-filtered) data, which "significantly reduces the backhaul capacity
+// required ... (by orders of magnitude)" and is what makes X-band rates
+// viable on consumer Internet links.  This module quantifies both.
+#pragma once
+
+#include "src/link/dvbs2.h"
+
+namespace dgs::backend {
+
+/// Raw-IQ streaming rate [bit/s] for a receiver sampling a carrier of
+/// `symbol_rate_hz` with `oversampling` (>= 1, Nyquist headroom + roll-off)
+/// and `bits_per_component` per I/Q component.
+double raw_iq_backhaul_bps(double symbol_rate_hz, double oversampling = 1.25,
+                           int bits_per_component = 8);
+
+/// Decoded-data backhaul rate [bit/s] for a co-located receiver at the
+/// given MODCOD: the information rate plus a small transport/framing
+/// overhead fraction.
+double decoded_backhaul_bps(const link::ModCod& mc, double symbol_rate_hz,
+                            double transport_overhead = 0.03);
+
+/// VERGE-to-DGS backhaul ratio at a MODCOD — how many times fatter the
+/// pipe must be to stream raw RF instead of decoded frames.
+double backhaul_reduction_factor(const link::ModCod& mc,
+                                 double symbol_rate_hz,
+                                 double oversampling = 1.25,
+                                 int bits_per_component = 8,
+                                 double transport_overhead = 0.03);
+
+}  // namespace dgs::backend

@@ -1,0 +1,56 @@
+// Station-side edge store-and-forward (paper §3.3 "Edge compute on the
+// ground station").
+//
+// A DGS station decodes the downlink locally and uploads the result over
+// its own Internet connection, which is far slower than the X-band burst
+// rate.  Data therefore queues at the station; edge compute earns its keep
+// by uploading latency-sensitive data first and bulk imagery at lower
+// priority.  This module models that queue: strict-priority, FIFO within a
+// class, drained at the station's backhaul rate.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "src/util/time.h"
+
+namespace dgs::backend {
+
+/// A decoded data block waiting at the station for upload to the cloud.
+struct EdgeItem {
+  util::Epoch capture;        ///< When the satellite imaged it.
+  util::Epoch ground_rx;      ///< When the station received it.
+  double bytes = 0.0;
+  double remaining_bytes = 0.0;
+  double priority = 1.0;
+};
+
+/// Fired when an item's last byte reaches the cloud:
+/// (capture-to-cloud latency seconds, item).
+using CloudArrivalCallback = std::function<void(double, const EdgeItem&)>;
+
+class StationEdgeQueue {
+ public:
+  /// `backhaul_bps` > 0: the station's Internet uplink rate.
+  explicit StationEdgeQueue(double backhaul_bps);
+
+  /// Enqueues a decoded block received from the downlink.
+  void receive(double bytes, double priority, const util::Epoch& capture,
+               const util::Epoch& ground_rx);
+
+  /// Uploads for `dt_seconds` ending at `now`; completed items fire
+  /// `on_cloud_arrival`.  Returns bytes uploaded.
+  double drain(double dt_seconds, const util::Epoch& now,
+               const CloudArrivalCallback& on_cloud_arrival);
+
+  double queued_bytes() const { return queued_bytes_; }
+  double backhaul_bps() const { return backhaul_bps_; }
+  std::size_t depth() const { return items_.size(); }
+
+ private:
+  double backhaul_bps_;
+  std::deque<EdgeItem> items_;   ///< Priority desc, ground_rx asc.
+  double queued_bytes_ = 0.0;
+};
+
+}  // namespace dgs::backend

@@ -1,0 +1,104 @@
+#include "src/core/agenda.h"
+
+#include <map>
+#include <ostream>
+
+#include "src/link/dvbs2_framing.h"
+#include "src/orbit/frames.h"
+#include "src/util/angles.h"
+
+namespace dgs::core {
+namespace {
+
+Pointing pointing_at(const VisibilityEngine& engine, int sat, int station,
+                     const util::Epoch& when) {
+  const util::Vec3 sat_ecef = engine.satellite_ecef(sat, when);
+  const orbit::LookAngles la =
+      orbit::look_angles(engine.station(station).location, sat_ecef);
+  return Pointing{util::rad2deg(la.azimuth_rad),
+                  util::rad2deg(la.elevation_rad)};
+}
+
+}  // namespace
+
+std::vector<StationAgenda> build_agendas(const VisibilityEngine& engine,
+                                         const HorizonPlan& plan,
+                                         const util::Epoch& start,
+                                         double step_seconds) {
+  std::vector<StationAgenda> agendas(engine.num_stations());
+  for (int g = 0; g < engine.num_stations(); ++g) agendas[g].station = g;
+
+  // Open tracking job per station: satellite id and last step seen.
+  struct Open {
+    int sat = -1;
+    int last_step = -2;
+    int first_step = 0;
+    double bytes = 0.0;
+    std::uint8_t modcod = 0;
+  };
+  std::map<int, Open> open;
+
+  auto close_job = [&](int g, const Open& o, int /*end_step*/) {
+    AgendaEntry e;
+    e.sat = o.sat;
+    e.start = start.plus_seconds(o.first_step * step_seconds);
+    e.stop = start.plus_seconds((o.last_step + 1) * step_seconds);
+    e.expected_bytes = o.bytes;
+    e.modcod_index = o.modcod;
+    e.aos_pointing = pointing_at(engine, o.sat, g, e.start);
+    e.los_pointing = pointing_at(engine, o.sat, g, e.stop);
+    const util::Epoch mid =
+        e.start.plus_seconds(e.duration_seconds() / 2.0);
+    e.tca_pointing = pointing_at(engine, o.sat, g, mid);
+    agendas[g].entries.push_back(e);
+  };
+
+  for (int k = 0; k < static_cast<int>(plan.per_step.size()); ++k) {
+    for (const ContactEdge& e : plan.per_step[k]) {
+      auto& o = open[e.station];
+      if (o.sat == e.sat && o.last_step == k - 1) {
+        o.last_step = k;
+        o.bytes += e.predicted_rate_bps * step_seconds / 8.0;
+      } else {
+        if (o.sat != -1) close_job(e.station, o, k);
+        o.sat = e.sat;
+        o.first_step = k;
+        o.last_step = k;
+        o.bytes = e.predicted_rate_bps * step_seconds / 8.0;
+        o.modcod = e.modcod != nullptr ? link::modcod_index(*e.modcod) : 0;
+      }
+    }
+    // Close jobs whose station went idle this step.
+    for (auto& [g, o] : open) {
+      if (o.sat != -1 && o.last_step < k) {
+        close_job(g, o, k);
+        o.sat = -1;
+        o.last_step = -2;
+      }
+    }
+  }
+  for (auto& [g, o] : open) {
+    if (o.sat != -1) {
+      close_job(g, o, static_cast<int>(plan.per_step.size()));
+    }
+  }
+  return agendas;
+}
+
+void write_agenda_csv(std::ostream& out, const StationAgenda& agenda) {
+  out << "sat,start,stop,duration_s,az_aos_deg,el_aos_deg,az_los_deg,"
+         "el_los_deg,expected_gb,modcod\n";
+  char buf[256];
+  for (const AgendaEntry& e : agenda.entries) {
+    std::snprintf(buf, sizeof(buf),
+                  "%d,%s,%s,%.0f,%.1f,%.1f,%.1f,%.1f,%.3f,%s\n", e.sat,
+                  e.start.to_string().c_str(), e.stop.to_string().c_str(),
+                  e.duration_seconds(), e.aos_pointing.azimuth_deg,
+                  e.aos_pointing.elevation_deg, e.los_pointing.azimuth_deg,
+                  e.los_pointing.elevation_deg, e.expected_bytes / 1e9,
+                  link::modcod_by_index(e.modcod_index).name.data());
+    out << buf;
+  }
+}
+
+}  // namespace dgs::core

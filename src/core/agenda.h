@@ -1,0 +1,55 @@
+// Per-station agendas: the artifact DGS distributes to stations.
+//
+// Paper §3: "This schedule is distributed to all the ground stations over
+// the Internet ... receive-only ground stations ... follow the shared
+// schedule as well and point to the corresponding satellite."  A station
+// does not consume a global matching — it needs its own ordered list of
+// tracking jobs with pointing arcs.  This module turns a horizon plan into
+// exactly that, plus a CSV export a rotator controller could ingest.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/core/lookahead.h"
+
+namespace dgs::core {
+
+/// Antenna pointing at one moment of a tracking job.
+struct Pointing {
+  double azimuth_deg = 0.0;
+  double elevation_deg = 0.0;
+};
+
+/// One contiguous tracking job on one station's agenda.
+struct AgendaEntry {
+  int sat = 0;
+  util::Epoch start;              ///< First scheduled quantum.
+  util::Epoch stop;               ///< End of the last quantum.
+  Pointing aos_pointing;          ///< Where to point at `start`.
+  Pointing tca_pointing;          ///< Mid-job pointing (peak elevation-ish).
+  Pointing los_pointing;          ///< Where the job ends.
+  double expected_bytes = 0.0;    ///< Volume at the scheduled rates.
+  std::uint8_t modcod_index = 0;  ///< MODCOD of the first quantum.
+
+  double duration_seconds() const { return stop.seconds_since(start); }
+};
+
+struct StationAgenda {
+  int station = 0;
+  std::vector<AgendaEntry> entries;  ///< Chronological, non-overlapping.
+};
+
+/// Builds every station's agenda from a horizon plan computed at `start`
+/// with quantum `step_seconds`.  Consecutive quanta of the same
+/// (satellite, station) pair fuse into one tracking job.
+std::vector<StationAgenda> build_agendas(const VisibilityEngine& engine,
+                                         const HorizonPlan& plan,
+                                         const util::Epoch& start,
+                                         double step_seconds);
+
+/// CSV export: sat,start,stop,duration_s,az_aos,el_aos,az_los,el_los,
+/// expected_gb,modcod.
+void write_agenda_csv(std::ostream& out, const StationAgenda& agenda);
+
+}  // namespace dgs::core

@@ -1,0 +1,112 @@
+#include "src/core/data_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dgs::core {
+
+void OnboardQueue::set_capacity(double bytes) {
+  if (bytes <= 0.0) {
+    throw std::invalid_argument("OnboardQueue::set_capacity: must be > 0");
+  }
+  capacity_bytes_ = bytes;
+}
+
+void OnboardQueue::insert_sorted(DataChunk chunk) {
+  // Service order: priority desc, then capture asc.  The common case
+  // (fresh capture at bulk priority) belongs at the back; test it first.
+  auto belongs_before = [](const DataChunk& a, const DataChunk& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.capture < b.capture;
+  };
+  if (chunks_.empty() || !belongs_before(chunk, chunks_.back())) {
+    chunks_.push_back(std::move(chunk));
+    return;
+  }
+  const auto it =
+      std::find_if(chunks_.begin(), chunks_.end(),
+                   [&](const DataChunk& c) { return belongs_before(chunk, c); });
+  chunks_.insert(it, std::move(chunk));
+}
+
+void OnboardQueue::generate(double bytes, const util::Epoch& capture,
+                            double priority) {
+  if (bytes < 0.0) {
+    throw std::invalid_argument("OnboardQueue::generate: negative bytes");
+  }
+  if (priority < 0.0) {
+    throw std::invalid_argument("OnboardQueue::generate: negative priority");
+  }
+  if (capacity_bytes_ > 0.0) {
+    const double free_bytes = capacity_bytes_ - storage_bytes();
+    if (bytes > free_bytes) {
+      dropped_bytes_ += bytes - std::max(0.0, free_bytes);
+      bytes = std::max(0.0, free_bytes);
+    }
+  }
+  if (bytes == 0.0) return;
+  insert_sorted(DataChunk{capture, bytes, bytes, priority});
+  queued_bytes_ += bytes;
+}
+
+double OnboardQueue::transmit(double budget_bytes, const util::Epoch& now,
+                              const DeliveryCallback& on_delivered,
+                              bool received) {
+  if (budget_bytes < 0.0) {
+    throw std::invalid_argument("OnboardQueue::transmit: negative budget");
+  }
+  double sent = 0.0;
+  double budget = budget_bytes;
+  PendingBatch batch;
+  batch.sent = now;
+  batch.received = received;
+  while (budget > 0.0 && !chunks_.empty()) {
+    DataChunk& c = chunks_.front();
+    const double take = std::min(budget, c.remaining_bytes);
+    c.remaining_bytes -= take;
+    budget -= take;
+    sent += take;
+    if (!received) {
+      // Keep the piece for re-queue at the next TX contact.
+      batch.pieces.push_back(DataChunk{c.capture, take, take, c.priority});
+    }
+    if (c.remaining_bytes <= 0.0) {
+      if (received && on_delivered) {
+        on_delivered(now.seconds_since(c.capture), c);
+      }
+      chunks_.pop_front();
+    }
+  }
+  if (sent > 0.0) {
+    queued_bytes_ -= sent;
+    if (queued_bytes_ < 0.0) queued_bytes_ = 0.0;  // float dust
+    batch.bytes = sent;
+    pending_.push_back(std::move(batch));
+    pending_bytes_ += sent;
+  }
+  return sent;
+}
+
+double OnboardQueue::acknowledge_all(const util::Epoch& now,
+                                     const AckCallback& on_ack) {
+  double requeued = 0.0;
+  for (PendingBatch& b : pending_) {
+    if (b.received) {
+      if (on_ack) on_ack(now.seconds_since(b.sent), b.bytes);
+    } else {
+      // The collated report says the ground never captured this batch:
+      // put the pieces back, preserving their original capture times so
+      // the retransmission latency is accounted honestly.
+      for (DataChunk& piece : b.pieces) {
+        requeued += piece.total_bytes;
+        queued_bytes_ += piece.total_bytes;
+        insert_sorted(std::move(piece));
+      }
+    }
+  }
+  pending_.clear();
+  pending_bytes_ = 0.0;
+  return requeued;
+}
+
+}  // namespace dgs::core

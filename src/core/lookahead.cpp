@@ -1,0 +1,116 @@
+#include "src/core/lookahead.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace dgs::core {
+
+double PassBlock::capacity_bytes(double step_seconds) const {
+  double bytes = 0.0;
+  for (const ContactEdge& e : steps) {
+    bytes += e.predicted_rate_bps * step_seconds / 8.0;
+  }
+  return bytes;
+}
+
+std::vector<PassBlock> find_pass_blocks(const VisibilityEngine& engine,
+                                        const util::Epoch& start, int steps,
+                                        double step_seconds) {
+  if (steps <= 0 || step_seconds <= 0.0) {
+    throw std::invalid_argument("find_pass_blocks: bad window");
+  }
+
+  std::vector<PassBlock> blocks;
+  // Open block per (sat, station) pair, indexed into `blocks`.
+  std::map<std::pair<int, int>, int> open;
+
+  // The plan is computed at `start`; looking `k` steps ahead means relying
+  // on a forecast with lead k*dt.
+  std::vector<double> leads(engine.num_sats(), 0.0);
+  for (int k = 0; k < steps; ++k) {
+    const util::Epoch t = start.plus_seconds(k * step_seconds);
+    std::fill(leads.begin(), leads.end(), k * step_seconds);
+    const std::vector<ContactEdge> edges = engine.contacts(t, leads);
+
+    std::map<std::pair<int, int>, int> still_open;
+    for (const ContactEdge& e : edges) {
+      const auto key = std::make_pair(e.sat, e.station);
+      const auto it = open.find(key);
+      if (it != open.end() && blocks[it->second].last_step() == k - 1) {
+        blocks[it->second].steps.push_back(e);
+        still_open[key] = it->second;
+      } else {
+        PassBlock b;
+        b.sat = e.sat;
+        b.station = e.station;
+        b.first_step = k;
+        b.steps.push_back(e);
+        blocks.push_back(std::move(b));
+        still_open[key] = static_cast<int>(blocks.size()) - 1;
+      }
+    }
+    open = std::move(still_open);
+  }
+  return blocks;
+}
+
+HorizonPlan plan_horizon(const VisibilityEngine& engine,
+                         const std::vector<OnboardQueue>& queues,
+                         const ValueFunction& value, const util::Epoch& start,
+                         int steps, double step_seconds) {
+  if (static_cast<int>(queues.size()) != engine.num_sats()) {
+    throw std::invalid_argument("plan_horizon: queue count mismatch");
+  }
+  std::vector<PassBlock> blocks =
+      find_pass_blocks(engine, start, steps, step_seconds);
+
+  // Score blocks against the queue snapshot at the block's mid-time.
+  struct Scored {
+    int block_index;
+    double density;  ///< value per step
+  };
+  std::vector<Scored> scored;
+  scored.reserve(blocks.size());
+  for (int i = 0; i < static_cast<int>(blocks.size()); ++i) {
+    const PassBlock& b = blocks[i];
+    const double mid_s =
+        (b.first_step + b.steps.size() / 2.0) * step_seconds;
+    const double v = value.edge_value(queues[b.sat], start.plus_seconds(mid_s),
+                                      b.capacity_bytes(step_seconds));
+    if (v <= 0.0) continue;
+    scored.push_back(Scored{i, v / static_cast<double>(b.steps.size())});
+  }
+  std::sort(scored.begin(), scored.end(), [&](const Scored& a,
+                                              const Scored& b) {
+    if (a.density != b.density) return a.density > b.density;
+    return a.block_index < b.block_index;  // deterministic ties
+  });
+
+  // Greedy allocation with per-satellite and per-station busy masks over
+  // the window steps.
+  const auto mask_size = static_cast<std::size_t>(steps);
+  std::vector<std::vector<char>> sat_busy(
+      engine.num_sats(), std::vector<char>(mask_size, 0));
+  std::vector<std::vector<char>> gs_busy(
+      engine.num_stations(), std::vector<char>(mask_size, 0));
+
+  HorizonPlan plan;
+  plan.per_step.resize(mask_size);
+  for (const Scored& s : scored) {
+    const PassBlock& b = blocks[s.block_index];
+    bool conflict = false;
+    for (int k = b.first_step; k <= b.last_step() && !conflict; ++k) {
+      conflict = sat_busy[b.sat][k] || gs_busy[b.station][k];
+    }
+    if (conflict) continue;
+    for (int k = b.first_step; k <= b.last_step(); ++k) {
+      sat_busy[b.sat][k] = 1;
+      gs_busy[b.station][k] = 1;
+      plan.per_step[k].push_back(b.steps[k - b.first_step]);
+    }
+  }
+  return plan;
+}
+
+}  // namespace dgs::core

@@ -1,0 +1,47 @@
+#include "src/core/market.h"
+
+#include <stdexcept>
+
+namespace dgs::core {
+
+BidMatrix::BidMatrix(std::vector<int> operator_of)
+    : operator_of_(std::move(operator_of)) {
+  if (operator_of_.empty()) {
+    throw std::invalid_argument("BidMatrix: empty operator mapping");
+  }
+}
+
+void BidMatrix::set_bid(int operator_id, int station, double multiplier) {
+  if (multiplier <= 0.0) {
+    throw std::invalid_argument("BidMatrix::set_bid: multiplier must be > 0");
+  }
+  station_bid_[{operator_id, station}] = multiplier;
+}
+
+void BidMatrix::set_default_bid(int operator_id, double multiplier) {
+  if (multiplier <= 0.0) {
+    throw std::invalid_argument(
+        "BidMatrix::set_default_bid: multiplier must be > 0");
+  }
+  default_bid_[operator_id] = multiplier;
+}
+
+double BidMatrix::multiplier(int sat, int station) const {
+  const int op = operator_of_.at(sat);
+  if (const auto it = station_bid_.find({op, station});
+      it != station_bid_.end()) {
+    return it->second;
+  }
+  if (const auto it = default_bid_.find(op); it != default_bid_.end()) {
+    return it->second;
+  }
+  return 1.0;
+}
+
+EdgeValueModifier BidMatrix::as_modifier() const {
+  return [this](int sat, int station, double base) {
+    return base * multiplier(sat, station);
+  };
+}
+
+}  // namespace dgs::core

@@ -1,0 +1,47 @@
+// Priority-access bidding (paper §3.1: "From a ground station perspective,
+// the value function can be assigned by bidding for priority access";
+// §3.3: adoption "hinges on appropriate economic incentives").
+//
+// Operators place per-station bid multipliers; the scheduler scales an
+// edge's base value (from Phi) by the bid the satellite's operator holds
+// at that station.  Higher bids buy more station time — bought, not taken:
+// the stable matching still rules out defection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+namespace dgs::core {
+
+/// Scales the scheduler's edge values: (sat, station, base) -> value.
+using EdgeValueModifier = std::function<double(int, int, double)>;
+
+class BidMatrix {
+ public:
+  /// `operator_of[sat]` maps each satellite to its operator id.
+  explicit BidMatrix(std::vector<int> operator_of);
+
+  /// Sets the multiplier an operator bids at one station (> 0).
+  void set_bid(int operator_id, int station, double multiplier);
+  /// Sets the multiplier an operator bids network-wide.
+  void set_default_bid(int operator_id, double multiplier);
+
+  /// Effective multiplier for a satellite at a station (1.0 if unset).
+  double multiplier(int sat, int station) const;
+
+  int operator_of(int sat) const { return operator_of_.at(sat); }
+  std::size_t num_satellites() const { return operator_of_.size(); }
+
+  /// The scheduler hook.  The returned callable captures `this`; the
+  /// matrix must outlive the scheduler run.
+  EdgeValueModifier as_modifier() const;
+
+ private:
+  std::vector<int> operator_of_;
+  std::map<int, double> default_bid_;                 ///< operator -> mult
+  std::map<std::pair<int, int>, double> station_bid_; ///< (op, gs) -> mult
+};
+
+}  // namespace dgs::core

@@ -1,0 +1,215 @@
+#include "src/core/plan.h"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "src/util/crc32.h"
+
+namespace dgs::core {
+namespace {
+
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kPlanMagic[4] = {'D', 'G', 'S', 'P'};
+constexpr std::uint8_t kAckMagic[4] = {'D', 'G', 'S', 'A'};
+constexpr std::size_t kHeaderSize = 4 + 1 + 4 + 8 + 2;  // magic..count
+constexpr std::size_t kPlanEntrySize = 10;
+constexpr std::size_t kAckRangeSize = 16;
+constexpr std::size_t kCrcSize = 4;
+
+class Writer {
+ public:
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  template <typename T>
+  void put(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    // Explicit little-endian byte order, independent of host.
+    std::uint64_t bits = 0;
+    if constexpr (std::is_floating_point_v<T>) {
+      std::memcpy(&bits, &v, sizeof(v));
+    } else {
+      bits = static_cast<std::uint64_t>(v);
+    }
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+    }
+  }
+
+  void put_bytes(const std::uint8_t* p, std::size_t n) {
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  std::vector<std::uint8_t> finish() {
+    const std::uint32_t crc = util::crc32(buf_);
+    put(crc);
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    if (pos_ + sizeof(T) > bytes_.size()) {
+      throw std::invalid_argument("plan parse: truncated message");
+    }
+    std::uint64_t bits = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bits |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    if constexpr (std::is_floating_point_v<T>) {
+      T v;
+      std::memcpy(&v, &bits, sizeof(T));
+      return v;
+    } else {
+      return static_cast<T>(bits);
+    }
+  }
+
+  void expect_magic(const std::uint8_t (&magic)[4]) {
+    for (std::uint8_t m : magic) {
+      if (get<std::uint8_t>() != m) {
+        throw std::invalid_argument("plan parse: bad magic");
+      }
+    }
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void check_crc(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize + kCrcSize) {
+    throw std::invalid_argument("plan parse: message too short");
+  }
+  const auto body = bytes.subspan(0, bytes.size() - kCrcSize);
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 + i])
+              << (8 * i);
+  }
+  if (util::crc32(body) != stored) {
+    throw std::invalid_argument("plan parse: CRC mismatch");
+  }
+}
+
+}  // namespace
+
+std::size_t plan_wire_size(std::size_t entry_count) {
+  return kHeaderSize + entry_count * kPlanEntrySize + kCrcSize;
+}
+
+std::size_t ack_wire_size(std::size_t range_count) {
+  return kHeaderSize + range_count * kAckRangeSize + kCrcSize;
+}
+
+std::vector<std::uint8_t> serialize(const DownlinkPlan& plan) {
+  if (plan.entries.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::invalid_argument("serialize: plan entry count exceeds u16");
+  }
+  Writer w(plan_wire_size(plan.entries.size()));
+  w.put_bytes(kPlanMagic, 4);
+  w.put(kVersion);
+  w.put(plan.sat_id);
+  w.put(plan.epoch.jd());
+  w.put(static_cast<std::uint16_t>(plan.entries.size()));
+  for (const PlanEntry& e : plan.entries) {
+    w.put(e.start_offset_s);
+    w.put(e.duration_s);
+    w.put(e.station_id);
+    w.put(e.modcod_index);
+    w.put(e.channels);
+  }
+  return w.finish();
+}
+
+std::vector<std::uint8_t> serialize(const AckReport& report) {
+  if (report.ranges.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::invalid_argument("serialize: ack range count exceeds u16");
+  }
+  Writer w(ack_wire_size(report.ranges.size()));
+  w.put_bytes(kAckMagic, 4);
+  w.put(kVersion);
+  w.put(report.sat_id);
+  w.put(report.collated_at.jd());
+  w.put(static_cast<std::uint16_t>(report.ranges.size()));
+  for (const AckRange& r : report.ranges) {
+    w.put(r.first_byte);
+    w.put(r.last_byte);
+  }
+  return w.finish();
+}
+
+DownlinkPlan parse_plan(std::span<const std::uint8_t> bytes) {
+  check_crc(bytes);
+  Reader r(bytes);
+  r.expect_magic(kPlanMagic);
+  if (r.get<std::uint8_t>() != kVersion) {
+    throw std::invalid_argument("plan parse: unsupported version");
+  }
+  DownlinkPlan plan;
+  plan.sat_id = r.get<std::uint32_t>();
+  plan.epoch = util::Epoch::from_jd(r.get<double>());
+  const std::uint16_t count = r.get<std::uint16_t>();
+  if (bytes.size() != plan_wire_size(count)) {
+    throw std::invalid_argument("plan parse: size/count mismatch");
+  }
+  plan.entries.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    PlanEntry e;
+    e.start_offset_s = r.get<std::uint32_t>();
+    e.duration_s = r.get<std::uint16_t>();
+    e.station_id = r.get<std::uint16_t>();
+    e.modcod_index = r.get<std::uint8_t>();
+    e.channels = r.get<std::uint8_t>();
+    plan.entries.push_back(e);
+  }
+  return plan;
+}
+
+AckReport parse_ack_report(std::span<const std::uint8_t> bytes) {
+  check_crc(bytes);
+  Reader r(bytes);
+  r.expect_magic(kAckMagic);
+  if (r.get<std::uint8_t>() != kVersion) {
+    throw std::invalid_argument("ack parse: unsupported version");
+  }
+  AckReport report;
+  report.sat_id = r.get<std::uint32_t>();
+  report.collated_at = util::Epoch::from_jd(r.get<double>());
+  const std::uint16_t count = r.get<std::uint16_t>();
+  if (bytes.size() != ack_wire_size(count)) {
+    throw std::invalid_argument("ack parse: size/count mismatch");
+  }
+  report.ranges.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    AckRange range;
+    range.first_byte = r.get<std::uint64_t>();
+    range.last_byte = r.get<std::uint64_t>();
+    report.ranges.push_back(range);
+  }
+  return report;
+}
+
+double upload_duration_s(std::size_t bytes, double rate_bps,
+                         double handshake_s) {
+  if (rate_bps <= 0.0) {
+    throw std::invalid_argument("upload_duration: non-positive rate");
+  }
+  if (handshake_s < 0.0) {
+    throw std::invalid_argument("upload_duration: negative handshake");
+  }
+  return handshake_s + bytes * 8.0 / rate_bps;
+}
+
+}  // namespace dgs::core

@@ -1,0 +1,74 @@
+// Downlink plan and collated-ack wire format (paper §1, §3).
+//
+// "The uplink-capable ground stations communicate with the satellites and
+// upload a plan for the data-dump as the satellite orbits the Earth.  The
+// satellite then dumps the data at the locations pre-specified by the
+// uploaded plan."  This module defines that artifact: a compact binary
+// encoding of the per-satellite schedule, and of the collated ack report,
+// sized to fit the hundreds-of-kbps TT&C uplink in a single contact.
+//
+// Wire layout (little-endian):
+//   PlanMessage:  magic 'DGSP' | u8 version | u32 sat_id | f64 epoch_jd |
+//                 u16 entry_count | entries... | u32 crc32
+//   PlanEntry:    u32 start_offset_s | u16 duration_s | u16 station_id |
+//                 u8 modcod_index | u8 channels          (10 bytes)
+//   AckMessage:   magic 'DGSA' | u8 version | u32 sat_id | f64 epoch_jd |
+//                 u16 range_count | ranges... | u32 crc32
+//   AckRange:     u64 first_byte | u64 last_byte          (16 bytes)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace dgs::core {
+
+/// One scheduled downlink slot in a satellite's uploaded plan.
+struct PlanEntry {
+  std::uint32_t start_offset_s = 0;  ///< Seconds after the plan epoch.
+  std::uint16_t duration_s = 0;
+  std::uint16_t station_id = 0;
+  std::uint8_t modcod_index = 0;     ///< Index into the DVB-S2 table.
+  std::uint8_t channels = 1;
+};
+
+struct DownlinkPlan {
+  std::uint32_t sat_id = 0;
+  util::Epoch epoch;                 ///< Plan reference time.
+  std::vector<PlanEntry> entries;    ///< Chronological.
+};
+
+/// A contiguous range of acknowledged payload bytes [first, last].
+struct AckRange {
+  std::uint64_t first_byte = 0;
+  std::uint64_t last_byte = 0;
+};
+
+struct AckReport {
+  std::uint32_t sat_id = 0;
+  util::Epoch collated_at;
+  std::vector<AckRange> ranges;
+};
+
+/// Serializes to the CRC-protected wire format.  Throws
+/// std::invalid_argument if the plan exceeds the u16 entry count.
+std::vector<std::uint8_t> serialize(const DownlinkPlan& plan);
+std::vector<std::uint8_t> serialize(const AckReport& report);
+
+/// Parses and validates (magic, version, CRC).  Throws
+/// std::invalid_argument on any corruption or truncation.
+DownlinkPlan parse_plan(std::span<const std::uint8_t> bytes);
+AckReport parse_ack_report(std::span<const std::uint8_t> bytes);
+
+/// Wire size without building the buffer.
+std::size_t plan_wire_size(std::size_t entry_count);
+std::size_t ack_wire_size(std::size_t range_count);
+
+/// Seconds needed to push `bytes` through an uplink at `rate_bps`,
+/// including a fixed handshake overhead (carrier + command session setup).
+double upload_duration_s(std::size_t bytes, double rate_bps,
+                         double handshake_s = 2.0);
+
+}  // namespace dgs::core

@@ -1,0 +1,73 @@
+#include "src/core/report.h"
+
+#include <ostream>
+
+namespace dgs::core {
+namespace {
+
+/// Percentile helper tolerating empty sample sets (JSON null).
+void json_percentiles(std::ostream& out, const char* key,
+                      const util::SampleSet& s) {
+  if (s.empty()) {
+    out << "  \"" << key << "\": null,\n";
+    return;
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  \"%s\": {\"median\": %.3f, \"p90\": %.3f, \"p99\": %.3f, "
+                "\"mean\": %.3f, \"count\": %zu},\n",
+                key, s.percentile(50.0), s.percentile(90.0),
+                s.percentile(99.0), s.mean(), s.size());
+  out << buf;
+}
+
+}  // namespace
+
+void write_timeseries_csv(std::ostream& out, const SimulationResult& result) {
+  out << "hours,delivered_tb_cum,backlog_gb_total,active_links,"
+         "failed_links_cum\n";
+  char buf[128];
+  for (const StepRecord& r : result.timeseries) {
+    std::snprintf(buf, sizeof(buf), "%.4f,%.6f,%.3f,%d,%lld\n", r.hours,
+                  r.delivered_bytes_cum / 1e12, r.backlog_bytes_total / 1e9,
+                  r.active_links, static_cast<long long>(r.failed_cum));
+    out << buf;
+  }
+}
+
+void write_summary_json(std::ostream& out, const SimulationResult& result) {
+  out << "{\n";
+  json_percentiles(out, "latency_minutes", result.latency_minutes);
+  json_percentiles(out, "urgent_latency_minutes",
+                   result.urgent_latency_minutes);
+  json_percentiles(out, "backlog_gb", result.backlog_gb);
+  json_percentiles(out, "ack_delay_minutes", result.ack_delay_minutes);
+  json_percentiles(out, "cloud_latency_minutes",
+                   result.cloud_latency_minutes);
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"total_generated_tb\": %.6f,\n"
+      "  \"total_delivered_tb\": %.6f,\n"
+      "  \"total_dropped_tb\": %.6f,\n"
+      "  \"delivered_fraction\": %.6f,\n"
+      "  \"assignments\": %lld,\n"
+      "  \"failed_assignments\": %lld,\n"
+      "  \"wasted_transmission_tb\": %.6f,\n"
+      "  \"requeued_tb\": %.6f,\n"
+      "  \"slew_events\": %lld,\n"
+      "  \"mean_station_utilization\": %.6f,\n"
+      "  \"steps\": %lld\n",
+      result.total_generated_bytes / 1e12,
+      result.total_delivered_bytes / 1e12,
+      result.total_dropped_bytes / 1e12, result.delivered_fraction(),
+      static_cast<long long>(result.assignments),
+      static_cast<long long>(result.failed_assignments),
+      result.wasted_transmission_bytes / 1e12, result.requeued_bytes / 1e12,
+      static_cast<long long>(result.slew_events),
+      result.mean_station_utilization,
+      static_cast<long long>(result.steps));
+  out << buf << "}\n";
+}
+
+}  // namespace dgs::core

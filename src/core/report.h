@@ -1,0 +1,22 @@
+// Run reports: machine-readable artifacts of a simulation.
+//
+// The evaluation harness prints human tables; downstream users want the
+// raw curves.  This module emits (a) the per-step timeseries a plotting
+// pipeline consumes and (b) a JSON summary of the headline metrics.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/core/simulator.h"
+
+namespace dgs::core {
+
+/// CSV: hours,delivered_tb_cum,backlog_gb_total,active_links,
+///      failed_links_cum.  Requires SimulationOptions::collect_timeseries.
+void write_timeseries_csv(std::ostream& out, const SimulationResult& result);
+
+/// JSON object with the headline metrics (latency/backlog percentiles,
+/// totals, utilization).  Flat, stable keys; no external dependency.
+void write_summary_json(std::ostream& out, const SimulationResult& result);
+
+}  // namespace dgs::core

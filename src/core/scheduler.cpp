@@ -1,0 +1,97 @@
+#include "src/core/scheduler.h"
+
+#include <stdexcept>
+
+namespace dgs::core {
+
+Scheduler::Scheduler(const VisibilityEngine* engine,
+                     const SchedulerConfig& config)
+    : engine_(engine), config_(config),
+      value_(make_value_function(config.value)) {
+  if (engine_ == nullptr) {
+    throw std::invalid_argument("Scheduler: null visibility engine");
+  }
+  if (config.quantum_seconds <= 0.0) {
+    throw std::invalid_argument("Scheduler: non-positive quantum");
+  }
+}
+
+std::vector<ContactEdge> Scheduler::schedule_instant(
+    const util::Epoch& when, const std::vector<OnboardQueue>& queues,
+    std::span<const double> forecast_lead_s,
+    std::span<const char> station_down) const {
+  if (static_cast<int>(queues.size()) != engine_->num_sats()) {
+    throw std::invalid_argument("Scheduler: queue count != satellite count");
+  }
+
+  std::vector<ContactEdge> contacts =
+      engine_->contacts(when, forecast_lead_s, station_down);
+
+  // Weight edges by the value of the data each could move this quantum.
+  std::vector<Edge> edges;
+  edges.reserve(contacts.size());
+  for (ContactEdge& c : contacts) {
+    const double link_bytes =
+        c.predicted_rate_bps * config_.quantum_seconds / 8.0;
+    c.weight = value_->edge_value(queues[c.sat], when, link_bytes);
+    if (config_.edge_value_modifier) {
+      c.weight = config_.edge_value_modifier(c.sat, c.station, c.weight);
+    }
+    edges.push_back(Edge{c.sat, c.station, c.weight});
+  }
+
+  // Beamforming stations (beam_count > 1) turn the problem into a
+  // capacitated matching; node-duplicate for the optimal matcher.
+  bool any_beams = false;
+  std::vector<int> capacities(engine_->num_stations());
+  for (int g = 0; g < engine_->num_stations(); ++g) {
+    capacities[g] = std::max(1, engine_->station(g).beam_count);
+    any_beams |= capacities[g] > 1;
+  }
+
+  Matching m;
+  if (!any_beams) {
+    m = run_matcher(config_.matcher, edges, engine_->num_sats(),
+                    engine_->num_stations());
+  } else {
+    switch (config_.matcher) {
+      case MatcherKind::kStable:
+        m = stable_b_matching(edges, engine_->num_sats(), capacities);
+        break;
+      case MatcherKind::kGreedy:
+        m = greedy_b_matching(edges, engine_->num_sats(), capacities);
+        break;
+      case MatcherKind::kOptimal: {
+        // Duplicate each station into `capacity` slots and solve the
+        // one-to-one problem; slots map back to the original station.
+        std::vector<int> slot_of_station(engine_->num_stations() + 1, 0);
+        for (int g = 0; g < engine_->num_stations(); ++g) {
+          slot_of_station[g + 1] = slot_of_station[g] + capacities[g];
+        }
+        std::vector<Edge> expanded;
+        std::vector<int> expanded_to_original;
+        expanded.reserve(edges.size() * 2);
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+          for (int k = 0; k < capacities[edges[i].station]; ++k) {
+            expanded.push_back(Edge{edges[i].sat,
+                                    slot_of_station[edges[i].station] + k,
+                                    edges[i].weight});
+            expanded_to_original.push_back(static_cast<int>(i));
+          }
+        }
+        const Matching slots =
+            optimal_matching(expanded, engine_->num_sats(),
+                             slot_of_station[engine_->num_stations()]);
+        for (int ei : slots) m.push_back(expanded_to_original[ei]);
+        break;
+      }
+    }
+  }
+
+  std::vector<ContactEdge> out;
+  out.reserve(m.size());
+  for (int ei : m) out.push_back(contacts[ei]);
+  return out;
+}
+
+}  // namespace dgs::core

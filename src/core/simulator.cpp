@@ -1,0 +1,300 @@
+#include "src/core/simulator.h"
+
+#include "src/backend/station_edge.h"
+#include "src/core/lookahead.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dgs::core {
+
+Simulator::Simulator(std::vector<groundseg::SatelliteConfig> sats,
+                     std::vector<groundseg::GroundStation> stations,
+                     const weather::WeatherProvider* actual_weather,
+                     const SimulationOptions& opts)
+    : sats_(std::move(sats)), stations_(std::move(stations)),
+      actual_wx_(actual_weather), opts_(opts) {
+  if (sats_.empty() || stations_.empty()) {
+    throw std::invalid_argument("Simulator: need satellites and stations");
+  }
+  if (opts.duration_hours <= 0.0 || opts.step_seconds <= 0.0) {
+    throw std::invalid_argument("Simulator: non-positive horizon or step");
+  }
+  if (opts.lookahead_hours > 0.0 && !opts.outages.empty()) {
+    throw std::invalid_argument(
+        "Simulator: lookahead planning does not support outage injection");
+  }
+  if (opts.lookahead_hours < 0.0) {
+    throw std::invalid_argument("Simulator: negative lookahead");
+  }
+  for (const StationOutage& o : opts.outages) {
+    if (o.station_index < 0 ||
+        o.station_index >= static_cast<int>(stations_.size())) {
+      throw std::invalid_argument("Simulator: outage station out of range");
+    }
+    if (o.end_hours < o.start_hours) {
+      throw std::invalid_argument("Simulator: outage ends before it starts");
+    }
+  }
+}
+
+double Simulator::realized_rate_bps(const ContactEdge& e,
+                                    const util::Epoch& when) const {
+  const groundseg::GroundStation& gs = stations_[e.station];
+  weather::WeatherSample wx;
+  if (actual_wx_ != nullptr) {
+    wx = actual_wx_->actual(gs.location.latitude_rad,
+                            gs.location.longitude_rad, when);
+  }
+  link::PathConditions path;
+  path.range_km = e.range_km;
+  path.elevation_rad = e.elevation_rad;
+  path.site_latitude_rad = gs.location.latitude_rad;
+  path.site_altitude_km = gs.location.altitude_km;
+  path.rain_rate_mm_h = wx.rain_rate_mm_h;
+  path.cloud_liquid_kg_m2 = wx.cloud_liquid_kg_m2;
+
+  // The satellite transmits at the *scheduled* MODCOD (receive-only
+  // stations cannot request a change mid-pass).  The transfer succeeds iff
+  // the actual Es/N0 still meets that MODCOD's requirement.  Beamforming
+  // stations pay the same power-split penalty the scheduler assumed.
+  link::ReceiveSystem rx = gs.receiver;
+  if (gs.beam_count > 1) rx.aperture_efficiency /= gs.beam_count;
+  const link::LinkBudget actual =
+      link::evaluate_link(sats_[e.sat].radio, rx, path);
+  if (e.modcod == nullptr) return 0.0;
+  if (actual.esn0_db < e.modcod->required_esn0_db) return 0.0;
+  return link::bitrate_bps(*e.modcod, sats_[e.sat].radio.symbol_rate_hz) *
+         sats_[e.sat].radio.channels;
+}
+
+SimulationResult Simulator::run() {
+  const int num_sats = static_cast<int>(sats_.size());
+  const int num_stations = static_cast<int>(stations_.size());
+  const double dt = opts_.step_seconds;
+  const std::int64_t steps = static_cast<std::int64_t>(
+      std::llround(opts_.duration_hours * 3600.0 / dt));
+
+  // Scheduling sees forecasts; outcomes use the actual field.
+  const weather::WeatherProvider* forecast_wx =
+      opts_.weather_aware ? actual_wx_ : nullptr;
+  VisibilityEngine engine(sats_, stations_, forecast_wx);
+  SchedulerConfig sched_cfg;
+  sched_cfg.matcher = opts_.matcher;
+  sched_cfg.value = opts_.value;
+  sched_cfg.quantum_seconds = dt;
+  sched_cfg.edge_value_modifier = opts_.edge_value_modifier;
+  Scheduler scheduler(&engine, sched_cfg);
+
+  SimulationResult res;
+  res.per_satellite.resize(num_sats);
+
+  std::vector<OnboardQueue> queues(num_sats);
+  for (int s = 0; s < num_sats; ++s) {
+    if (sats_[s].storage_capacity_bytes > 0.0) {
+      queues[s].set_capacity(sats_[s].storage_capacity_bytes);
+    }
+  }
+  std::vector<util::Epoch> last_plan(num_sats, opts_.start);
+  std::vector<std::int64_t> station_busy(num_stations, 0);
+
+  // Steady-state warm start: pre-existing backlog captured in the past.
+  if (opts_.initial_backlog_bytes > 0.0) {
+    const util::Epoch captured =
+        opts_.start.plus_seconds(-opts_.initial_backlog_age_hours * 3600.0);
+    for (int s = 0; s < num_sats; ++s) {
+      queues[s].generate(opts_.initial_backlog_bytes, captured);
+      res.per_satellite[s].generated_bytes += opts_.initial_backlog_bytes;
+      res.total_generated_bytes += opts_.initial_backlog_bytes;
+    }
+  }
+
+  std::vector<double> leads(num_sats, 0.0);
+
+  // Which satellite each station served in the previous step (-1 = idle);
+  // only maintained when slew is modelled.
+  std::vector<int> prev_served(num_stations, -1);
+
+  // Station edge queues (opts_.station_backhaul_bps > 0).
+  std::vector<backend::StationEdgeQueue> edge_queues;
+  if (opts_.station_backhaul_bps > 0.0) {
+    edge_queues.assign(num_stations,
+                       backend::StationEdgeQueue(opts_.station_backhaul_bps));
+  }
+
+  // Look-ahead planning state (opts_.lookahead_hours > 0).
+  const int plan_window_steps =
+      opts_.lookahead_hours > 0.0
+          ? std::max(1, static_cast<int>(
+                            std::llround(opts_.lookahead_hours * 3600.0 / dt)))
+          : 0;
+  HorizonPlan plan;
+  std::int64_t plan_origin = -1;
+
+  for (std::int64_t step = 0; step < steps; ++step) {
+    const util::Epoch now = opts_.start.plus_seconds(step * dt);
+
+    // 1. Imaging: continuous data generation, one chunk per step (two when
+    // an urgent tier is configured).
+    for (int s = 0; s < num_sats; ++s) {
+      const double bytes =
+          sats_[s].data_generation_bytes_per_day * dt / 86400.0;
+      const double urgent = bytes * opts_.urgent_fraction;
+      if (urgent > 0.0) {
+        queues[s].generate(urgent, now, opts_.urgent_priority);
+      }
+      queues[s].generate(bytes - urgent, now);
+      res.per_satellite[s].generated_bytes += bytes;
+      res.total_generated_bytes += bytes;
+    }
+
+    // 2. Plan staleness per satellite.
+    if (opts_.couple_forecast_to_plan_upload) {
+      for (int s = 0; s < num_sats; ++s) {
+        leads[s] = now.seconds_since(last_plan[s]);
+      }
+    }  // else all-zero: always-fresh plans.
+
+    // 3. Schedule this instant: either per-instant matching (with failure
+    // injection applied) or the pre-computed look-ahead horizon plan.
+    std::vector<ContactEdge> assigned;
+    if (plan_window_steps > 0) {
+      if (plan_origin < 0 || step - plan_origin >= plan_window_steps) {
+        const int window = static_cast<int>(
+            std::min<std::int64_t>(plan_window_steps, steps - step));
+        plan = plan_horizon(engine, queues, scheduler.value_function(), now,
+                            window, dt);
+        plan_origin = step;
+      }
+      assigned = plan.per_step[step - plan_origin];
+    } else {
+      std::vector<char> down;
+      if (!opts_.outages.empty()) {
+        down.assign(num_stations, 0);
+        const double hours = step * dt / 3600.0;
+        for (const StationOutage& o : opts_.outages) {
+          if (hours >= o.start_hours && hours < o.end_hours) {
+            down.at(o.station_index) = 1;
+          }
+        }
+      }
+      assigned = scheduler.schedule_instant(now, queues, leads, down);
+    }
+
+    // 4. Execute the assignments against actual weather.  The satellite
+    // always transmits at the scheduled MODCOD and rate (receive-only
+    // stations cannot renegotiate); whether the ground captures it depends
+    // on the actual Es/N0.
+    for (const ContactEdge& e : assigned) {
+      res.assignments += 1;
+      res.total_matched_value += e.weight;
+      station_busy[e.station] += 1;
+
+      const bool received = realized_rate_bps(e, now) > 0.0;
+      // Retargeting the dish costs slew/re-lock time out of the quantum.
+      double effective_dt = dt;
+      if (opts_.slew_seconds > 0.0 && prev_served[e.station] != e.sat) {
+        effective_dt = std::max(0.0, dt - opts_.slew_seconds);
+        res.slew_events += 1;
+      }
+      const double link_bytes = e.predicted_rate_bps * effective_dt / 8.0;
+      const double sent = queues[e.sat].transmit(
+          link_bytes, now,
+          [&](double latency_s, const DataChunk& chunk) {
+            res.latency_minutes.add(latency_s / 60.0);
+            if (chunk.priority > 1.0) {
+              res.urgent_latency_minutes.add(latency_s / 60.0);
+            } else {
+              res.bulk_latency_minutes.add(latency_s / 60.0);
+            }
+            if (!edge_queues.empty()) {
+              edge_queues[e.station].receive(chunk.total_bytes,
+                                             chunk.priority, chunk.capture,
+                                             now);
+            }
+          },
+          received);
+      if (received) {
+        res.assigned_capacity_bytes += link_bytes;
+        res.per_satellite[e.sat].delivered_bytes += sent;
+        res.total_delivered_bytes += sent;
+      } else {
+        res.failed_assignments += 1;
+        res.wasted_transmission_bytes += sent;
+      }
+
+      // Transmit-capable contact: collated report (acks + missing pieces)
+      // and a fresh plan upload.  The S-band TT&C uplink is independent
+      // of the X-band downlink outcome, so this happens even if the data
+      // transfer failed.
+      if (stations_[e.station].tx_capable) {
+        res.requeued_bytes += queues[e.sat].acknowledge_all(
+            now, [&](double delay_s, double bytes) {
+              (void)bytes;
+              res.ack_delay_minutes.add(delay_s / 60.0);
+            });
+        last_plan[e.sat] = now;
+        res.per_satellite[e.sat].tx_contacts += 1;
+      }
+    }
+
+    // 4b. Track which satellite each station served (slew accounting).
+    if (opts_.slew_seconds > 0.0) {
+      std::fill(prev_served.begin(), prev_served.end(), -1);
+      for (const ContactEdge& e : assigned) prev_served[e.station] = e.sat;
+    }
+
+    // 5. Station backhaul: edge queues upload toward the cloud.
+    if (!edge_queues.empty()) {
+      const util::Epoch upload_t = now.plus_seconds(dt);
+      for (backend::StationEdgeQueue& eq : edge_queues) {
+        eq.drain(dt, upload_t,
+                 [&](double latency_s, const backend::EdgeItem&) {
+                   res.cloud_latency_minutes.add(latency_s / 60.0);
+                 });
+      }
+    }
+
+    // 6. Storage accounting.
+    for (int s = 0; s < num_sats; ++s) {
+      res.per_satellite[s].storage_high_water_bytes =
+          std::max(res.per_satellite[s].storage_high_water_bytes,
+                   queues[s].storage_bytes());
+    }
+
+    // 7. Timeseries capture.
+    if (opts_.collect_timeseries) {
+      StepRecord rec;
+      rec.hours = (step + 1) * dt / 3600.0;
+      rec.delivered_bytes_cum = res.total_delivered_bytes;
+      for (int s = 0; s < num_sats; ++s) {
+        rec.backlog_bytes_total += queues[s].queued_bytes();
+      }
+      rec.active_links = static_cast<int>(assigned.size());
+      rec.failed_cum = res.failed_assignments;
+      res.timeseries.push_back(rec);
+    }
+  }
+
+  // Final accounting.
+  for (int s = 0; s < num_sats; ++s) {
+    SatelliteOutcome& o = res.per_satellite[s];
+    o.backlog_bytes = queues[s].queued_bytes();
+    o.pending_ack_bytes = queues[s].pending_ack_bytes();
+    o.dropped_bytes = queues[s].dropped_bytes();
+    res.total_dropped_bytes += o.dropped_bytes;
+    res.backlog_gb.add(o.backlog_bytes / 1e9);
+  }
+  for (const backend::StationEdgeQueue& eq : edge_queues) {
+    res.station_queued_bytes += eq.queued_bytes();
+  }
+  std::int64_t busy_total = 0;
+  for (std::int64_t b : station_busy) busy_total += b;
+  res.steps = steps;
+  res.mean_station_utilization =
+      steps > 0 ? static_cast<double>(busy_total) / (steps * num_stations)
+                : 0.0;
+  return res;
+}
+
+}  // namespace dgs::core

@@ -1,0 +1,161 @@
+// Whole-system discrete-time simulation (paper §4).
+//
+// Drives the DGS scheduler over a multi-hour horizon: satellites generate
+// imagery continuously, the scheduler assigns downlinks per step, actual
+// weather decides whether each scheduled MODCOD really closes, receive-only
+// deliveries wait for acks via transmit-capable contacts (§3.3), and the
+// harness collects the paper's metrics: per-chunk capture-to-ground latency,
+// per-satellite end-of-horizon backlog, ack delays, storage high-water.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/scheduler.h"
+#include "src/util/stats.h"
+
+namespace dgs::core {
+
+/// Failure injection: the station is unavailable during [start, end).
+struct StationOutage {
+  int station_index = 0;
+  double start_hours = 0.0;  ///< Relative to the simulation start.
+  double end_hours = 0.0;
+};
+
+struct SimulationOptions {
+  util::Epoch start;
+  double duration_hours = 24.0;
+  double step_seconds = 60.0;
+  /// Station failures to inject (robustness experiments; paper §1 calls the
+  /// centralized link "a single point of failure").
+  std::vector<StationOutage> outages;
+  MatcherKind matcher = MatcherKind::kStable;
+  ValueKind value = ValueKind::kLatency;
+  /// Schedule with forecast weather (true) or assume clear sky (false,
+  /// the weather-blind ablation).
+  bool weather_aware = true;
+  /// When true, a satellite's forecast error grows with the time since its
+  /// last plan upload (transmit-capable contact) — the coupling the hybrid
+  /// design introduces.  When false, plans are always fresh (lead 0).
+  bool couple_forecast_to_plan_upload = true;
+  /// Satellites start the horizon with this much backlog already queued
+  /// (captured `initial_backlog_age_hours` ago), modelling steady state.
+  double initial_backlog_bytes = 0.0;
+  double initial_backlog_age_hours = 12.0;
+  /// Latency-critical tier (paper §3.3 edge-compute / disaster imagery):
+  /// this fraction of every satellite's production is tagged with
+  /// `urgent_priority` instead of bulk priority 1.0.
+  double urgent_fraction = 0.0;
+  double urgent_priority = 8.0;
+  /// > 0 enables the time-expanded look-ahead planner (the paper's future
+  /// work): the schedule is recomputed as whole pass-block allocations
+  /// every `lookahead_hours` instead of per-instant matching.  Mutually
+  /// exclusive with `outages` (the planner does not replan on failures).
+  double lookahead_hours = 0.0;
+  /// > 0 models the station -> cloud backhaul (paper §3.3 edge compute):
+  /// decoded data queues at the station and uploads at this rate, urgent
+  /// tier first; capture-to-cloud latencies land in
+  /// SimulationResult::cloud_latency_minutes.  0 = infinite backhaul.
+  double station_backhaul_bps = 0.0;
+  /// Optional bidding/policy hook; forwarded to the scheduler (see
+  /// BidMatrix).  The callable must outlive the run.
+  EdgeValueModifier edge_value_modifier;
+  /// Antenna retarget + carrier re-lock time [s].  When a station serves a
+  /// different satellite than in the previous step (or comes back from
+  /// idle), the first `slew_seconds` of the quantum move no data.  The
+  /// per-instant matcher is blind to this cost; the look-ahead planner
+  /// avoids it by holding pass blocks (E16/E20).
+  double slew_seconds = 0.0;
+  /// Record the per-step timeseries (SimulationResult::timeseries) for
+  /// report export; off by default to keep result objects small.
+  bool collect_timeseries = false;
+};
+
+/// One simulation step's aggregate state (collect_timeseries).
+struct StepRecord {
+  double hours = 0.0;               ///< Since simulation start (step end).
+  double delivered_bytes_cum = 0.0;
+  double backlog_bytes_total = 0.0; ///< Sum of queued bytes across sats.
+  int active_links = 0;             ///< Assignments executed this step.
+  std::int64_t failed_cum = 0;      ///< Failed assignments so far.
+};
+
+/// Per-satellite end-of-run accounting.
+struct SatelliteOutcome {
+  double generated_bytes = 0.0;     ///< Captured at the sensor (attempted).
+  double delivered_bytes = 0.0;
+  double backlog_bytes = 0.0;       ///< Still queued (never transmitted).
+  double pending_ack_bytes = 0.0;   ///< Delivered but not yet acknowledged.
+  double dropped_bytes = 0.0;       ///< Lost to a full recorder.
+  double storage_high_water_bytes = 0.0;
+  int tx_contacts = 0;              ///< Plan-upload opportunities used.
+};
+
+struct SimulationResult {
+  util::SampleSet latency_minutes;    ///< Per delivered chunk (all tiers).
+  util::SampleSet urgent_latency_minutes;  ///< Chunks with priority > 1.
+  util::SampleSet bulk_latency_minutes;    ///< Priority-1.0 chunks.
+  util::SampleSet backlog_gb;         ///< Per satellite, end of horizon.
+  util::SampleSet ack_delay_minutes;  ///< Per acknowledged batch.
+  /// Capture-to-cloud latency per chunk; only populated when
+  /// station_backhaul_bps > 0 (otherwise cloud == ground).
+  util::SampleSet cloud_latency_minutes;
+  /// Bytes still queued at stations (not yet in the cloud) at horizon end.
+  double station_queued_bytes = 0.0;
+  /// Per-step aggregates; empty unless collect_timeseries was set.
+  std::vector<StepRecord> timeseries;
+  std::vector<SatelliteOutcome> per_satellite;
+
+  double total_generated_bytes = 0.0;
+  double total_delivered_bytes = 0.0;
+  double total_dropped_bytes = 0.0;   ///< Lost to full recorders.
+  /// Aggregate link capacity of all assigned (and closing) slots, whether
+  /// or not data was available — the headline "could download X TB/day".
+  double assigned_capacity_bytes = 0.0;
+  std::int64_t assignments = 0;       ///< Scheduled (sat, station) slots.
+  double total_matched_value = 0.0;   ///< Sum of assigned edge weights (Phi).
+  std::int64_t failed_assignments = 0;  ///< Slots lost to mis-predicted SNR.
+  /// Bytes transmitted into failed slots: the satellite sent them at the
+  /// scheduled MODCOD but the ground captured nothing; they sit in limbo
+  /// until the next TX contact reports them missing.
+  double wasted_transmission_bytes = 0.0;
+  /// Bytes re-queued for retransmission after a collated report.
+  double requeued_bytes = 0.0;
+  /// Times a station had to retarget to a new satellite (slew model on).
+  std::int64_t slew_events = 0;
+  std::int64_t steps = 0;
+  double mean_station_utilization = 0.0;  ///< Busy-steps / total steps.
+
+  double delivered_fraction() const {
+    return total_generated_bytes > 0.0
+               ? total_delivered_bytes / total_generated_bytes
+               : 0.0;
+  }
+};
+
+class Simulator {
+ public:
+  /// `actual_weather` decides transmission outcomes; it may differ from the
+  /// forecast provider feeding the scheduler.  Both are borrowed.
+  /// Pass nullptr for permanently clear skies.
+  Simulator(std::vector<groundseg::SatelliteConfig> sats,
+            std::vector<groundseg::GroundStation> stations,
+            const weather::WeatherProvider* actual_weather,
+            const SimulationOptions& opts);
+
+  /// Runs the full horizon.  Deterministic for fixed inputs.
+  SimulationResult run();
+
+ private:
+  /// Re-evaluates an assigned edge against actual weather; returns the
+  /// realized information rate (0 when the scheduled MODCOD does not close).
+  double realized_rate_bps(const ContactEdge& e, const util::Epoch& when) const;
+
+  std::vector<groundseg::SatelliteConfig> sats_;
+  std::vector<groundseg::GroundStation> stations_;
+  const weather::WeatherProvider* actual_wx_;
+  SimulationOptions opts_;
+};
+
+}  // namespace dgs::core

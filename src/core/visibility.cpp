@@ -1,0 +1,129 @@
+#include "src/core/visibility.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/orbit/frames.h"
+
+namespace dgs::core {
+
+VisibilityEngine::VisibilityEngine(
+    const std::vector<groundseg::SatelliteConfig>& sats,
+    const std::vector<groundseg::GroundStation>& stations,
+    const weather::WeatherProvider* forecast_weather)
+    : sats_(&sats), stations_(&stations), wx_(forecast_weather) {
+  props_.reserve(sats.size());
+  for (const groundseg::SatelliteConfig& sc : sats) {
+    props_.emplace_back(sc.tle);
+  }
+  geom_.reserve(stations.size());
+  for (const groundseg::GroundStation& gs : stations) {
+    StationGeom g;
+    g.ecef = orbit::geodetic_to_ecef(gs.location);
+    const double clat = std::cos(gs.location.latitude_rad);
+    g.up = {clat * std::cos(gs.location.longitude_rad),
+            clat * std::sin(gs.location.longitude_rad),
+            std::sin(gs.location.latitude_rad)};
+    geom_.push_back(g);
+  }
+}
+
+util::Vec3 VisibilityEngine::satellite_ecef(int sat,
+                                            const util::Epoch& when) const {
+  const orbit::TemeState st = props_.at(sat).propagate_to(when);
+  return orbit::teme_to_ecef(st.position_km, when);
+}
+
+bool VisibilityEngine::visible(int sat, int station,
+                               const util::Epoch& when) const {
+  const util::Vec3 sat_ecef = satellite_ecef(sat, when);
+  const StationGeom& g = geom_.at(station);
+  const util::Vec3 rho = sat_ecef - g.ecef;
+  const double el = std::asin(rho.dot(g.up) / rho.norm());
+  return el >= (*stations_)[station].min_elevation_rad;
+}
+
+std::vector<ContactEdge> VisibilityEngine::contacts(
+    const util::Epoch& when, std::span<const double> forecast_lead_s,
+    std::span<const char> station_down) const {
+  if (!forecast_lead_s.empty() &&
+      forecast_lead_s.size() != props_.size()) {
+    throw std::invalid_argument(
+        "VisibilityEngine::contacts: forecast_lead_s size mismatch");
+  }
+  if (!station_down.empty() && station_down.size() != stations_->size()) {
+    throw std::invalid_argument(
+        "VisibilityEngine::contacts: station_down size mismatch");
+  }
+
+  // Propagate every satellite once for this instant.
+  std::vector<util::Vec3> sat_ecef(props_.size());
+  for (std::size_t s = 0; s < props_.size(); ++s) {
+    sat_ecef[s] = satellite_ecef(static_cast<int>(s), when);
+  }
+
+  std::vector<ContactEdge> edges;
+  for (std::size_t g = 0; g < stations_->size(); ++g) {
+    if (!station_down.empty() && station_down[g]) continue;
+    const groundseg::GroundStation& gs = (*stations_)[g];
+    const StationGeom& geom = geom_[g];
+
+    // Zero-lead forecast is shared by all satellites at this station; cache.
+    std::optional<weather::WeatherSample> station_wx;
+
+    for (std::size_t s = 0; s < props_.size(); ++s) {
+      if (!gs.constraints.allows(s)) continue;
+      const util::Vec3 rho = sat_ecef[s] - geom.ecef;
+      const double range = rho.norm();
+      const double el = std::asin(rho.dot(geom.up) / range);
+      if (el < gs.min_elevation_rad) continue;
+
+      weather::WeatherSample wx;  // defaults to clear sky
+      if (wx_ != nullptr) {
+        const double lead =
+            forecast_lead_s.empty() ? 0.0 : forecast_lead_s[s];
+        if (lead <= 0.0) {
+          if (!station_wx) {
+            station_wx = wx_->actual(gs.location.latitude_rad,
+                                     gs.location.longitude_rad, when);
+          }
+          wx = *station_wx;
+        } else {
+          wx = wx_->forecast(gs.location.latitude_rad,
+                             gs.location.longitude_rad, when, lead);
+        }
+      }
+
+      link::PathConditions path;
+      path.range_km = range;
+      path.elevation_rad = el;
+      path.site_latitude_rad = gs.location.latitude_rad;
+      path.site_altitude_km = gs.location.altitude_km;
+      path.rain_rate_mm_h = wx.rain_rate_mm_h;
+      path.cloud_liquid_kg_m2 = wx.cloud_liquid_kg_m2;
+
+      // Beamforming stations split aperture power across their beams;
+      // model the conservative full-split penalty by scaling the
+      // aperture efficiency down by the beam count.
+      link::ReceiveSystem rx = gs.receiver;
+      if (gs.beam_count > 1) {
+        rx.aperture_efficiency /= gs.beam_count;
+      }
+      const link::LinkBudget b =
+          link::evaluate_link((*sats_)[s].radio, rx, path);
+      if (!b.closes()) continue;
+
+      ContactEdge e;
+      e.sat = static_cast<int>(s);
+      e.station = static_cast<int>(g);
+      e.elevation_rad = el;
+      e.range_km = range;
+      e.predicted_rate_bps = b.data_rate_bps;
+      e.modcod = b.modcod;
+      edges.push_back(e);
+    }
+  }
+  return edges;
+}
+
+}  // namespace dgs::core

@@ -1,0 +1,77 @@
+// Contact graph construction (paper §3.1 "Orbit Calculations" and "Graph
+// Construction").
+//
+// For a scheduling instant, the engine propagates every satellite (SGP4),
+// tests visibility against every station's elevation mask and owner
+// constraints, and evaluates the predictive link budget (§3.2) with
+// forecast weather to produce the weighted bipartite contact graph.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/groundseg/network_gen.h"
+#include "src/link/budget.h"
+#include "src/orbit/sgp4.h"
+#include "src/weather/provider.h"
+
+namespace dgs::core {
+
+/// One feasible downlink opportunity at an instant.
+struct ContactEdge {
+  int sat = 0;
+  int station = 0;
+  double elevation_rad = 0.0;
+  double range_km = 0.0;
+  double predicted_rate_bps = 0.0;     ///< At the scheduled MODCOD.
+  const link::ModCod* modcod = nullptr;  ///< Scheduled (predicted) MODCOD.
+  double weight = 0.0;                 ///< Filled in by the scheduler.
+};
+
+class VisibilityEngine {
+ public:
+  /// `forecast_weather` drives the *predicted* budgets; pass nullptr to
+  /// schedule assuming clear sky (the weather-blind ablation).
+  VisibilityEngine(const std::vector<groundseg::SatelliteConfig>& sats,
+                   const std::vector<groundseg::GroundStation>& stations,
+                   const weather::WeatherProvider* forecast_weather);
+
+  /// All feasible edges at `when`.  `forecast_lead_s` gives, per satellite,
+  /// how stale its uploaded plan is (seconds); empty means zero lead
+  /// (a perfectly fresh plan).  `station_down` optionally marks stations
+  /// currently unavailable (failure injection); empty means all up.
+  /// Edges that cannot close are omitted.
+  std::vector<ContactEdge> contacts(
+      const util::Epoch& when, std::span<const double> forecast_lead_s = {},
+      std::span<const char> station_down = {}) const;
+
+  /// Geometry-only visibility (no link budget): elevation above the mask.
+  bool visible(int sat, int station, const util::Epoch& when) const;
+
+  /// ECEF position of a satellite at `when` (propagation + rotation).
+  util::Vec3 satellite_ecef(int sat, const util::Epoch& when) const;
+
+  int num_sats() const { return static_cast<int>(props_.size()); }
+  int num_stations() const { return static_cast<int>(stations_->size()); }
+  const groundseg::SatelliteConfig& satellite(int i) const {
+    return (*sats_)[i];
+  }
+  const groundseg::GroundStation& station(int i) const {
+    return (*stations_)[i];
+  }
+
+ private:
+  struct StationGeom {
+    util::Vec3 ecef;
+    util::Vec3 up;  ///< Geodetic normal (unit).
+  };
+
+  const std::vector<groundseg::SatelliteConfig>* sats_;
+  const std::vector<groundseg::GroundStation>* stations_;
+  const weather::WeatherProvider* wx_;  ///< May be null (clear-sky planning).
+  std::vector<orbit::Sgp4> props_;
+  std::vector<StationGeom> geom_;
+};
+
+}  // namespace dgs::core

@@ -1,0 +1,41 @@
+// File I/O for element sets and station inventories.
+//
+// DGS's generators produce synthetic populations, but a deployment works
+// from files: TLE catalogs in the standard 2-line/3-line text format (as
+// served by Celestrak/Space-Track/SatNOGS) and station inventories as CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/groundseg/station.h"
+#include "src/orbit/tle.h"
+
+namespace dgs::groundseg {
+
+/// Parses a TLE catalog from a stream: accepts both bare 2-line sets and
+/// 3-line sets with a name line; blank lines and '#' comments are skipped.
+/// Throws std::invalid_argument naming the offending line number on
+/// malformed input.
+std::vector<orbit::Tle> read_tle_catalog(std::istream& in);
+std::vector<orbit::Tle> load_tle_file(const std::string& path);
+
+/// Writes a catalog as 3-line sets (name line included when non-empty).
+void write_tle_catalog(std::ostream& out,
+                       const std::vector<orbit::Tle>& catalog);
+void save_tle_file(const std::string& path,
+                   const std::vector<orbit::Tle>& catalog);
+
+/// Station CSV columns:
+///   id,name,lat_deg,lon_deg,alt_km,dish_m,tx_capable,min_el_deg
+/// A header row is written and tolerated on read.  Fields with commas are
+/// not supported (station names come from controlled inventories).
+std::vector<GroundStation> read_station_csv(std::istream& in);
+std::vector<GroundStation> load_station_file(const std::string& path);
+void write_station_csv(std::ostream& out,
+                       const std::vector<GroundStation>& stations);
+void save_station_file(const std::string& path,
+                       const std::vector<GroundStation>& stations);
+
+}  // namespace dgs::groundseg

@@ -1,0 +1,249 @@
+#include "src/groundseg/network_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/orbit/kepler.h"
+#include "src/util/angles.h"
+#include "src/util/constants.h"
+#include "src/util/rng.h"
+
+namespace dgs::groundseg {
+namespace {
+
+using util::deg2rad;
+
+/// A rectangular region with a sampling weight, approximating where
+/// SatNOGS stations are deployed (the map in paper Fig. 2).
+struct Region {
+  const char* name;
+  double lat_min, lat_max;   // degrees
+  double lon_min, lon_max;   // degrees
+  double weight;             // relative station share
+};
+
+// Weights sum to ~1; dominated by Europe and North America like the real
+// SatNOGS network.
+constexpr Region kRegions[] = {
+    {"Western Europe", 36.0, 60.0, -10.0, 20.0, 0.36},
+    {"Eastern Europe", 40.0, 60.0, 20.0, 40.0, 0.09},
+    {"North America (US/CA)", 25.0, 55.0, -125.0, -65.0, 0.24},
+    {"Japan/Korea", 31.0, 43.0, 127.0, 145.0, 0.06},
+    {"Australia/NZ", -45.0, -12.0, 113.0, 178.0, 0.07},
+    {"South America", -40.0, 5.0, -75.0, -40.0, 0.05},
+    {"Southern Africa", -35.0, -20.0, 15.0, 32.0, 0.02},
+    {"North Africa/Middle East", 25.0, 37.0, -8.0, 45.0, 0.03},
+    {"South Asia", 6.0, 30.0, 68.0, 90.0, 0.03},
+    {"Southeast Asia", -8.0, 20.0, 95.0, 125.0, 0.03},
+    {"Scandinavia", 55.0, 69.0, 5.0, 30.0, 0.02},
+};
+
+const Region& sample_region(util::Rng& rng) {
+  double total = 0.0;
+  for (const Region& r : kRegions) total += r.weight;
+  double u = rng.uniform(0.0, total);
+  for (const Region& r : kRegions) {
+    if (u < r.weight) return r;
+    u -= r.weight;
+  }
+  return kRegions[0];
+}
+
+}  // namespace
+
+std::vector<GroundStation> generate_dgs_stations(const NetworkOptions& opts) {
+  if (opts.num_stations <= 0) {
+    throw std::invalid_argument("generate_dgs_stations: need >= 1 station");
+  }
+  if (opts.tx_fraction < 0.0 || opts.tx_fraction > 1.0) {
+    throw std::invalid_argument("generate_dgs_stations: bad tx_fraction");
+  }
+  util::Rng rng(opts.seed);
+  std::vector<GroundStation> stations;
+  stations.reserve(opts.num_stations);
+
+  for (int i = 0; i < opts.num_stations; ++i) {
+    const Region& region = sample_region(rng);
+    GroundStation gs;
+    gs.id = i;
+    gs.name = std::string(region.name) + " #" + std::to_string(i);
+    gs.location.latitude_rad =
+        deg2rad(rng.uniform(region.lat_min, region.lat_max));
+    gs.location.longitude_rad =
+        deg2rad(rng.uniform(region.lon_min, region.lon_max));
+    gs.location.altitude_km = std::max(0.0, rng.normal(0.3, 0.3));
+    gs.receiver.dish_diameter_m = opts.dish_diameter_m;
+    // Amateur sites have imperfect horizons: 5-15 deg masks.
+    gs.min_elevation_rad = deg2rad(rng.uniform(5.0, 15.0));
+    gs.refresh_ecef();
+    stations.push_back(std::move(gs));
+  }
+
+  // TX-capable subset: spread across the network, not clustered — take every
+  // k-th station in longitude order so plan-upload opportunities cover the
+  // orbit.  At least one station must be TX-capable or the hybrid design
+  // cannot bootstrap.
+  const int num_tx = std::max(
+      1, static_cast<int>(std::lround(opts.tx_fraction * opts.num_stations)));
+  std::vector<int> by_lon(stations.size());
+  std::iota(by_lon.begin(), by_lon.end(), 0);
+  std::sort(by_lon.begin(), by_lon.end(), [&](int a, int b) {
+    return stations[a].location.longitude_rad <
+           stations[b].location.longitude_rad;
+  });
+  for (int j = 0; j < num_tx; ++j) {
+    const std::size_t pick = static_cast<std::size_t>(
+        j * stations.size() / num_tx);
+    stations[by_lon[pick]].tx_capable = true;
+  }
+
+  // Owner constraint bitmaps.
+  if (opts.constraint_denial_fraction > 0.0) {
+    for (GroundStation& gs : stations) {
+      gs.constraints = DownlinkConstraints(opts.num_satellites);
+      for (int s = 0; s < opts.num_satellites; ++s) {
+        if (rng.chance(opts.constraint_denial_fraction)) gs.constraints.deny(s);
+      }
+    }
+  }
+  return stations;
+}
+
+std::vector<GroundStation> baseline_stations(const BaselineOptions& opts) {
+  // The classic commercial polar downlink sites.
+  struct Site {
+    const char* name;
+    double lat, lon, alt_km;
+  };
+  constexpr Site kSites[] = {
+      {"Svalbard", 78.23, 15.39, 0.45},
+      {"Fairbanks, Alaska", 64.86, -147.85, 0.18},
+      {"Inuvik, Canada", 68.32, -133.55, 0.05},
+      {"Troll, Antarctica", -72.01, 2.53, 1.30},
+      {"Punta Arenas, Chile", -53.02, -70.87, 0.03},
+  };
+  std::vector<GroundStation> stations;
+  int id = 1000;
+  for (const Site& s : kSites) {
+    GroundStation gs;
+    gs.id = id++;
+    gs.name = s.name;
+    gs.location = {deg2rad(s.lat), deg2rad(s.lon), s.alt_km};
+    gs.receiver.dish_diameter_m = opts.dish_diameter_m;
+    gs.receiver.aperture_efficiency = 0.65;  // Professional feeds.
+    gs.receiver.lna_noise_temp_k = 50.0;
+    gs.tx_capable = true;
+    gs.min_elevation_rad = deg2rad(5.0);
+    gs.refresh_ecef();
+    stations.push_back(std::move(gs));
+  }
+  return stations;
+}
+
+std::vector<SatelliteConfig> generate_constellation(const NetworkOptions& opts,
+                                                    const util::Epoch& epoch) {
+  if (opts.num_satellites <= 0) {
+    throw std::invalid_argument("generate_constellation: need >= 1 satellite");
+  }
+  util::Rng rng(opts.seed + 0x5a7e111e);
+  std::vector<SatelliteConfig> sats;
+  sats.reserve(opts.num_satellites);
+
+  // Spread across a dozen-ish planes, as real constellations are launched
+  // batch-wise into shared planes.
+  const int planes = std::max(1, opts.num_satellites / 20);
+
+  for (int i = 0; i < opts.num_satellites; ++i) {
+    const int plane = i % planes;
+    orbit::Tle tle;
+    tle.satnum = 90000 + i;
+    tle.intl_designator = "20001A";
+    tle.epoch = epoch;
+    tle.name = "EO-SAT-" + std::to_string(i);
+
+    const double alt_km = rng.uniform(475.0, 600.0);
+    const double a = util::wgs72::kEarthRadiusKm + alt_km;
+    const double n_rad_s = orbit::mean_motion_rad_s(a);
+    tle.mean_motion_revs_per_day =
+        n_rad_s * util::kSecondsPerDay / util::kTwoPi;
+    // Inclination mix mirroring the real LEO population the SatNOGS
+    // database tracks: sun-synchronous EO constellations, ISS-orbit cubesat
+    // rideshares, high-inclination (82 deg) buses, and mid-inclination
+    // launches.  The mix matters: polar ground stations barely ever see a
+    // 51.6 deg satellite, which is a large part of why the paper's polar
+    // baseline develops long latency tails.
+    const double incl_pick = rng.uniform();
+    if (incl_pick < 0.45) {
+      tle.inclination_deg = 97.5 + rng.normal(0.0, 0.5);   // SSO
+    } else if (incl_pick < 0.70) {
+      tle.inclination_deg = 51.6 + rng.normal(0.0, 0.3);   // ISS rideshare
+    } else if (incl_pick < 0.80) {
+      tle.inclination_deg = 82.0 + rng.normal(0.0, 0.5);
+    } else if (incl_pick < 0.90) {
+      tle.inclination_deg = 66.0 + rng.normal(0.0, 1.0);
+    } else {
+      tle.inclination_deg = rng.uniform(45.0, 100.0);
+    }
+    tle.raan_deg = 360.0 * plane / planes + rng.normal(0.0, 1.5);
+    if (tle.raan_deg < 0.0) tle.raan_deg += 360.0;
+    tle.raan_deg = std::fmod(tle.raan_deg, 360.0);
+    tle.eccentricity = rng.uniform(0.0002, 0.002);
+    tle.arg_perigee_deg = rng.uniform(0.0, 360.0);
+    // In-plane phasing: evenly spaced with jitter.
+    tle.mean_anomaly_deg =
+        std::fmod(360.0 * (i / planes) * planes / opts.num_satellites +
+                      rng.uniform(0.0, 15.0),
+                  360.0);
+    tle.bstar = rng.uniform(1e-5, 8e-5);
+    tle.ndot_over_2 = rng.uniform(1e-7, 3e-6);
+    tle.element_set_number = 999;
+    tle.rev_number = 1;
+
+    SatelliteConfig sc;
+    sc.id = i;
+    sc.name = tle.name;
+    sc.tle = tle;
+    sc.radio = link::RadioSpec{};  // State-of-the-art EO radio ([10]).
+    sats.push_back(std::move(sc));
+  }
+  return sats;
+}
+
+std::vector<GroundStation> subsample_stations(
+    const std::vector<GroundStation>& all, double fraction) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("subsample_stations: fraction outside (0,1]");
+  }
+  if (fraction == 1.0) return all;
+  const std::size_t want =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   std::lround(all.size() * fraction)));
+  std::vector<std::size_t> by_lat(all.size());
+  std::iota(by_lat.begin(), by_lat.end(), 0);
+  std::sort(by_lat.begin(), by_lat.end(), [&](std::size_t a, std::size_t b) {
+    return all[a].location.latitude_rad < all[b].location.latitude_rad;
+  });
+
+  std::vector<GroundStation> out;
+  out.reserve(want);
+  for (std::size_t j = 0; j < want; ++j) {
+    out.push_back(all[by_lat[j * all.size() / want]]);
+  }
+  // The hybrid design needs at least one uplink path.
+  const bool has_tx =
+      std::any_of(out.begin(), out.end(),
+                  [](const GroundStation& g) { return g.tx_capable; });
+  if (!has_tx) {
+    for (const GroundStation& g : all) {
+      if (g.tx_capable) {
+        out.front() = g;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dgs::groundseg

@@ -1,0 +1,59 @@
+// Synthetic network generation (SatNOGS-footprint substitute).
+//
+// The paper's evaluation uses 173 operational SatNOGS ground stations and
+// 259 satellites from the SatNOGS database.  That database snapshot is not
+// redistributable, so this generator produces a deterministic population
+// with the same aggregate structure:
+//   * stations clustered where SatNOGS stations actually are (dense in
+//     Europe and North America, sparse in oceans and the global south),
+//   * a polar/sun-synchronous LEO constellation at 475-600 km, which is
+//     where ~45% of LEO Earth-observation satellites fly (paper §1),
+//   * a small transmit-capable subset (the hybrid design, §3),
+//   * high-end baseline stations at the classic polar downlink sites
+//     (paper §2: operators deploy "preferably close to the Earth's poles").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/groundseg/satellite.h"
+#include "src/groundseg/station.h"
+
+namespace dgs::groundseg {
+
+struct NetworkOptions {
+  int num_stations = 173;         ///< Matches the filtered SatNOGS set.
+  int num_satellites = 259;       ///< Matches the paper.
+  double tx_fraction = 0.10;      ///< Fraction of stations with uplink.
+  double dish_diameter_m = 1.0;   ///< Low-complexity DGS node (paper §4).
+  /// Fraction of (station, satellite) pairs denied by owner constraint
+  /// bitmaps (regulatory / subscription restrictions, §3.1).
+  double constraint_denial_fraction = 0.0;
+  std::uint64_t seed = 42;
+};
+
+struct BaselineOptions {
+  int channels = 6;               ///< Six frequency/polarization channels [10].
+  double dish_diameter_m = 4.0;   ///< High-end receiver dishes [10].
+};
+
+/// Generates the distributed DGS station network.  TX-capable stations are
+/// spread across regions (not clustered), since plan upload opportunities
+/// depend on their geographic spread.
+std::vector<GroundStation> generate_dgs_stations(const NetworkOptions& opts);
+
+/// The 5 high-end polar baseline stations of the paper's comparison.
+std::vector<GroundStation> baseline_stations(const BaselineOptions& opts = {});
+
+/// Generates the synthetic EO constellation with valid, parseable TLEs at
+/// epoch `epoch`.  Satellite ids are 0..n-1 (used as bitmap indices).
+std::vector<SatelliteConfig> generate_constellation(
+    const NetworkOptions& opts, const util::Epoch& epoch);
+
+/// Deterministically selects `fraction` of the stations (DGS(25%) in the
+/// paper) preserving relative geographic spread: every k-th station of a
+/// latitude-sorted ordering.  Keeps at least one TX-capable station.
+std::vector<GroundStation> subsample_stations(
+    const std::vector<GroundStation>& all, double fraction);
+
+}  // namespace dgs::groundseg

@@ -1,0 +1,24 @@
+// Earth-observation satellite description.
+#pragma once
+
+#include <string>
+
+#include "src/link/budget.h"
+#include "src/orbit/tle.h"
+
+namespace dgs::groundseg {
+
+struct SatelliteConfig {
+  int id = 0;
+  std::string name;
+  orbit::Tle tle;
+  link::RadioSpec radio;  ///< Downlink radio (per-channel terms + channels).
+  /// Imaging data production; the paper's experiment uses 100 GB/day.
+  double data_generation_bytes_per_day = 100.0 * 1e9;
+  /// On-board recorder size; 0 = unlimited.  Paper §3.3: satellites
+  /// already store a full orbit of data, and the ack-free design keeps
+  /// delivered-but-unacked data on board too.
+  double storage_capacity_bytes = 0.0;
+};
+
+}  // namespace dgs::groundseg

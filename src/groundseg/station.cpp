@@ -1,0 +1,14 @@
+#include "src/groundseg/station.h"
+
+#include <algorithm>
+
+namespace dgs::groundseg {
+
+std::size_t DownlinkConstraints::denied_count() const {
+  return static_cast<std::size_t>(
+      std::count(bits_.begin(), bits_.end(), false));
+}
+
+void GroundStation::refresh_ecef() { ecef_ = orbit::geodetic_to_ecef(location); }
+
+}  // namespace dgs::groundseg

@@ -1,0 +1,69 @@
+// Ground station model (paper §3).
+//
+// A DGS ground station is described by its location, receive hardware,
+// whether it is transmit-capable (the hybrid design's key bit), and a
+// per-satellite downlink constraint bitmap through which owners keep
+// control over whose data their antenna will capture.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/link/antenna.h"
+#include "src/orbit/frames.h"
+
+namespace dgs::groundseg {
+
+/// The paper's M-bit downlink constraint bitmap: bit i is 1 if downlink
+/// from satellite index i is allowed.  Defaults to allow-all.
+class DownlinkConstraints {
+ public:
+  DownlinkConstraints() = default;
+  /// Creates an explicit bitmap for `num_satellites`, all allowed.
+  explicit DownlinkConstraints(std::size_t num_satellites)
+      : bits_(num_satellites, true) {}
+
+  /// True when `sat_index` may downlink here.  Indices beyond an explicit
+  /// bitmap (or any index when default-constructed) are allowed.
+  bool allows(std::size_t sat_index) const {
+    return sat_index >= bits_.size() || bits_[sat_index];
+  }
+
+  void deny(std::size_t sat_index) {
+    if (sat_index >= bits_.size()) bits_.resize(sat_index + 1, true);
+    bits_[sat_index] = false;
+  }
+  void allow(std::size_t sat_index) {
+    if (sat_index < bits_.size()) bits_[sat_index] = true;
+  }
+
+  std::size_t denied_count() const;
+
+ private:
+  std::vector<bool> bits_;  ///< Empty == allow everything.
+};
+
+struct GroundStation {
+  int id = 0;
+  std::string name;
+  orbit::Geodetic location;
+  link::ReceiveSystem receiver;
+  bool tx_capable = false;        ///< Can uplink plans/acks (S-band TT&C).
+  double min_elevation_rad = 0.0; ///< Elevation mask (horizon obstructions).
+  DownlinkConstraints constraints;
+  /// Beamforming extension (paper §3.3): number of satellites the station
+  /// can track simultaneously.  1 = conventional point-to-point dish.
+  /// Splitting the aperture across k beams costs 10*log10(k) dB of gain on
+  /// every beam (conservative full-split model).
+  int beam_count = 1;
+
+  /// Cached ECEF position; call after changing `location`.
+  void refresh_ecef();
+  const util::Vec3& ecef() const { return ecef_; }
+
+ private:
+  util::Vec3 ecef_;
+};
+
+}  // namespace dgs::groundseg

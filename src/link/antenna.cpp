@@ -1,0 +1,41 @@
+#include "src/link/antenna.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/constants.h"
+
+namespace dgs::link {
+
+double dish_gain_dbi(double diameter_m, double freq_hz, double efficiency) {
+  if (diameter_m <= 0.0 || freq_hz <= 0.0) {
+    throw std::invalid_argument("dish_gain_dbi: non-positive diameter/freq");
+  }
+  if (efficiency <= 0.0 || efficiency > 1.0) {
+    throw std::invalid_argument("dish_gain_dbi: efficiency outside (0,1]");
+  }
+  const double x = util::kPi * diameter_m * freq_hz / util::kSpeedOfLight;
+  return 10.0 * std::log10(efficiency * x * x);
+}
+
+double system_noise_temp_k(const ReceiveSystem& rx, double atmos_loss_db) {
+  if (atmos_loss_db < 0.0) {
+    throw std::invalid_argument("system_noise_temp_k: negative loss");
+  }
+  constexpr double kMediumTempK = 275.0;
+  const double transmissivity = std::pow(10.0, -atmos_loss_db / 10.0);
+  // Clear-sky contribution is attenuated by the medium; the medium emits.
+  const double sky = rx.clear_sky_temp_k * transmissivity +
+                     kMediumTempK * (1.0 - transmissivity);
+  return sky + rx.ground_spillover_k + rx.lna_noise_temp_k;
+}
+
+double g_over_t_db(const ReceiveSystem& rx, double freq_hz,
+                   double atmos_loss_db) {
+  const double g = dish_gain_dbi(rx.dish_diameter_m, freq_hz,
+                                 rx.aperture_efficiency);
+  const double t = system_noise_temp_k(rx, atmos_loss_db);
+  return g - 10.0 * std::log10(t);
+}
+
+}  // namespace dgs::link

@@ -1,0 +1,32 @@
+// Antenna gain and receive system noise modelling.
+#pragma once
+
+namespace dgs::link {
+
+/// Boresight gain [dBi] of a parabolic dish of `diameter_m` at `freq_hz`
+/// with aperture efficiency `efficiency` (default 0.55, typical for
+/// low-cost prime-focus dishes): G = 10*log10(eff * (pi*D*f/c)^2).
+double dish_gain_dbi(double diameter_m, double freq_hz,
+                     double efficiency = 0.55);
+
+/// Receive system description used for G/T computation.
+struct ReceiveSystem {
+  double dish_diameter_m = 1.0;     ///< DGS nodes default to 1 m (paper §4).
+  double aperture_efficiency = 0.55;
+  double lna_noise_temp_k = 75.0;   ///< Receiver (LNA+losses) noise temp.
+  double clear_sky_temp_k = 60.0;   ///< Antenna temperature, clear sky.
+  double ground_spillover_k = 20.0; ///< Constant ground pickup.
+};
+
+/// System noise temperature [K] including the increase caused by
+/// atmospheric attenuation `atmos_loss_db` in front of the antenna:
+/// an attenuator at physical temperature T_m=275 K emits
+/// T_sky = T_m * (1 - 10^(-A/10)).
+double system_noise_temp_k(const ReceiveSystem& rx, double atmos_loss_db);
+
+/// Receive figure of merit G/T [dB/K] at `freq_hz` under the given
+/// atmospheric loss.
+double g_over_t_db(const ReceiveSystem& rx, double freq_hz,
+                   double atmos_loss_db);
+
+}  // namespace dgs::link

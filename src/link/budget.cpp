@@ -1,0 +1,51 @@
+#include "src/link/budget.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/link/clouds.h"
+#include "src/link/fspl.h"
+#include "src/link/gases.h"
+#include "src/link/rain.h"
+#include "src/util/constants.h"
+
+namespace dgs::link {
+
+LinkBudget evaluate_link(const RadioSpec& radio, const ReceiveSystem& rx,
+                         const PathConditions& path) {
+  if (radio.channels < 1) {
+    throw std::invalid_argument("evaluate_link: channels must be >= 1");
+  }
+  if (path.range_km <= 0.0) {
+    throw std::invalid_argument("evaluate_link: non-positive range");
+  }
+
+  LinkBudget b;
+  if (path.elevation_rad <= 0.0) return b;  // Below the horizon: no link.
+
+  const double f_ghz = radio.frequency_hz / 1e9;
+  b.fspl_db = fspl_db(path.range_km, radio.frequency_hz);
+  b.rain_db = rain_attenuation_db(f_ghz, path.rain_rate_mm_h,
+                                  path.elevation_rad, path.site_latitude_rad,
+                                  path.site_altitude_km);
+  b.cloud_db = cloud_attenuation_db(f_ghz, path.cloud_liquid_kg_m2,
+                                    path.elevation_rad);
+  b.gas_db = gaseous_attenuation_db(f_ghz, path.elevation_rad);
+  b.total_atmos_db = b.rain_db + b.cloud_db + b.gas_db;
+
+  b.g_over_t_db = g_over_t_db(rx, radio.frequency_hz, b.total_atmos_db);
+
+  // C/N0 [dBHz] = EIRP - FSPL - A_atmos + G/T - 10log10(k) - L_impl.
+  b.cn0_dbhz = radio.eirp_dbw - b.fspl_db - b.total_atmos_db + b.g_over_t_db -
+               util::kBoltzmannDb - radio.implementation_loss_db;
+  b.esn0_db = b.cn0_dbhz - 10.0 * std::log10(radio.symbol_rate_hz);
+
+  b.modcod = select_modcod(b.esn0_db, radio.modcod_margin_db);
+  if (b.modcod != nullptr) {
+    b.data_rate_bps =
+        bitrate_bps(*b.modcod, radio.symbol_rate_hz) * radio.channels;
+  }
+  return b;
+}
+
+}  // namespace dgs::link

@@ -1,0 +1,60 @@
+// End-to-end downlink budget (paper §3.2).
+//
+// Combines free-space path loss, ITU rain/cloud/gas attenuation, transmit
+// EIRP and receive G/T into C/N0 -> Es/N0, then selects a DVB-S2 MODCOD to
+// produce the *predicted* achievable data rate — the quantity the DGS
+// scheduler uses as edge capacity, since receive-only stations cannot give
+// live feedback.
+#pragma once
+
+#include "src/link/antenna.h"
+#include "src/link/dvbs2.h"
+
+namespace dgs::link {
+
+/// Satellite transmit chain.  Defaults approximate the Planet Labs
+/// high-speed downlink radio the paper cites ([10]): X-band, per-channel
+/// symbol rate sized so six channels peak near 1.6 Gbps.
+struct RadioSpec {
+  double frequency_hz = 8.2e9;      ///< X-band downlink centre.
+  double eirp_dbw = 16.0;           ///< Per-channel EIRP.
+  double symbol_rate_hz = 66.7e6;   ///< Per-channel symbol rate.
+  int channels = 1;                 ///< Frequency/polarization channels used.
+  double implementation_loss_db = 1.0;  ///< Modem implementation loss.
+  double modcod_margin_db = 1.0;    ///< Link margin for rate selection.
+};
+
+/// Environmental inputs to the prediction.
+struct PathConditions {
+  double range_km = 1000.0;          ///< Slant range.
+  double elevation_rad = 0.5;        ///< Must be > 0 for a usable link.
+  double site_latitude_rad = 0.0;    ///< For the rain-height climatology.
+  double site_altitude_km = 0.0;     ///< Station altitude AMSL.
+  double rain_rate_mm_h = 0.0;       ///< Forecast/actual rain rate.
+  double cloud_liquid_kg_m2 = 0.0;   ///< Columnar cloud liquid water.
+};
+
+/// Full accounting of one budget evaluation.
+struct LinkBudget {
+  double fspl_db = 0.0;
+  double rain_db = 0.0;
+  double cloud_db = 0.0;
+  double gas_db = 0.0;
+  double total_atmos_db = 0.0;   ///< rain + cloud + gas.
+  double g_over_t_db = 0.0;      ///< Including rain-induced noise rise.
+  double cn0_dbhz = 0.0;
+  double esn0_db = 0.0;
+  const ModCod* modcod = nullptr;  ///< Null if the link cannot close.
+  double data_rate_bps = 0.0;      ///< Across all channels; 0 if no link.
+
+  bool closes() const { return modcod != nullptr; }
+};
+
+/// Evaluates the downlink budget.  Returns a budget with
+/// modcod == nullptr (data_rate_bps == 0) when elevation <= 0 or no MODCOD
+/// closes; throws std::invalid_argument on non-physical inputs
+/// (negative range, rain, etc.).
+LinkBudget evaluate_link(const RadioSpec& radio, const ReceiveSystem& rx,
+                         const PathConditions& path);
+
+}  // namespace dgs::link

@@ -1,0 +1,58 @@
+#include "src/link/clouds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/angles.h"
+
+namespace dgs::link {
+
+WaterPermittivity water_permittivity(double freq_ghz, double temp_k) {
+  if (temp_k <= 0.0) {
+    throw std::invalid_argument("water_permittivity: non-positive temperature");
+  }
+  const double theta = 300.0 / temp_k;
+  const double eps0 = 77.66 + 103.3 * (theta - 1.0);
+  const double eps1 = 0.0671 * eps0;
+  const double eps2 = 3.52;
+  const double fp = 20.20 - 146.0 * (theta - 1.0) +
+                    316.0 * (theta - 1.0) * (theta - 1.0);  // GHz
+  const double fs = 39.8 * fp;                              // GHz
+  const double f = freq_ghz;
+
+  const double f_fp = f / fp;
+  const double f_fs = f / fs;
+  WaterPermittivity e;
+  e.real = (eps0 - eps1) / (1.0 + f_fp * f_fp) +
+           (eps1 - eps2) / (1.0 + f_fs * f_fs) + eps2;
+  e.imag = f_fp * (eps0 - eps1) / (1.0 + f_fp * f_fp) +
+           f_fs * (eps1 - eps2) / (1.0 + f_fs * f_fs);
+  return e;
+}
+
+double cloud_specific_attenuation_coeff(double freq_ghz, double temp_k) {
+  if (freq_ghz <= 0.0 || freq_ghz > 200.0) {
+    throw std::invalid_argument(
+        "cloud_specific_attenuation_coeff: frequency outside P.840 validity");
+  }
+  const WaterPermittivity e = water_permittivity(freq_ghz, temp_k);
+  const double eta = (2.0 + e.real) / e.imag;
+  return 0.819 * freq_ghz / (e.imag * (1.0 + eta * eta));
+}
+
+double cloud_attenuation_db(double freq_ghz, double liquid_water_kg_m2,
+                            double elevation_rad, double temp_k) {
+  if (liquid_water_kg_m2 < 0.0) {
+    throw std::invalid_argument("cloud_attenuation_db: negative water content");
+  }
+  if (elevation_rad <= 0.0) {
+    throw std::invalid_argument("cloud_attenuation_db: elevation must be > 0");
+  }
+  if (liquid_water_kg_m2 == 0.0) return 0.0;
+  const double kl = cloud_specific_attenuation_coeff(freq_ghz, temp_k);
+  const double el = std::max(elevation_rad, util::deg2rad(5.0));
+  return liquid_water_kg_m2 * kl / std::sin(el);
+}
+
+}  // namespace dgs::link

@@ -1,0 +1,33 @@
+// Cloud and fog attenuation (ITU-R P.840).
+//
+// P.840 models clouds as suspended liquid water droplets in the Rayleigh
+// regime.  The specific attenuation coefficient K_l [(dB/km)/(g/m^3)] comes
+// from the double-Debye dielectric model of water; the slant attenuation is
+// A = L * K_l / sin(elevation), with L the columnar liquid water content
+// [kg/m^2] along the zenith.
+#pragma once
+
+namespace dgs::link {
+
+/// Complex relative permittivity of liquid water at `freq_ghz` and
+/// temperature `temp_k` (double-Debye model, P.840 §2).
+struct WaterPermittivity {
+  double real = 0.0;
+  double imag = 0.0;
+};
+WaterPermittivity water_permittivity(double freq_ghz, double temp_k);
+
+/// Cloud liquid water specific attenuation coefficient K_l
+/// [(dB/km)/(g/m^3)] at `freq_ghz` (valid to 200 GHz) and temperature
+/// `temp_k` (typically 273.15 K for cloud prediction).
+double cloud_specific_attenuation_coeff(double freq_ghz,
+                                        double temp_k = 273.15);
+
+/// Slant-path cloud attenuation [dB] for columnar liquid water content
+/// `liquid_water_kg_m2` (zenith-integrated) at elevation `elevation_rad`
+/// (must be > 0; P.840 validity is elevation >= ~5 deg, shallower paths are
+/// clamped to the 5 deg cosecant).
+double cloud_attenuation_db(double freq_ghz, double liquid_water_kg_m2,
+                            double elevation_rad, double temp_k = 273.15);
+
+}  // namespace dgs::link

@@ -1,0 +1,34 @@
+// Doppler shift on the satellite-ground link.
+//
+// LEO range rates reach +-7.5 km/s, so an X-band downlink sees +-200 kHz
+// of carrier offset over a pass; receive-only DGS stations must predict it
+// (they cannot be told by the satellite), which the pass geometry provides
+// via LookAngles::range_rate_km_s.
+#pragma once
+
+#include <stdexcept>
+
+#include "src/util/constants.h"
+
+namespace dgs::link {
+
+/// Carrier frequency shift [Hz] observed at the receiver for a transmitter
+/// at `freq_hz` with line-of-sight `range_rate_km_s` (positive = opening).
+/// Approaching satellites (negative range rate) shift the carrier up.
+inline double doppler_shift_hz(double freq_hz, double range_rate_km_s) {
+  if (freq_hz <= 0.0) {
+    throw std::invalid_argument("doppler_shift_hz: non-positive frequency");
+  }
+  return -range_rate_km_s * 1000.0 / util::kSpeedOfLight * freq_hz;
+}
+
+/// Doppler rate [Hz/s] from a range acceleration [km/s^2]; sizing input
+/// for the receiver's carrier-tracking loop bandwidth.
+inline double doppler_rate_hz_s(double freq_hz, double range_accel_km_s2) {
+  if (freq_hz <= 0.0) {
+    throw std::invalid_argument("doppler_rate_hz_s: non-positive frequency");
+  }
+  return -range_accel_km_s2 * 1000.0 / util::kSpeedOfLight * freq_hz;
+}
+
+}  // namespace dgs::link

@@ -1,0 +1,71 @@
+#include "src/link/dvbs2.h"
+
+#include <stdexcept>
+
+namespace dgs::link {
+namespace {
+
+// EN 302 307 table 13 (normal FECFRAME, ideal demodulator).  Sorted by
+// required Es/N0; spectral efficiencies include LDPC+BCH overhead.
+constexpr ModCod kModCods[] = {
+    {"QPSK 1/4", Modulation::kQpsk, 1.0 / 4, 0.490243, -2.35},
+    {"QPSK 1/3", Modulation::kQpsk, 1.0 / 3, 0.656448, -1.24},
+    {"QPSK 2/5", Modulation::kQpsk, 2.0 / 5, 0.789412, -0.30},
+    {"QPSK 1/2", Modulation::kQpsk, 1.0 / 2, 0.988858, 1.00},
+    {"QPSK 3/5", Modulation::kQpsk, 3.0 / 5, 1.188304, 2.23},
+    {"QPSK 2/3", Modulation::kQpsk, 2.0 / 3, 1.322253, 3.10},
+    {"QPSK 3/4", Modulation::kQpsk, 3.0 / 4, 1.487473, 4.03},
+    {"QPSK 4/5", Modulation::kQpsk, 4.0 / 5, 1.587196, 4.68},
+    {"QPSK 5/6", Modulation::kQpsk, 5.0 / 6, 1.654663, 5.18},
+    {"8PSK 3/5", Modulation::k8psk, 3.0 / 5, 1.779991, 5.50},
+    {"QPSK 8/9", Modulation::kQpsk, 8.0 / 9, 1.766451, 6.20},
+    {"QPSK 9/10", Modulation::kQpsk, 9.0 / 10, 1.788612, 6.42},
+    {"8PSK 2/3", Modulation::k8psk, 2.0 / 3, 1.980636, 6.62},
+    {"8PSK 3/4", Modulation::k8psk, 3.0 / 4, 2.228124, 7.91},
+    {"16APSK 2/3", Modulation::k16apsk, 2.0 / 3, 2.637201, 8.97},
+    {"8PSK 5/6", Modulation::k8psk, 5.0 / 6, 2.478562, 9.35},
+    {"16APSK 3/4", Modulation::k16apsk, 3.0 / 4, 2.966728, 10.21},
+    {"8PSK 8/9", Modulation::k8psk, 8.0 / 9, 2.646012, 10.69},
+    {"8PSK 9/10", Modulation::k8psk, 9.0 / 10, 2.679207, 10.98},
+    {"16APSK 4/5", Modulation::k16apsk, 4.0 / 5, 3.165623, 11.03},
+    {"16APSK 5/6", Modulation::k16apsk, 5.0 / 6, 3.300184, 11.61},
+    {"32APSK 3/4", Modulation::k32apsk, 3.0 / 4, 3.703295, 12.73},
+    {"16APSK 8/9", Modulation::k16apsk, 8.0 / 9, 3.523143, 12.89},
+    {"16APSK 9/10", Modulation::k16apsk, 9.0 / 10, 3.567342, 13.13},
+    {"32APSK 4/5", Modulation::k32apsk, 4.0 / 5, 3.951571, 13.64},
+    {"32APSK 5/6", Modulation::k32apsk, 5.0 / 6, 4.119540, 14.28},
+    {"32APSK 8/9", Modulation::k32apsk, 8.0 / 9, 4.397854, 15.69},
+    {"32APSK 9/10", Modulation::k32apsk, 9.0 / 10, 4.453027, 16.05},
+};
+
+}  // namespace
+
+std::span<const ModCod> dvbs2_modcods() { return kModCods; }
+
+const ModCod* select_modcod(double esn0_db, double margin_db) {
+  if (margin_db < 0.0) {
+    throw std::invalid_argument("select_modcod: negative margin");
+  }
+  // The table is Es/N0-sorted but not strictly efficiency-sorted (some 8PSK
+  // entries need more SNR than lower-order MODCODs with higher efficiency);
+  // pick the max-efficiency entry among the feasible ones.
+  const ModCod* best = nullptr;
+  for (const ModCod& mc : kModCods) {
+    if (mc.required_esn0_db + margin_db <= esn0_db) {
+      if (best == nullptr ||
+          mc.spectral_efficiency > best->spectral_efficiency) {
+        best = &mc;
+      }
+    }
+  }
+  return best;
+}
+
+double bitrate_bps(const ModCod& mc, double symbol_rate_hz) {
+  if (symbol_rate_hz <= 0.0) {
+    throw std::invalid_argument("bitrate_bps: non-positive symbol rate");
+  }
+  return mc.spectral_efficiency * symbol_rate_hz;
+}
+
+}  // namespace dgs::link

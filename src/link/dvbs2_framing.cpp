@@ -1,0 +1,107 @@
+#include "src/link/dvbs2_framing.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dgs::link {
+namespace {
+
+/// EN 302 307 table 5a: normal FECFRAME BCH/LDPC block sizes.
+struct RateRow {
+  int num, den;  ///< Code rate as a fraction.
+  int k_bch, k_ldpc;
+};
+constexpr RateRow kRates[] = {
+    {1, 4, 16008, 16200},  {1, 3, 21408, 21600},  {2, 5, 25728, 25920},
+    {1, 2, 32208, 32400},  {3, 5, 38688, 38880},  {2, 3, 43040, 43200},
+    {3, 4, 48408, 48600},  {4, 5, 51648, 51840},  {5, 6, 53840, 54000},
+    {8, 9, 57472, 57600},  {9, 10, 58192, 58320},
+};
+
+}  // namespace
+
+FecParams fec_params(double code_rate) {
+  for (const RateRow& r : kRates) {
+    if (std::fabs(code_rate - static_cast<double>(r.num) / r.den) < 1e-9) {
+      return FecParams{r.k_bch, r.k_ldpc};
+    }
+  }
+  throw std::invalid_argument("fec_params: not a DVB-S2 normal-frame rate");
+}
+
+int bits_per_symbol(Modulation mod) {
+  switch (mod) {
+    case Modulation::kQpsk:
+      return 2;
+    case Modulation::k8psk:
+      return 3;
+    case Modulation::k16apsk:
+      return 4;
+    case Modulation::k32apsk:
+      return 5;
+  }
+  throw std::logic_error("bits_per_symbol: unknown modulation");
+}
+
+int plframe_payload_bits(const ModCod& mc) {
+  return fec_params(mc.code_rate).k_bch - kBbHeaderBits;
+}
+
+int plframe_symbols(const ModCod& mc, bool pilots) {
+  const int data_symbols = kFecFrameBits / bits_per_symbol(mc.modulation);
+  int symbols = kPlHeaderSymbols + data_symbols;
+  if (pilots) {
+    const int slots = data_symbols / kSlotSymbols;
+    // A 36-symbol pilot block follows every 16th slot, except after the
+    // last slot group (EN 302 307 §5.5.3).
+    symbols += (slots - 1) / 16 * kPilotBlockSymbols;
+  }
+  return symbols;
+}
+
+double derived_efficiency(const ModCod& mc, bool pilots) {
+  return static_cast<double>(plframe_payload_bits(mc)) /
+         plframe_symbols(mc, pilots);
+}
+
+FrameAccounting frame_accounting(const ModCod& mc, double payload_bytes,
+                                 double symbol_rate_hz, bool pilots) {
+  if (payload_bytes < 0.0) {
+    throw std::invalid_argument("frame_accounting: negative payload");
+  }
+  if (symbol_rate_hz <= 0.0) {
+    throw std::invalid_argument("frame_accounting: non-positive symbol rate");
+  }
+  FrameAccounting acc;
+  const double payload_bits = payload_bytes * 8.0;
+  const int per_frame = plframe_payload_bits(mc);
+  acc.frames = static_cast<std::int64_t>(
+      std::ceil(payload_bits / per_frame));
+  acc.total_symbols = acc.frames * plframe_symbols(mc, pilots);
+  acc.duration_s = static_cast<double>(acc.total_symbols) / symbol_rate_hz;
+  acc.efficiency_achieved =
+      acc.total_symbols > 0
+          ? payload_bits / static_cast<double>(acc.total_symbols)
+          : 0.0;
+  return acc;
+}
+
+std::uint8_t modcod_index(const ModCod& mc) {
+  const auto table = dvbs2_modcods();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (&table[i] == &mc || table[i].name == mc.name) {
+      return static_cast<std::uint8_t>(i);
+    }
+  }
+  throw std::invalid_argument("modcod_index: not a table entry");
+}
+
+const ModCod& modcod_by_index(std::uint8_t index) {
+  const auto table = dvbs2_modcods();
+  if (index >= table.size()) {
+    throw std::invalid_argument("modcod_by_index: out of range");
+  }
+  return table[index];
+}
+
+}  // namespace dgs::link

@@ -1,0 +1,21 @@
+// Atmospheric gaseous absorption (simplified P.676 surrogate).
+//
+// The full ITU-R P.676 line-by-line oxygen/water-vapour model needs
+// pressure/temperature/humidity profiles; at the X-band frequencies DGS
+// cares about the zenith gaseous attenuation is a small, slowly varying
+// correction (~0.05-0.3 dB).  We tabulate representative clear-air zenith
+// attenuations versus frequency (sea level, 7.5 g/m^3 water vapour) and
+// scale by the cosecant of the elevation.  DESIGN.md records this
+// substitution.
+#pragma once
+
+namespace dgs::link {
+
+/// Zenith (90 deg elevation) one-way gaseous attenuation [dB] at `freq_ghz`.
+double gaseous_zenith_attenuation_db(double freq_ghz);
+
+/// Slant-path gaseous attenuation [dB] at elevation `elevation_rad` (> 0),
+/// cosecant-scaled with a clamp below 5 deg elevation.
+double gaseous_attenuation_db(double freq_ghz, double elevation_rad);
+
+}  // namespace dgs::link

@@ -1,0 +1,133 @@
+#include "src/link/rain.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/angles.h"
+#include "src/util/constants.h"
+
+namespace dgs::link {
+namespace {
+
+// ITU-R P.838-3 regression coefficients.
+//   log10 k = sum_j a_j * exp(-((log10 f - b_j)/c_j)^2) + m_k*log10 f + c_k
+//   alpha   = sum_j a_j * exp(-((log10 f - b_j)/c_j)^2) + m_a*log10 f + c_a
+struct Regression {
+  const double* a;
+  const double* b;
+  const double* c;
+  int n;
+  double m;
+  double offset;
+};
+
+// k_H
+constexpr double kKhA[] = {-5.33980, -0.35351, -0.23789, -0.94158};
+constexpr double kKhB[] = {-0.10008, 1.26970, 0.86036, 0.64552};
+constexpr double kKhC[] = {1.13098, 0.45400, 0.15354, 0.16817};
+constexpr Regression kKh{kKhA, kKhB, kKhC, 4, -0.18961, 0.71147};
+
+// k_V
+constexpr double kKvA[] = {-3.80595, -3.44965, -0.39902, 0.50167};
+constexpr double kKvB[] = {0.56934, -0.22911, 0.73042, 1.07319};
+constexpr double kKvC[] = {0.81061, 0.51059, 0.11899, 0.27195};
+constexpr Regression kKv{kKvA, kKvB, kKvC, 4, -0.16398, 0.63297};
+
+// alpha_H
+constexpr double kAhA[] = {-0.14318, 0.29591, 0.32177, -5.37610, 16.1721};
+constexpr double kAhB[] = {1.82442, 0.77564, 0.63773, -0.96230, -3.29980};
+constexpr double kAhC[] = {-0.55187, 0.19822, 0.13164, 1.47828, 3.43990};
+constexpr Regression kAh{kAhA, kAhB, kAhC, 5, 0.67849, -1.95537};
+
+// alpha_V
+constexpr double kAvA[] = {-0.07771, 0.56727, -0.20238, -48.2991, 48.5833};
+constexpr double kAvB[] = {2.33840, 0.95545, 1.14520, 0.791669, 0.791459};
+constexpr double kAvC[] = {-0.76284, 0.54039, 0.26809, 0.116226, 0.116479};
+constexpr Regression kAv{kAvA, kAvB, kAvC, 5, -0.053739, 0.83433};
+
+double evaluate(const Regression& reg, double log10_f) {
+  double sum = 0.0;
+  for (int j = 0; j < reg.n; ++j) {
+    const double u = (log10_f - reg.b[j]) / reg.c[j];
+    sum += reg.a[j] * std::exp(-u * u);
+  }
+  return sum + reg.m * log10_f + reg.offset;
+}
+
+}  // namespace
+
+RainCoefficients rain_coefficients(double freq_ghz, Polarization pol) {
+  if (freq_ghz < 1.0 || freq_ghz > 1000.0) {
+    throw std::invalid_argument(
+        "rain_coefficients: frequency outside P.838 validity (1-1000 GHz)");
+  }
+  const double lf = std::log10(freq_ghz);
+  const double kh = std::pow(10.0, evaluate(kKh, lf));
+  const double kv = std::pow(10.0, evaluate(kKv, lf));
+  const double ah = evaluate(kAh, lf);
+  const double av = evaluate(kAv, lf);
+
+  switch (pol) {
+    case Polarization::kHorizontal:
+      return {kh, ah};
+    case Polarization::kVertical:
+      return {kv, av};
+    case Polarization::kCircular: {
+      // P.838 combination for tilt angle tau = 45 deg (circular), at the
+      // elevation-averaged form: k = (kh+kv)/2, alpha = (kh*ah+kv*av)/(2k).
+      const double k = (kh + kv) / 2.0;
+      const double alpha = (kh * ah + kv * av) / (2.0 * k);
+      return {k, alpha};
+    }
+  }
+  throw std::logic_error("rain_coefficients: unknown polarization");
+}
+
+double rain_specific_attenuation_db_km(double freq_ghz, double rain_mm_h,
+                                       Polarization pol) {
+  if (rain_mm_h < 0.0) {
+    throw std::invalid_argument("rain rate must be non-negative");
+  }
+  if (rain_mm_h == 0.0) return 0.0;
+  const RainCoefficients c = rain_coefficients(freq_ghz, pol);
+  return c.k * std::pow(rain_mm_h, c.alpha);
+}
+
+double rain_height_km(double latitude_rad) {
+  // P.839 latitude-band climatology (substitute for the digital maps).
+  const double lat_deg = std::fabs(util::rad2deg(latitude_rad));
+  if (lat_deg <= 23.0) return 5.0;
+  return std::max(0.0, 5.0 - 0.075 * (lat_deg - 23.0));
+}
+
+double rain_attenuation_db(double freq_ghz, double rain_mm_h,
+                           double elevation_rad, double latitude_rad,
+                           double station_alt_km, Polarization pol) {
+  if (rain_mm_h <= 0.0) return 0.0;
+  if (elevation_rad <= 0.0) {
+    throw std::invalid_argument("rain_attenuation_db: elevation must be > 0");
+  }
+  const double h_r = rain_height_km(latitude_rad);
+  const double dh = h_r - station_alt_km;
+  if (dh <= 0.0) return 0.0;  // Station above the rain layer.
+
+  const double el = elevation_rad;
+  double slant_km;
+  if (el >= util::deg2rad(5.0)) {
+    slant_km = dh / std::sin(el);
+  } else {
+    // Spherical-Earth correction for grazing paths (P.618 eq. 2).
+    const double re = 8500.0;  // effective Earth radius [km]
+    slant_km = 2.0 * dh /
+               (std::sqrt(std::sin(el) * std::sin(el) + 2.0 * dh / re) +
+                std::sin(el));
+  }
+
+  const double gamma = rain_specific_attenuation_db_km(freq_ghz, rain_mm_h, pol);
+  const double lg = slant_km * std::cos(el);  // horizontal projection
+  const double l0 = 35.0 * std::exp(-0.015 * std::min(rain_mm_h, 100.0));
+  const double reduction = 1.0 / (1.0 + lg / l0);
+  return gamma * slant_km * reduction;
+}
+
+}  // namespace dgs::link

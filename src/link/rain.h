@@ -1,0 +1,49 @@
+// Rain attenuation (ITU-R P.838 / P.839 / simplified P.618 slant path).
+//
+// The paper (§3.2) predicts link quality ahead of time from weather
+// forecasts using "well-studied models developed by the International
+// Telecommunication Union".  We implement:
+//   * P.838-3: specific attenuation gamma_R = k * R^alpha [dB/km], with the
+//     frequency-dependent k/alpha regression coefficients for horizontal and
+//     vertical polarization (valid 1-1000 GHz).
+//   * P.839: rain height above mean sea level.  The recommendation's digital
+//     maps are replaced by its latitude-band climatological approximation
+//     (documented substitution; see DESIGN.md).
+//   * P.618 (reduced form): effective slant path through rain with a
+//     horizontal path reduction factor.
+#pragma once
+
+namespace dgs::link {
+
+enum class Polarization { kHorizontal, kVertical, kCircular };
+
+/// P.838-3 power-law coefficients at `freq_ghz` (1..1000 GHz).
+/// Circular polarization returns the H/V average (the standard combination
+/// for tau = 45deg at low elevation approximations).
+struct RainCoefficients {
+  double k = 0.0;
+  double alpha = 0.0;
+};
+RainCoefficients rain_coefficients(double freq_ghz, Polarization pol);
+
+/// Specific rain attenuation [dB/km] for rain rate `rain_mm_h` (>= 0).
+double rain_specific_attenuation_db_km(double freq_ghz, double rain_mm_h,
+                                       Polarization pol);
+
+/// P.839 rain height [km above mean sea level] as a function of geodetic
+/// latitude (radians).  Latitude-band climatology.
+double rain_height_km(double latitude_rad);
+
+/// Effective slant-path rain attenuation [dB] for a ground station at
+/// `station_alt_km` (AMSL), elevation angle `elevation_rad` (> 0), rain rate
+/// `rain_mm_h`, frequency `freq_ghz`.
+///
+/// Path length below the rain height is divided by sin(el) (spherical-Earth
+/// correction applied below 5 deg) and scaled by the classic horizontal
+/// reduction factor r = 1 / (1 + L_G / L_0), L_0 = 35 * exp(-0.015 * R).
+double rain_attenuation_db(double freq_ghz, double rain_mm_h,
+                           double elevation_rad, double latitude_rad,
+                           double station_alt_km,
+                           Polarization pol = Polarization::kCircular);
+
+}  // namespace dgs::link

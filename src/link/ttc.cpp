@@ -1,0 +1,59 @@
+#include "src/link/ttc.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/link/antenna.h"
+#include "src/link/fspl.h"
+#include "src/util/constants.h"
+
+namespace dgs::link {
+namespace {
+
+/// Required Eb/N0 for the rate-1/2 coded BPSK command link [dB].
+constexpr double kRequiredEbN0Db = 4.5;
+
+/// The discrete command-rate ladder [bps].
+constexpr double kRates[] = {4e3, 16e3, 64e3, 256e3, 1024e3};
+
+}  // namespace
+
+double ttc_uplink_cn0_dbhz(const TtcUplinkSpec& gs,
+                           const SatCommandReceiver& sat, double range_km) {
+  if (range_km <= 0.0) {
+    throw std::invalid_argument("ttc_uplink_cn0: non-positive range");
+  }
+  if (gs.tx_power_w <= 0.0) {
+    throw std::invalid_argument("ttc_uplink_cn0: non-positive power");
+  }
+  const double eirp_dbw = 10.0 * std::log10(gs.tx_power_w) +
+                          dish_gain_dbi(gs.dish_diameter_m, gs.frequency_hz,
+                                        gs.aperture_efficiency) -
+                          gs.line_loss_db;
+  const double path_db = fspl_db(range_km, gs.frequency_hz);
+  const double g_over_t =
+      sat.antenna_gain_dbi - 10.0 * std::log10(sat.system_noise_temp_k);
+  return eirp_dbw - path_db + g_over_t - util::kBoltzmannDb -
+         sat.implementation_loss_db;
+}
+
+double ttc_select_rate_bps(double cn0_dbhz, double margin_db) {
+  if (margin_db < 0.0) {
+    throw std::invalid_argument("ttc_select_rate: negative margin");
+  }
+  double best = 0.0;
+  for (double rate : kRates) {
+    const double ebn0 = cn0_dbhz - 10.0 * std::log10(rate);
+    if (ebn0 >= kRequiredEbN0Db + margin_db) best = rate;
+  }
+  return best;
+}
+
+double ttc_uplink_rate_bps(const TtcUplinkSpec& gs,
+                           const SatCommandReceiver& sat, double range_km,
+                           double margin_db) {
+  return ttc_select_rate_bps(ttc_uplink_cn0_dbhz(gs, sat, range_km),
+                             margin_db);
+}
+
+}  // namespace dgs::link

@@ -1,0 +1,50 @@
+// TT&C (tracking, telemetry & command) S-band uplink model.
+//
+// The paper's hybrid design (§1, §2) rests on the observation that uplink
+// is narrowband: "ground stations today support Gbps downlink but only
+// hundreds of Kbps uplink", carried in S-band (2025-2110 MHz) while the
+// imagery comes down in X-band.  DGS uses the uplink only at
+// transmit-capable stations, to push the downlink plan and the collated
+// acks.  This module sizes that channel: a command uplink budget and the
+// discrete CCSDS-style command rates it supports.
+#pragma once
+
+namespace dgs::link {
+
+/// Transmit-capable ground station's command chain.
+struct TtcUplinkSpec {
+  double frequency_hz = 2.07e9;      ///< S-band TT&C allocation.
+  double tx_power_w = 10.0;          ///< Power amplifier output.
+  double dish_diameter_m = 1.0;      ///< Same small dish, S-band feed.
+  double aperture_efficiency = 0.5;
+  double line_loss_db = 1.0;
+};
+
+/// Satellite command receiver.
+struct SatCommandReceiver {
+  double antenna_gain_dbi = 0.0;     ///< Near-omni TT&C patch/whip.
+  double system_noise_temp_k = 500.0;  ///< Uncooled front end + body noise.
+  double implementation_loss_db = 1.5;
+};
+
+/// Discrete command rates (CCSDS TC-style BPSK with rate-1/2 coding):
+/// each needs Eb/N0 >= 4.5 dB plus margin at the demodulator.
+struct TtcRate {
+  double bitrate_bps;
+};
+
+/// Uplink C/N0 [dBHz] at slant range `range_km` (> 0).
+double ttc_uplink_cn0_dbhz(const TtcUplinkSpec& gs,
+                           const SatCommandReceiver& sat, double range_km);
+
+/// Highest supported command rate at the given C/N0, from the standard
+/// ladder {4, 16, 64, 256, 1024} kbps, requiring Eb/N0 >= 4.5 dB +
+/// `margin_db`.  Returns 0 when even 4 kbps cannot close.
+double ttc_select_rate_bps(double cn0_dbhz, double margin_db = 3.0);
+
+/// Convenience: achievable uplink bitrate for the whole chain.
+double ttc_uplink_rate_bps(const TtcUplinkSpec& gs,
+                           const SatCommandReceiver& sat, double range_km,
+                           double margin_db = 3.0);
+
+}  // namespace dgs::link

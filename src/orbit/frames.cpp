@@ -1,0 +1,97 @@
+#include "src/orbit/frames.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/angles.h"
+#include "src/util/constants.h"
+
+namespace dgs::orbit {
+
+using util::Vec3;
+
+Vec3 teme_to_ecef(const Vec3& teme, const util::Epoch& when) {
+  const double theta = util::gmst(when.jd());
+  const double c = std::cos(theta), s = std::sin(theta);
+  // Rz(theta) applied to the inertial vector: ECEF = R3(gmst) * TEME.
+  return {c * teme.x + s * teme.y, -s * teme.x + c * teme.y, teme.z};
+}
+
+void teme_to_ecef(const Vec3& r_teme, const Vec3& v_teme,
+                  const util::Epoch& when, Vec3& r_ecef, Vec3& v_ecef) {
+  r_ecef = teme_to_ecef(r_teme, when);
+  const Vec3 v_rot = teme_to_ecef(v_teme, when);
+  // Subtract the frame rotation: v_ecef = R*v_teme - omega x r_ecef.
+  const Vec3 omega{0.0, 0.0, util::kEarthRotationRadPerSec};
+  v_ecef = v_rot - omega.cross(r_ecef);
+}
+
+Vec3 geodetic_to_ecef(const Geodetic& g) {
+  using namespace util::wgs84;
+  const double slat = std::sin(g.latitude_rad);
+  const double clat = std::cos(g.latitude_rad);
+  const double n = kSemiMajorKm / std::sqrt(1.0 - kE2 * slat * slat);
+  return {(n + g.altitude_km) * clat * std::cos(g.longitude_rad),
+          (n + g.altitude_km) * clat * std::sin(g.longitude_rad),
+          (n * (1.0 - kE2) + g.altitude_km) * slat};
+}
+
+Geodetic ecef_to_geodetic(const Vec3& r) {
+  using namespace util::wgs84;
+  Geodetic g;
+  g.longitude_rad = std::atan2(r.y, r.x);
+  const double p = std::hypot(r.x, r.y);
+  // Bowring-style fixed-point iteration on the latitude.
+  double lat = std::atan2(r.z, p * (1.0 - kE2));
+  for (int i = 0; i < 10; ++i) {
+    const double slat = std::sin(lat);
+    const double n = kSemiMajorKm / std::sqrt(1.0 - kE2 * slat * slat);
+    const double next = std::atan2(r.z + kE2 * n * slat, p);
+    if (std::fabs(next - lat) < 1e-12) {
+      lat = next;
+      break;
+    }
+    lat = next;
+  }
+  const double slat = std::sin(lat);
+  const double n = kSemiMajorKm / std::sqrt(1.0 - kE2 * slat * slat);
+  g.latitude_rad = lat;
+  // Altitude from whichever component is better conditioned.
+  if (p > 1.0) {
+    g.altitude_km = p / std::cos(lat) - n;
+  } else {
+    g.altitude_km = std::fabs(r.z) / std::fabs(slat) - n * (1.0 - kE2);
+  }
+  return g;
+}
+
+LookAngles look_angles(const Geodetic& site, const Vec3& target_ecef,
+                       const Vec3& target_vel_ecef) {
+  const Vec3 site_ecef = geodetic_to_ecef(site);
+  const Vec3 rho = target_ecef - site_ecef;
+
+  const double slat = std::sin(site.latitude_rad);
+  const double clat = std::cos(site.latitude_rad);
+  const double slon = std::sin(site.longitude_rad);
+  const double clon = std::cos(site.longitude_rad);
+
+  // ECEF -> SEZ (south, east, zenith) topocentric frame.
+  const double s = slat * clon * rho.x + slat * slon * rho.y - clat * rho.z;
+  const double e = -slon * rho.x + clon * rho.y;
+  const double z = clat * clon * rho.x + clat * slon * rho.y + slat * rho.z;
+
+  LookAngles la;
+  la.range_km = rho.norm();
+  la.elevation_rad = std::asin(std::clamp(z / la.range_km, -1.0, 1.0));
+  la.azimuth_rad = util::wrap_two_pi(std::atan2(e, -s));
+  if (target_vel_ecef.norm() > 0.0) {
+    la.range_rate_km_s = rho.dot(target_vel_ecef) / la.range_km;
+  }
+  return la;
+}
+
+Geodetic subsatellite_point(const Vec3& r_teme, const util::Epoch& when) {
+  return ecef_to_geodetic(teme_to_ecef(r_teme, when));
+}
+
+}  // namespace dgs::orbit

@@ -1,0 +1,52 @@
+// Reference frame transformations.
+//
+// The chain DGS needs is: SGP4 output (TEME inertial) -> Earth-fixed (ECEF,
+// via GMST rotation; polar motion is ignored at TLE accuracy) -> geodetic
+// (WGS-84 latitude/longitude/altitude) -> topocentric look angles
+// (azimuth/elevation/range from a ground station).
+#pragma once
+
+#include "src/util/time.h"
+#include "src/util/vec3.h"
+
+namespace dgs::orbit {
+
+/// Geodetic WGS-84 coordinates.
+struct Geodetic {
+  double latitude_rad = 0.0;   ///< Geodetic latitude, [-pi/2, pi/2].
+  double longitude_rad = 0.0;  ///< East longitude, (-pi, pi].
+  double altitude_km = 0.0;    ///< Height above the WGS-84 ellipsoid.
+};
+
+/// Topocentric observation of a target from a ground site.
+struct LookAngles {
+  double azimuth_rad = 0.0;    ///< From true north, clockwise, [0, 2pi).
+  double elevation_rad = 0.0;  ///< Above the local horizon, [-pi/2, pi/2].
+  double range_km = 0.0;       ///< Slant range.
+  double range_rate_km_s = 0.0;  ///< d(range)/dt; negative when approaching.
+};
+
+/// Rotates a TEME vector into the pseudo-Earth-fixed (ECEF) frame at `when`.
+util::Vec3 teme_to_ecef(const util::Vec3& teme, const util::Epoch& when);
+
+/// Rotates TEME position and velocity into ECEF, including the transport
+/// (omega x r) term on the velocity.
+void teme_to_ecef(const util::Vec3& r_teme, const util::Vec3& v_teme,
+                  const util::Epoch& when, util::Vec3& r_ecef,
+                  util::Vec3& v_ecef);
+
+/// Geodetic -> ECEF position [km].
+util::Vec3 geodetic_to_ecef(const Geodetic& g);
+
+/// ECEF position [km] -> geodetic (Bowring's iteration, mm-level accuracy).
+Geodetic ecef_to_geodetic(const util::Vec3& r_ecef);
+
+/// Look angles from a geodetic site to a target given in ECEF, with the
+/// target's ECEF velocity used for the range-rate term (pass {} if unused).
+LookAngles look_angles(const Geodetic& site, const util::Vec3& target_ecef,
+                       const util::Vec3& target_vel_ecef = {});
+
+/// Sub-satellite point (geodetic) of a TEME state at `when`.
+Geodetic subsatellite_point(const util::Vec3& r_teme, const util::Epoch& when);
+
+}  // namespace dgs::orbit

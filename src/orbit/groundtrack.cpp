@@ -1,0 +1,133 @@
+#include "src/orbit/groundtrack.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/angles.h"
+#include "src/util/constants.h"
+
+namespace dgs::orbit {
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+}
+
+std::vector<GroundTrackPoint> ground_track(const Sgp4& sat,
+                                           const util::Epoch& start,
+                                           const util::Epoch& end,
+                                           double step_seconds) {
+  if (end < start) {
+    throw std::invalid_argument("ground_track: end before start");
+  }
+  if (step_seconds <= 0.0) {
+    throw std::invalid_argument("ground_track: non-positive step");
+  }
+  std::vector<GroundTrackPoint> track;
+  for (util::Epoch t = start; !(end < t); t = t.plus_seconds(step_seconds)) {
+    const TemeState st = sat.propagate_to(t);
+    track.push_back(GroundTrackPoint{t, subsatellite_point(st.position_km, t)});
+  }
+  return track;
+}
+
+double node_shift_per_orbit_rad(const Sgp4& sat) {
+  return util::kEarthRotationRadPerSec * sat.period_minutes() * 60.0;
+}
+
+std::vector<util::Epoch> target_visits(const Sgp4& sat, const Geodetic& target,
+                                       double swath_half_width_km,
+                                       const util::Epoch& start,
+                                       const util::Epoch& end,
+                                       double step_seconds) {
+  if (swath_half_width_km <= 0.0) {
+    throw std::invalid_argument("target_visits: non-positive swath");
+  }
+  const double swath_angle = swath_half_width_km / kEarthRadiusKm;
+  std::vector<util::Epoch> visits;
+  bool in_view = false;
+  for (const GroundTrackPoint& p :
+       ground_track(sat, start, end, step_seconds)) {
+    const double sep = util::great_circle_angle(
+        p.geodetic.latitude_rad, p.geodetic.longitude_rad,
+        target.latitude_rad, target.longitude_rad);
+    const bool covered = sep <= swath_angle;
+    if (covered && !in_view) visits.push_back(p.when);  // record entries
+    in_view = covered;
+  }
+  return visits;
+}
+
+CoverageStats coverage(const std::vector<Sgp4>& sats,
+                       double swath_half_width_km, const util::Epoch& start,
+                       const util::Epoch& end, int lat_cells,
+                       double step_seconds) {
+  if (lat_cells < 2) {
+    throw std::invalid_argument("coverage: need >= 2 latitude cells");
+  }
+  if (swath_half_width_km <= 0.0) {
+    throw std::invalid_argument("coverage: non-positive swath");
+  }
+  // Area-weighted grid: rows span latitude uniformly; the number of
+  // longitude cells per row scales with cos(lat) so cells are near-equal
+  // area.
+  struct Row {
+    int cols;
+    std::vector<char> hit;
+  };
+  std::vector<Row> grid(lat_cells);
+  const int equator_cols = 2 * lat_cells;
+  for (int r = 0; r < lat_cells; ++r) {
+    const double lat =
+        (-90.0 + 180.0 * (r + 0.5) / lat_cells) * util::kRadPerDeg;
+    const int cols =
+        std::max(1, static_cast<int>(std::lround(equator_cols *
+                                                 std::cos(lat))));
+    grid[r] = Row{cols, std::vector<char>(cols, 0)};
+  }
+
+  const double swath_angle = swath_half_width_km / kEarthRadiusKm;
+  // Mark every cell whose centre is within the swath of a track sample.
+  // The latitude band touched by one sample spans +- swath_angle.
+  for (const Sgp4& sat : sats) {
+    for (const GroundTrackPoint& p :
+         ground_track(sat, start, end, step_seconds)) {
+      const double lat = p.geodetic.latitude_rad;
+      const double lon = p.geodetic.longitude_rad;
+      const int r_lo = std::max(
+          0, static_cast<int>(std::floor(
+                 (lat - swath_angle + util::kPi / 2) / util::kPi * lat_cells)));
+      const int r_hi = std::min(
+          lat_cells - 1,
+          static_cast<int>(std::floor(
+              (lat + swath_angle + util::kPi / 2) / util::kPi * lat_cells)));
+      for (int r = r_lo; r <= r_hi; ++r) {
+        Row& row = grid[r];
+        const double row_lat =
+            (-90.0 + 180.0 * (r + 0.5) / lat_cells) * util::kRadPerDeg;
+        for (int c = 0; c < row.cols; ++c) {
+          if (row.hit[c]) continue;
+          const double cell_lon =
+              -util::kPi + util::kTwoPi * (c + 0.5) / row.cols;
+          if (util::great_circle_angle(lat, lon, row_lat, cell_lon) <=
+              swath_angle) {
+            row.hit[c] = 1;
+          }
+        }
+      }
+    }
+  }
+
+  CoverageStats stats;
+  for (const Row& row : grid) {
+    for (char h : row.hit) {
+      ++stats.cells_total;
+      if (h) ++stats.cells_covered;
+    }
+  }
+  stats.covered_fraction =
+      stats.cells_total > 0
+          ? static_cast<double>(stats.cells_covered) / stats.cells_total
+          : 0.0;
+  return stats;
+}
+
+}  // namespace dgs::orbit

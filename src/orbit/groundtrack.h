@@ -1,0 +1,56 @@
+// Ground-track and coverage analysis.
+//
+// Supporting utilities for the Earth-observation context the paper sets up
+// (§1-2): where a satellite's imaging swath falls, how often a target is
+// revisited, and what fraction of the Earth a constellation covers per day
+// — the quantities that determine how much data the downlink must carry.
+#pragma once
+
+#include <vector>
+
+#include "src/orbit/frames.h"
+#include "src/orbit/sgp4.h"
+
+namespace dgs::orbit {
+
+/// One sampled sub-satellite point.
+struct GroundTrackPoint {
+  util::Epoch when;
+  Geodetic geodetic;
+};
+
+/// Samples the sub-satellite track over [start, end] at `step_seconds`.
+std::vector<GroundTrackPoint> ground_track(const Sgp4& sat,
+                                           const util::Epoch& start,
+                                           const util::Epoch& end,
+                                           double step_seconds = 30.0);
+
+/// Westward shift of the ascending-node longitude per orbit [rad]: Earth
+/// rotation during one period (positive value; secular J2 drift is second
+/// order over a day).
+double node_shift_per_orbit_rad(const Sgp4& sat);
+
+/// Times at which the satellite's imaging swath (half-width
+/// `swath_half_angle_rad`, measured as the great-circle angle from the
+/// sub-satellite point) covers the target during [start, end].
+std::vector<util::Epoch> target_visits(const Sgp4& sat, const Geodetic& target,
+                                       double swath_half_width_km,
+                                       const util::Epoch& start,
+                                       const util::Epoch& end,
+                                       double step_seconds = 30.0);
+
+struct CoverageStats {
+  double covered_fraction = 0.0;  ///< Area-weighted fraction of grid cells
+                                  ///< imaged at least once.
+  int cells_total = 0;
+  int cells_covered = 0;
+};
+
+/// Fraction of the Earth (area-weighted lat/lon grid with `lat_cells`
+/// rows) imaged by the constellation's swaths during [start, end].
+CoverageStats coverage(const std::vector<Sgp4>& sats,
+                       double swath_half_width_km, const util::Epoch& start,
+                       const util::Epoch& end, int lat_cells = 36,
+                       double step_seconds = 30.0);
+
+}  // namespace dgs::orbit

@@ -1,0 +1,130 @@
+#include "src/orbit/kepler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/angles.h"
+#include "src/util/constants.h"
+
+namespace dgs::orbit {
+
+using util::Vec3;
+using util::wgs72::kMu;
+
+double solve_kepler(double mean_anomaly_rad, double ecc) {
+  if (ecc < 0.0 || ecc >= 1.0) {
+    throw std::domain_error("solve_kepler: eccentricity out of [0,1)");
+  }
+  const double m = util::wrap_pi(mean_anomaly_rad);
+  // Starting guess: E = M for small e, else sign(M)*pi heuristic.
+  double e0 = (ecc < 0.8) ? m : util::kPi * (m >= 0 ? 1.0 : -1.0);
+  for (int i = 0; i < 50; ++i) {
+    const double f = e0 - ecc * std::sin(e0) - m;
+    const double fp = 1.0 - ecc * std::cos(e0);
+    const double step = f / fp;
+    e0 -= step;
+    if (std::fabs(step) < 1.0e-13) break;
+  }
+  return e0;
+}
+
+double mean_motion_rad_s(double semi_major_axis_km) {
+  return std::sqrt(kMu / (semi_major_axis_km * semi_major_axis_km *
+                          semi_major_axis_km));
+}
+
+StateVector propagate_two_body(const KeplerianElements& el, double dt_seconds) {
+  const double a = el.semi_major_axis_km;
+  const double e = el.eccentricity;
+  const double n = mean_motion_rad_s(a);
+  const double m = el.mean_anomaly_rad + n * dt_seconds;
+  const double ea = solve_kepler(m, e);
+
+  // Perifocal coordinates.
+  const double cos_ea = std::cos(ea);
+  const double sin_ea = std::sin(ea);
+  const double r = a * (1.0 - e * cos_ea);
+  const double x_pf = a * (cos_ea - e);
+  const double y_pf = a * std::sqrt(1.0 - e * e) * sin_ea;
+  const double rdot_coeff = std::sqrt(kMu * a) / r;
+  const double vx_pf = -rdot_coeff * sin_ea;
+  const double vy_pf = rdot_coeff * std::sqrt(1.0 - e * e) * cos_ea;
+
+  // Rotation perifocal -> inertial: Rz(-raan) Rx(-i) Rz(-argp).
+  const double cO = std::cos(el.raan_rad), sO = std::sin(el.raan_rad);
+  const double ci = std::cos(el.inclination_rad),
+               si = std::sin(el.inclination_rad);
+  const double cw = std::cos(el.arg_perigee_rad),
+               sw = std::sin(el.arg_perigee_rad);
+
+  const Vec3 p_hat{cO * cw - sO * sw * ci, sO * cw + cO * sw * ci, sw * si};
+  const Vec3 q_hat{-cO * sw - sO * cw * ci, -sO * sw + cO * cw * ci, cw * si};
+
+  StateVector sv;
+  sv.position_km = p_hat * x_pf + q_hat * y_pf;
+  sv.velocity_km_s = p_hat * vx_pf + q_hat * vy_pf;
+  return sv;
+}
+
+KeplerianElements elements_from_state(const StateVector& sv) {
+  const Vec3 r = sv.position_km;
+  const Vec3 v = sv.velocity_km_s;
+  const double rn = r.norm();
+  const double vn = v.norm();
+  if (rn <= 0.0) throw std::domain_error("elements_from_state: zero radius");
+
+  const double energy = vn * vn / 2.0 - kMu / rn;
+  if (energy >= 0.0) {
+    throw std::domain_error("elements_from_state: orbit is not elliptical");
+  }
+  const double a = -kMu / (2.0 * energy);
+
+  const Vec3 h = r.cross(v);
+  const Vec3 e_vec = (v.cross(h) / kMu) - r / rn;
+  const double e = e_vec.norm();
+
+  const double i = std::acos(std::clamp(h.z / h.norm(), -1.0, 1.0));
+
+  // Node vector.
+  const Vec3 n_vec{-h.y, h.x, 0.0};
+  const double nn = n_vec.norm();
+
+  double raan = 0.0, argp = 0.0;
+  if (nn > 1e-12) {
+    raan = std::atan2(n_vec.y, n_vec.x);
+    if (raan < 0.0) raan += util::kTwoPi;
+    if (e > 1e-12) {
+      argp = std::acos(std::clamp(n_vec.dot(e_vec) / (nn * e), -1.0, 1.0));
+      if (e_vec.z < 0.0) argp = util::kTwoPi - argp;
+    }
+  }
+
+  // True anomaly -> eccentric -> mean.
+  double nu;
+  if (e > 1e-12) {
+    nu = std::acos(std::clamp(e_vec.dot(r) / (e * rn), -1.0, 1.0));
+    if (r.dot(v) < 0.0) nu = util::kTwoPi - nu;
+  } else {
+    // Circular: measure from the node (or x-axis for equatorial).
+    const Vec3 ref = nn > 1e-12 ? n_vec / nn : Vec3{1.0, 0.0, 0.0};
+    nu = std::acos(std::clamp(ref.dot(r) / rn, -1.0, 1.0));
+    if (r.z < 0.0) nu = util::kTwoPi - nu;
+  }
+  const double ea =
+      2.0 * std::atan2(std::sqrt(1.0 - e) * std::sin(nu / 2.0),
+                       std::sqrt(1.0 + e) * std::cos(nu / 2.0));
+  double m = ea - e * std::sin(ea);
+  m = util::wrap_two_pi(m);
+
+  KeplerianElements el;
+  el.semi_major_axis_km = a;
+  el.eccentricity = e;
+  el.inclination_rad = i;
+  el.raan_rad = raan;
+  el.arg_perigee_rad = argp;
+  el.mean_anomaly_rad = m;
+  return el;
+}
+
+}  // namespace dgs::orbit

@@ -1,0 +1,41 @@
+// Classical two-body (Keplerian) utilities.
+//
+// Used (a) to build synthetic element sets for the constellation generator,
+// and (b) as an independent sanity check of SGP4 over short horizons where
+// perturbations are small.
+#pragma once
+
+#include "src/util/vec3.h"
+
+namespace dgs::orbit {
+
+/// Classical orbital elements (angles in radians).
+struct KeplerianElements {
+  double semi_major_axis_km = 7000.0;
+  double eccentricity = 0.0;
+  double inclination_rad = 0.0;
+  double raan_rad = 0.0;        ///< Right ascension of the ascending node.
+  double arg_perigee_rad = 0.0;
+  double mean_anomaly_rad = 0.0;
+};
+
+/// Solves Kepler's equation M = E - e*sin(E) for the eccentric anomaly E
+/// by Newton iteration.  `ecc` in [0, 1).  Converges to ~1e-12 rad.
+double solve_kepler(double mean_anomaly_rad, double ecc);
+
+/// Mean motion [rad/s] for a semi-major axis (WGS-72 mu).
+double mean_motion_rad_s(double semi_major_axis_km);
+
+/// Converts elements (with mean anomaly advanced by `dt_seconds`) to an
+/// inertial position/velocity state.  Pure two-body motion, no perturbation.
+struct StateVector {
+  util::Vec3 position_km;
+  util::Vec3 velocity_km_s;
+};
+StateVector propagate_two_body(const KeplerianElements& el, double dt_seconds);
+
+/// Recovers classical elements from an inertial state vector (two-body).
+/// Undefined for parabolic/hyperbolic states; throws std::domain_error.
+KeplerianElements elements_from_state(const StateVector& sv);
+
+}  // namespace dgs::orbit

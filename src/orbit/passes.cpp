@@ -1,0 +1,124 @@
+#include "src/orbit/passes.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dgs::orbit {
+
+double elevation_at(const Sgp4& sat, const Geodetic& site,
+                    const util::Epoch& when) {
+  const TemeState st = sat.propagate_to(when);
+  util::Vec3 r_ecef, v_ecef;
+  teme_to_ecef(st.position_km, st.velocity_km_s, when, r_ecef, v_ecef);
+  return look_angles(site, r_ecef, v_ecef).elevation_rad;
+}
+
+namespace {
+
+/// Bisects the elevation-mask crossing in (lo, hi]; `lo` must be on the
+/// `below` side and `hi` on the other side.
+util::Epoch bisect_crossing(const Sgp4& sat, const Geodetic& site, double mask,
+                            util::Epoch lo, util::Epoch hi, double tol_s) {
+  while (hi.seconds_since(lo) > tol_s) {
+    const util::Epoch mid = lo.plus_seconds(hi.seconds_since(lo) / 2.0);
+    if (elevation_at(sat, site, mid) >= mask) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+/// Golden-section search for the elevation maximum inside [lo, hi].
+util::Epoch find_peak(const Sgp4& sat, const Geodetic& site, util::Epoch lo,
+                      util::Epoch hi, double tol_s) {
+  constexpr double kInvPhi = 0.6180339887498949;
+  double span = hi.seconds_since(lo);
+  double a = 0.0, b = span;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = elevation_at(sat, site, lo.plus_seconds(c));
+  double fd = elevation_at(sat, site, lo.plus_seconds(d));
+  while (b - a > tol_s) {
+    if (fc > fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = elevation_at(sat, site, lo.plus_seconds(c));
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = elevation_at(sat, site, lo.plus_seconds(d));
+    }
+  }
+  return lo.plus_seconds((a + b) / 2.0);
+}
+
+}  // namespace
+
+std::vector<Pass> predict_passes(const Sgp4& sat, const Geodetic& site,
+                                 const util::Epoch& start,
+                                 const util::Epoch& end,
+                                 const PassPredictorOptions& opts) {
+  if (end < start) {
+    throw std::invalid_argument("predict_passes: end before start");
+  }
+  if (opts.coarse_step_seconds <= 0.0) {
+    throw std::invalid_argument("predict_passes: non-positive step");
+  }
+  std::vector<Pass> passes;
+  const double mask = opts.min_elevation_rad;
+  const double tol = opts.refine_tolerance_seconds;
+
+  util::Epoch t = start;
+  bool above = elevation_at(sat, site, t) >= mask;
+  util::Epoch rise = start;  // valid only while `above`
+  bool have_open_pass = above;
+
+  while (t < end) {
+    util::Epoch next = t.plus_seconds(opts.coarse_step_seconds);
+    if (end < next) next = end;
+    const bool above_next = elevation_at(sat, site, next) >= mask;
+
+    if (!above && above_next) {
+      rise = bisect_crossing(sat, site, mask, t, next, tol);
+      have_open_pass = true;
+    } else if (above && !above_next) {
+      // For the set crossing the "below" side is `next`.
+      util::Epoch lo = next, hi = t;
+      while (lo.seconds_since(hi) > tol) {
+        const util::Epoch mid = hi.plus_seconds(lo.seconds_since(hi) / 2.0);
+        if (elevation_at(sat, site, mid) >= mask) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      Pass p;
+      p.aos = rise;
+      p.los = hi;
+      p.tca = find_peak(sat, site, p.aos, p.los, tol);
+      p.max_elevation_rad = elevation_at(sat, site, p.tca);
+      passes.push_back(p);
+      have_open_pass = false;
+    }
+    above = above_next;
+    t = next;
+  }
+
+  if (have_open_pass && above) {
+    Pass p;
+    p.aos = rise;
+    p.los = end;
+    p.tca = find_peak(sat, site, p.aos, p.los, tol);
+    p.max_elevation_rad = elevation_at(sat, site, p.tca);
+    passes.push_back(p);
+  }
+  return passes;
+}
+
+}  // namespace dgs::orbit

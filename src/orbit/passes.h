@@ -1,0 +1,44 @@
+// Pass (contact window) prediction between a satellite and a ground site.
+//
+// A "pass" is the interval during which the satellite is above the site's
+// minimum elevation mask.  The predictor scans the horizon function at a
+// coarse step and refines the rise/set crossings by bisection, which is
+// robust for LEO passes (several minutes long) at a fraction of the cost of
+// a fine uniform scan.
+#pragma once
+
+#include <vector>
+
+#include "src/orbit/frames.h"
+#include "src/orbit/sgp4.h"
+
+namespace dgs::orbit {
+
+/// One contact window.
+struct Pass {
+  util::Epoch aos;              ///< Acquisition of signal (rise time).
+  util::Epoch los;              ///< Loss of signal (set time).
+  util::Epoch tca;              ///< Time of closest approach (max elevation).
+  double max_elevation_rad = 0.0;
+  double duration_seconds() const { return los.seconds_since(aos); }
+};
+
+struct PassPredictorOptions {
+  double min_elevation_rad = 0.0;   ///< Elevation mask.
+  double coarse_step_seconds = 30;  ///< Scan step; must undersample no pass.
+  double refine_tolerance_seconds = 0.5;  ///< Bisection stop tolerance.
+};
+
+/// Elevation [rad] of the satellite above the site's horizon at `when`.
+double elevation_at(const Sgp4& sat, const Geodetic& site,
+                    const util::Epoch& when);
+
+/// All passes with AOS inside [start, end].  A pass already in progress at
+/// `start` is reported with aos == start; one still in progress at `end`
+/// is reported with los == end.
+std::vector<Pass> predict_passes(const Sgp4& sat, const Geodetic& site,
+                                 const util::Epoch& start,
+                                 const util::Epoch& end,
+                                 const PassPredictorOptions& opts = {});
+
+}  // namespace dgs::orbit

@@ -1,0 +1,72 @@
+// SGP4 orbit propagator (near-earth variant).
+//
+// From-scratch implementation of the SGP4 analytical theory in the
+// formulation of Vallado et al., "Revisiting Spacetrack Report #3" (AIAA
+// 2006-6753), using the WGS-72 gravity constants that NORAD element sets are
+// fitted against.  Output state vectors are in the TEME (True Equator, Mean
+// Equinox) inertial frame of the element set epoch, in kilometres and
+// kilometres per second.
+//
+// Scope: the near-earth theory only.  All satellites in the paper's
+// evaluation are LEO (300-600 km, period ~90 min); element sets with periods
+// of 225 minutes or more require the deep-space extension (SDP4) and are
+// rejected at construction with std::domain_error.
+#pragma once
+
+#include "src/orbit/tle.h"
+#include "src/util/time.h"
+#include "src/util/vec3.h"
+
+namespace dgs::orbit {
+
+/// Position/velocity state in the TEME frame.
+struct TemeState {
+  util::Vec3 position_km;
+  util::Vec3 velocity_km_s;
+};
+
+class Sgp4 {
+ public:
+  /// Initializes the propagator from a parsed element set.
+  /// Throws std::domain_error for deep-space (period >= 225 min) or
+  /// physically invalid element sets.
+  explicit Sgp4(const Tle& tle);
+
+  /// Propagates to `tsince_minutes` after the element set epoch (may be
+  /// negative).  Throws std::domain_error if the mean elements become
+  /// non-physical (eccentricity out of range, negative semi-latus rectum)
+  /// or the satellite has decayed below the Earth's surface.
+  TemeState propagate(double tsince_minutes) const;
+
+  /// Propagates to an absolute epoch.
+  TemeState propagate_to(const util::Epoch& when) const {
+    return propagate(when.minutes_since(epoch_));
+  }
+
+  const util::Epoch& epoch() const { return epoch_; }
+  int satnum() const { return satnum_; }
+  /// Un-Kozai'd (Brouwer) mean motion [rad/min] recovered during init.
+  double mean_motion_rad_per_min() const { return no_unkozai_; }
+  /// Orbital period from the recovered mean motion [minutes].
+  double period_minutes() const;
+
+ private:
+  util::Epoch epoch_;
+  int satnum_ = 0;
+
+  // Elements at epoch (radians, rad/min).
+  double ecco_ = 0.0, inclo_ = 0.0, nodeo_ = 0.0, argpo_ = 0.0, mo_ = 0.0;
+  double no_unkozai_ = 0.0;
+  double bstar_ = 0.0;
+
+  // Derived initialization constants (names follow the reference theory).
+  bool isimp_ = false;
+  double aycof_ = 0.0, con41_ = 0.0, cc1_ = 0.0, cc4_ = 0.0, cc5_ = 0.0;
+  double d2_ = 0.0, d3_ = 0.0, d4_ = 0.0;
+  double delmo_ = 0.0, eta_ = 0.0, argpdot_ = 0.0, omgcof_ = 0.0;
+  double sinmao_ = 0.0, t2cof_ = 0.0, t3cof_ = 0.0, t4cof_ = 0.0, t5cof_ = 0.0;
+  double x1mth2_ = 0.0, x7thm1_ = 0.0, mdot_ = 0.0, nodedot_ = 0.0;
+  double xlcof_ = 0.0, xmcof_ = 0.0, nodecf_ = 0.0;
+};
+
+}  // namespace dgs::orbit

@@ -1,0 +1,65 @@
+#include "src/orbit/sun.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/angles.h"
+#include "src/util/constants.h"
+
+namespace dgs::orbit {
+
+using util::Vec3;
+
+Vec3 sun_position_km(const util::Epoch& when) {
+  // Low-precision solar ephemeris (Vallado alg. 29 / Astronomical Almanac).
+  const double t = (when.jd() - 2451545.0) / 36525.0;
+  const double mean_lon_deg = std::fmod(280.460 + 36000.771 * t, 360.0);
+  const double mean_anom_deg = std::fmod(357.5291092 + 35999.05034 * t, 360.0);
+  const double m = util::deg2rad(mean_anom_deg);
+
+  const double ecl_lon_deg = mean_lon_deg + 1.914666471 * std::sin(m) +
+                             0.019994643 * std::sin(2.0 * m);
+  const double ecl_lon = util::deg2rad(ecl_lon_deg);
+  // Distance in astronomical units.
+  const double r_au =
+      1.000140612 - 0.016708617 * std::cos(m) - 0.000139589 * std::cos(2.0 * m);
+  const double obliquity = util::deg2rad(23.439291 - 0.0130042 * t);
+
+  constexpr double kAuKm = 149597870.7;
+  const double r_km = r_au * kAuKm;
+  return Vec3{r_km * std::cos(ecl_lon),
+              r_km * std::cos(obliquity) * std::sin(ecl_lon),
+              r_km * std::sin(obliquity) * std::sin(ecl_lon)};
+}
+
+SunAngles sun_angles(const Geodetic& site, const util::Epoch& when) {
+  const Vec3 sun_inertial = sun_position_km(when);
+  const Vec3 sun_ecef = teme_to_ecef(sun_inertial, when);
+  const LookAngles la = look_angles(site, sun_ecef);
+  SunAngles out;
+  out.azimuth_rad = la.azimuth_rad;
+  out.elevation_rad = la.elevation_rad;
+  out.distance_km = sun_inertial.norm();
+  return out;
+}
+
+bool sun_outage(const Geodetic& site, double look_azimuth_rad,
+                double look_elevation_rad, const util::Epoch& when,
+                double cone_rad) {
+  if (cone_rad <= 0.0) {
+    throw std::invalid_argument("sun_outage: cone must be > 0");
+  }
+  const SunAngles sun = sun_angles(site, when);
+  if (sun.elevation_rad <= 0.0) return false;  // sun below the horizon
+
+  // Angular separation between the two (az, el) directions on the sky.
+  const double cos_sep =
+      std::sin(look_elevation_rad) * std::sin(sun.elevation_rad) +
+      std::cos(look_elevation_rad) * std::cos(sun.elevation_rad) *
+          std::cos(look_azimuth_rad - sun.azimuth_rad);
+  const double sep = std::acos(std::clamp(cos_sep, -1.0, 1.0));
+  return sep <= cone_rad;
+}
+
+}  // namespace dgs::orbit

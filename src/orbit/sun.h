@@ -1,0 +1,37 @@
+// Low-precision solar ephemeris and sun-outage prediction.
+//
+// When the sun passes within a fraction of a degree-to-a-few degrees of a
+// ground antenna's boresight, solar broadband noise swamps the receiver
+// and the pass is lost — a deterministic, predictable outage every
+// operational scheduler must avoid.  The solar position model is the
+// standard low-precision almanac formula (accurate to ~0.01 deg,
+// 1950-2050), ample for an outage cone measured in degrees.
+#pragma once
+
+#include "src/orbit/frames.h"
+#include "src/util/time.h"
+#include "src/util/vec3.h"
+
+namespace dgs::orbit {
+
+/// Sun position in the mean-equator/mean-equinox frame (compatible with
+/// TEME at this precision), unit: kilometres.
+util::Vec3 sun_position_km(const util::Epoch& when);
+
+/// Apparent solar angles from a ground site: azimuth/elevation and the
+/// Earth-sun distance.
+struct SunAngles {
+  double azimuth_rad = 0.0;
+  double elevation_rad = 0.0;
+  double distance_km = 0.0;
+};
+SunAngles sun_angles(const Geodetic& site, const util::Epoch& when);
+
+/// True when the sun is within `cone_rad` of the look direction
+/// (azimuth/elevation, radians) from `site` — a solar-noise outage for a
+/// receiver pointed there.  Only possible with the sun above the horizon.
+bool sun_outage(const Geodetic& site, double look_azimuth_rad,
+                double look_elevation_rad, const util::Epoch& when,
+                double cone_rad);
+
+}  // namespace dgs::orbit

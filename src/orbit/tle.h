@@ -1,0 +1,67 @@
+// Two-Line Element set (TLE) parsing, validation, and generation.
+//
+// A TLE is the NORAD-standard textual representation of a satellite's mean
+// orbital elements (Hoots & Roehrich, Spacetrack Report #3).  DGS both
+// consumes TLEs (the scheduler's orbit calculations start from them, §3.1 of
+// the paper) and produces them (the synthetic constellation generator emits
+// TLEs so the whole pipeline runs exactly as it would on live element sets).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/util/time.h"
+
+namespace dgs::orbit {
+
+/// Parsed orbital elements of one TLE.  Angles are stored in degrees exactly
+/// as they appear in the element set; mean motion in revolutions per day.
+struct Tle {
+  int satnum = 0;                ///< NORAD catalog number.
+  char classification = 'U';     ///< 'U' unclassified.
+  std::string intl_designator;   ///< International designator (cols 10-17).
+  util::Epoch epoch;             ///< Epoch of the element set (UTC).
+  double ndot_over_2 = 0.0;      ///< First time derivative of mean motion / 2 [rev/day^2].
+  double nddot_over_6 = 0.0;     ///< Second derivative / 6 [rev/day^3].
+  double bstar = 0.0;            ///< B* drag term [1/earth-radii].
+  int element_set_number = 0;    ///< Element set number.
+  double inclination_deg = 0.0;  ///< Orbital inclination [deg].
+  double raan_deg = 0.0;         ///< Right ascension of ascending node [deg].
+  double eccentricity = 0.0;     ///< Eccentricity (dimensionless).
+  double arg_perigee_deg = 0.0;  ///< Argument of perigee [deg].
+  double mean_anomaly_deg = 0.0; ///< Mean anomaly [deg].
+  double mean_motion_revs_per_day = 0.0;  ///< Mean motion [rev/day].
+  int rev_number = 0;            ///< Revolution number at epoch.
+
+  std::string name;              ///< Optional satellite name (from a 3-line set).
+
+  /// Orbital period implied by the mean motion [minutes].
+  double period_minutes() const { return 1440.0 / mean_motion_revs_per_day; }
+
+  /// Semi-major axis implied by the (Kozai) mean motion [km].
+  double semi_major_axis_km() const;
+
+  /// Approximate perigee/apogee altitude above the spherical Earth [km].
+  double perigee_altitude_km() const;
+  double apogee_altitude_km() const;
+};
+
+/// Parses a two-line element set.  Throws std::invalid_argument with a
+/// descriptive message on malformed lines, bad line numbers, disagreeing
+/// catalog numbers, or checksum mismatch.
+Tle parse_tle(std::string_view line1, std::string_view line2);
+
+/// Parses a three-line element set (name line + the two element lines).
+Tle parse_tle_3le(std::string_view name_line, std::string_view line1,
+                  std::string_view line2);
+
+/// Formats the elements back into the two canonical 69-column lines,
+/// including correct checksums.  parse_tle(format..) round-trips.
+std::string format_tle_line1(const Tle& tle);
+std::string format_tle_line2(const Tle& tle);
+
+/// NORAD checksum of one line (sum of digits, '-' counts as 1, mod 10),
+/// computed over the first 68 columns.
+int tle_checksum(std::string_view line);
+
+}  // namespace dgs::orbit

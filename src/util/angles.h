@@ -1,0 +1,40 @@
+// Small angle helpers shared by the orbit and link libraries.
+#pragma once
+
+#include <cmath>
+
+#include "src/util/constants.h"
+
+namespace dgs::util {
+
+/// Degrees -> radians.
+constexpr double deg2rad(double deg) { return deg * kRadPerDeg; }
+
+/// Radians -> degrees.
+constexpr double rad2deg(double rad) { return rad * kDegPerRad; }
+
+/// Wraps an angle to [0, 2*pi).
+inline double wrap_two_pi(double rad) {
+  double w = std::fmod(rad, kTwoPi);
+  if (w < 0.0) w += kTwoPi;
+  return w;
+}
+
+/// Wraps an angle to (-pi, pi].
+inline double wrap_pi(double rad) {
+  double w = wrap_two_pi(rad);
+  if (w > kPi) w -= kTwoPi;
+  return w;
+}
+
+/// Great-circle central angle between two geodetic points given in radians.
+/// Uses the haversine form, stable for small separations.
+inline double great_circle_angle(double lat1, double lon1, double lat2,
+                                 double lon2) {
+  const double sdlat = std::sin((lat2 - lat1) / 2.0);
+  const double sdlon = std::sin((lon2 - lon1) / 2.0);
+  const double h = sdlat * sdlat + std::cos(lat1) * std::cos(lat2) * sdlon * sdlon;
+  return 2.0 * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+}  // namespace dgs::util

@@ -1,0 +1,56 @@
+// Physical and geodetic constants used across DGS.
+//
+// The orbit propagator (SGP4) uses the WGS-72 constant set, matching the
+// constants baked into the NORAD element sets it consumes.  Geodetic
+// conversions (latitude/longitude/altitude of ground stations) use WGS-84.
+#pragma once
+
+namespace dgs::util {
+
+// --- Mathematical -----------------------------------------------------------
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+inline constexpr double kDegPerRad = 180.0 / kPi;
+inline constexpr double kRadPerDeg = kPi / 180.0;
+
+// --- Physical ---------------------------------------------------------------
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299792458.0;
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+/// Boltzmann constant expressed in dBW/(K*Hz): 10*log10(k).
+inline constexpr double kBoltzmannDb = -228.5991672;
+
+// --- WGS-72 (used by SGP4; values from Vallado, "Revisiting Spacetrack
+// Report #3") ----------------------------------------------------------------
+namespace wgs72 {
+/// Earth gravitational parameter [km^3/s^2].
+inline constexpr double kMu = 398600.8;
+/// Earth equatorial radius [km].
+inline constexpr double kEarthRadiusKm = 6378.135;
+/// J2 zonal harmonic.
+inline constexpr double kJ2 = 0.001082616;
+/// J3 zonal harmonic.
+inline constexpr double kJ3 = -0.00000253881;
+/// J4 zonal harmonic.
+inline constexpr double kJ4 = -0.00000165597;
+}  // namespace wgs72
+
+// --- WGS-84 (geodesy) -------------------------------------------------------
+namespace wgs84 {
+/// Semi-major axis [km].
+inline constexpr double kSemiMajorKm = 6378.137;
+/// Flattening.
+inline constexpr double kFlattening = 1.0 / 298.257223563;
+/// First eccentricity squared.
+inline constexpr double kE2 = kFlattening * (2.0 - kFlattening);
+}  // namespace wgs84
+
+/// Earth rotation rate [rad/s] (IAU-82, consistent with GMST model below).
+inline constexpr double kEarthRotationRadPerSec = 7.29211514670698e-05;
+
+/// Minutes per day; SGP4 works internally in minutes.
+inline constexpr double kMinutesPerDay = 1440.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+
+}  // namespace dgs::util

@@ -1,0 +1,84 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+namespace dgs::util {
+
+double percentile(std::span<const double> sorted_samples, double pct) {
+  if (sorted_samples.empty()) {
+    throw std::invalid_argument("percentile() of empty sample set");
+  }
+  if (pct < 0.0 || pct > 100.0) {
+    throw std::invalid_argument("percentile() pct out of [0,100]");
+  }
+  const double rank = pct / 100.0 * (sorted_samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - lo;
+  return sorted_samples[lo] * (1.0 - frac) + sorted_samples[hi] * frac;
+}
+
+void SampleSet::add(double v) {
+  samples_.push_back(v);
+  sorted_ = samples_.size() <= 1;
+}
+
+void SampleSet::add_all(std::span<const double> vs) {
+  samples_.insert(samples_.end(), vs.begin(), vs.end());
+  sorted_ = samples_.size() <= 1;
+}
+
+const std::vector<double>& SampleSet::sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  return samples_;
+}
+
+double SampleSet::min() const { return sorted().front(); }
+double SampleSet::max() const { return sorted().back(); }
+
+double SampleSet::mean() const {
+  if (samples_.empty()) throw std::invalid_argument("mean() of empty set");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         samples_.size();
+}
+
+double SampleSet::percentile(double pct) const {
+  return dgs::util::percentile(sorted(), pct);
+}
+
+double SampleSet::cdf(double x) const {
+  const auto& s = sorted();
+  if (s.empty()) return 0.0;
+  const auto it = std::upper_bound(s.begin(), s.end(), x);
+  return static_cast<double>(it - s.begin()) / s.size();
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf_curve(int points) const {
+  if (points < 2) throw std::invalid_argument("cdf_curve() needs >= 2 points");
+  std::vector<std::pair<double, double>> curve;
+  if (empty()) return curve;
+  const double lo = min(), hi = max();
+  curve.reserve(points);
+  for (int i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * i / (points - 1);
+    curve.emplace_back(x, cdf(x));
+  }
+  return curve;
+}
+
+std::string summary_row(const SampleSet& s, const std::string& unit) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.1f %s (p90: %.1f, p99: %.1f)",
+                s.percentile(50.0), unit.c_str(), s.percentile(90.0),
+                s.percentile(99.0));
+  return buf;
+}
+
+}  // namespace dgs::util

@@ -1,0 +1,34 @@
+#include "src/weather/climatology.h"
+
+#include <cmath>
+
+#include "src/util/angles.h"
+
+namespace dgs::weather {
+
+double storm_density_weight(double latitude_rad) {
+  const double lat = std::fabs(util::rad2deg(latitude_rad));
+  if (lat < 10.0) return 1.0;             // ITCZ: deep convection.
+  if (lat < 25.0) return 0.35;            // Subtropical ridge: suppressed.
+  if (lat < 60.0) return 0.7;             // Mid-latitude storm tracks.
+  if (lat < 75.0) return 0.35;            // Subpolar.
+  return 0.15;                            // Polar deserts.
+}
+
+double typical_peak_rain_mm_h(double latitude_rad) {
+  const double lat = std::fabs(util::rad2deg(latitude_rad));
+  if (lat < 10.0) return 40.0;   // Tropical convective cores.
+  if (lat < 25.0) return 25.0;
+  if (lat < 60.0) return 15.0;   // Frontal/stratiform dominated.
+  return 5.0;                    // Cold, low-moisture precipitation.
+}
+
+double background_cloud_kg_m2(double latitude_rad) {
+  const double lat = std::fabs(util::rad2deg(latitude_rad));
+  if (lat < 10.0) return 0.25;
+  if (lat < 25.0) return 0.08;
+  if (lat < 60.0) return 0.20;
+  return 0.12;
+}
+
+}  // namespace dgs::weather

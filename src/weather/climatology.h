@@ -1,0 +1,21 @@
+// Latitude-band climatology used to seed the synthetic weather generator.
+//
+// Captures the first-order global precipitation structure: a wet
+// inter-tropical convergence zone, dry subtropical ridges, moderate
+// mid-latitude storm tracks, and dry polar caps.  Values are relative
+// weights, not physical rainfall totals — the synthetic generator scales
+// them into storm-cell density and intensity.
+#pragma once
+
+namespace dgs::weather {
+
+/// Relative likelihood (0..1) that a storm system exists at this latitude.
+double storm_density_weight(double latitude_rad);
+
+/// Typical peak rain rate [mm/h] of convective cells at this latitude.
+double typical_peak_rain_mm_h(double latitude_rad);
+
+/// Background (non-storm) cloud liquid water [kg/m^2] climatology.
+double background_cloud_kg_m2(double latitude_rad);
+
+}  // namespace dgs::weather

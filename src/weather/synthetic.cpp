@@ -1,0 +1,154 @@
+#include "src/weather/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/angles.h"
+#include "src/util/constants.h"
+#include "src/util/rng.h"
+#include "src/weather/climatology.h"
+
+namespace dgs::weather {
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+
+/// SplitMix64 — used for deterministic forecast-error angles.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SyntheticWeatherProvider::SyntheticWeatherProvider(
+    std::uint64_t seed, const util::Epoch& start, double horizon_hours,
+    const SyntheticWeatherOptions& opts)
+    : start_(start), horizon_s_(horizon_hours * 3600.0), opts_(opts),
+      seed_(seed) {
+  if (horizon_hours <= 0.0) {
+    throw std::invalid_argument("SyntheticWeatherProvider: bad horizon");
+  }
+  if (opts.mean_active_storms < 0) {
+    throw std::invalid_argument("SyntheticWeatherProvider: negative storms");
+  }
+  util::Rng rng(seed);
+
+  // Storms whose lifetime overlaps the horizon: steady-state population times
+  // (horizon + lifetime) / lifetime.
+  const double life_s = opts_.mean_lifetime_hours * 3600.0;
+  const int total = static_cast<int>(
+      opts_.mean_active_storms * (horizon_s_ + life_s) / life_s);
+  storms_.reserve(total);
+
+  for (int i = 0; i < total; ++i) {
+    Storm s;
+    // Rejection-sample a latitude from climatological storm density,
+    // area-weighted by cos(lat).
+    for (;;) {
+      const double lat = rng.uniform(-util::kPi / 2.0, util::kPi / 2.0);
+      const double w = storm_density_weight(lat) * std::cos(lat);
+      if (rng.uniform() < w) {
+        s.lat0_rad = lat;
+        break;
+      }
+    }
+    s.lon0_rad = rng.uniform(-util::kPi, util::kPi);
+
+    // Zonal drift: easterlies inside 30 deg, westerlies poleward of it.
+    const double lat_deg = util::rad2deg(std::fabs(s.lat0_rad));
+    const double zonal_m_s = (lat_deg < 30.0 ? -1.0 : 1.0) *
+                             rng.uniform(5.0, 25.0);
+    const double meridional_m_s = rng.normal(0.0, 3.0);
+    const double coslat = std::max(0.2, std::cos(s.lat0_rad));
+    s.vel_east_rad_s = zonal_m_s / (kEarthRadiusKm * 1000.0 * coslat);
+    s.vel_north_rad_s = meridional_m_s / (kEarthRadiusKm * 1000.0);
+
+    const double lifetime = rng.exponential(1.0 / life_s);
+    s.birth_s = rng.uniform(-lifetime, horizon_s_);
+    s.death_s = s.birth_s + lifetime;
+
+    s.radius_km = std::max(40.0, rng.normal(opts_.mean_radius_km,
+                                            opts_.mean_radius_km * 0.4));
+    const double typical = typical_peak_rain_mm_h(s.lat0_rad);
+    s.peak_rain_mm_h = std::min(120.0, rng.exponential(1.0 / typical));
+    s.cloud_kg_m2 = rng.uniform(0.4, 1.6);
+    storms_.push_back(s);
+  }
+}
+
+WeatherSample SyntheticWeatherProvider::sample_at(double lat, double lon,
+                                                  double t_s) const {
+  WeatherSample out;
+  out.cloud_liquid_kg_m2 = background_cloud_kg_m2(lat);
+
+  for (const Storm& s : storms_) {
+    if (t_s < s.birth_s || t_s > s.death_s) continue;
+    const double age = t_s - s.birth_s;
+    const double c_lat = s.lat0_rad + s.vel_north_rad_s * age;
+    const double c_lon = s.lon0_rad + s.vel_east_rad_s * age;
+
+    // The precipitating core is much smaller than the cloud shield: rain
+    // covers only a few percent of the globe at any instant while cloud
+    // cover is a large fraction.
+    const double cloud_sigma = s.radius_km;
+    const double rain_sigma = s.radius_km / 4.0;
+
+    // Cheap meridional prefilter: |dlat| alone already exceeds the shield.
+    if (std::fabs(lat - c_lat) * kEarthRadiusKm > 3.5 * cloud_sigma) continue;
+
+    const double d_km =
+        util::great_circle_angle(lat, lon, c_lat, c_lon) * kEarthRadiusKm;
+    if (d_km > 3.5 * cloud_sigma) continue;
+
+    // Storm intensity ramps up and decays over its lifetime (sine envelope).
+    const double life = s.death_s - s.birth_s;
+    const double envelope = std::sin(util::kPi * age / life);
+
+    if (d_km < 2.5 * rain_sigma) {
+      const double rain =
+          s.peak_rain_mm_h * envelope *
+          std::exp(-d_km * d_km / (2.0 * rain_sigma * rain_sigma));
+      out.rain_rate_mm_h = std::max(out.rain_rate_mm_h, rain);
+    }
+    out.cloud_liquid_kg_m2 +=
+        s.cloud_kg_m2 * envelope *
+        std::exp(-d_km * d_km / (2.0 * cloud_sigma * cloud_sigma));
+  }
+  out.cloud_liquid_kg_m2 = std::min(out.cloud_liquid_kg_m2, 4.0);
+  return out;
+}
+
+WeatherSample SyntheticWeatherProvider::actual(double latitude_rad,
+                                               double longitude_rad,
+                                               const util::Epoch& when) const {
+  return sample_at(latitude_rad, longitude_rad, when.seconds_since(start_));
+}
+
+WeatherSample SyntheticWeatherProvider::forecast(double latitude_rad,
+                                                 double longitude_rad,
+                                                 const util::Epoch& when,
+                                                 double lead_seconds) const {
+  if (lead_seconds < 0.0) {
+    throw std::invalid_argument("forecast: negative lead time");
+  }
+  // A forecast error is modelled as evaluating the true field at a point
+  // displaced by an error that grows with lead time.  The displacement
+  // direction is a deterministic function of (seed, forecast valid-hour),
+  // mimicking a coherent model bias rather than white noise.
+  const double lead_h = lead_seconds / 3600.0;
+  const double err_km = opts_.forecast_drift_km_per_hour * lead_h;
+  const std::uint64_t key =
+      mix64(seed_ ^ static_cast<std::uint64_t>(when.jd() * 24.0));
+  const double angle = (key % 62832) / 10000.0;  // [0, 2*pi)
+  const double dlat = err_km * std::sin(angle) / kEarthRadiusKm;
+  const double coslat = std::max(0.2, std::cos(latitude_rad));
+  const double dlon = err_km * std::cos(angle) / (kEarthRadiusKm * coslat);
+  return sample_at(latitude_rad + dlat, longitude_rad + dlon,
+                   when.seconds_since(start_));
+}
+
+}  // namespace dgs::weather

@@ -1,0 +1,69 @@
+// Synthetic spatio-temporally correlated weather (Dark Sky substitute).
+//
+// The generator materializes a deterministic population of moving storm
+// systems for a simulation horizon.  Each storm is a Gaussian rain cell with
+// a wider cloud shield, drifting (westerlies poleward of 30 deg, easterlies
+// in the tropics) over its lifetime.  Rain at a point is the superposition
+// of nearby cells; clouds add a latitude-band background.  Forecasts degrade
+// with lead time by perturbing the queried position/time with deterministic
+// noise, which reproduces the operationally relevant failure mode: a
+// mis-placed storm, not white noise on the rain rate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/weather/provider.h"
+
+namespace dgs::weather {
+
+struct SyntheticWeatherOptions {
+  /// Expected number of simultaneously active storm systems world-wide.
+  /// A few hundred matches the global population of significant
+  /// precipitation systems.
+  int mean_active_storms = 250;
+  double mean_lifetime_hours = 12.0;
+  double mean_radius_km = 250.0;
+  /// Forecast position error growth [km per hour of lead time].
+  double forecast_drift_km_per_hour = 30.0;
+};
+
+class SyntheticWeatherProvider final : public WeatherProvider {
+ public:
+  /// Generates storms covering [start, start + horizon_hours].  Queries
+  /// outside the horizon see only background climatology.
+  SyntheticWeatherProvider(std::uint64_t seed, const util::Epoch& start,
+                           double horizon_hours,
+                           const SyntheticWeatherOptions& opts = {});
+
+  WeatherSample actual(double latitude_rad, double longitude_rad,
+                       const util::Epoch& when) const override;
+
+  WeatherSample forecast(double latitude_rad, double longitude_rad,
+                         const util::Epoch& when,
+                         double lead_seconds) const override;
+
+  /// Number of storm systems generated (all lifetimes, whole horizon).
+  std::size_t storm_count() const { return storms_.size(); }
+
+ private:
+  struct Storm {
+    double lat0_rad, lon0_rad;     ///< Centre at birth.
+    double vel_east_rad_s;         ///< Zonal drift.
+    double vel_north_rad_s;        ///< Meridional drift.
+    double birth_s, death_s;       ///< Seconds relative to start_.
+    double radius_km;              ///< Rain-core Gaussian sigma.
+    double peak_rain_mm_h;
+    double cloud_kg_m2;            ///< Peak cloud liquid of the shield.
+  };
+
+  WeatherSample sample_at(double lat, double lon, double t_s) const;
+
+  util::Epoch start_;
+  double horizon_s_;
+  SyntheticWeatherOptions opts_;
+  std::uint64_t seed_;
+  std::vector<Storm> storms_;
+};
+
+}  // namespace dgs::weather

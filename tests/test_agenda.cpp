@@ -1,0 +1,127 @@
+// Station agendas: job fusion, non-overlap, pointing sanity, CSV export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/agenda.h"
+#include "src/util/angles.h"
+
+namespace dgs::core {
+namespace {
+
+const util::Epoch kT0(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+
+class AgendaTest : public ::testing::Test {
+ protected:
+  AgendaTest() {
+    groundseg::NetworkOptions net;
+    net.num_stations = 20;
+    net.num_satellites = 15;
+    net.seed = 41;
+    sats_ = groundseg::generate_constellation(net, kT0);
+    stations_ = groundseg::generate_dgs_stations(net);
+    engine_ = std::make_unique<VisibilityEngine>(sats_, stations_, nullptr);
+    queues_.resize(sats_.size());
+    for (auto& q : queues_) q.generate(50e9, kT0.plus_seconds(-3600));
+    plan_ = plan_horizon(*engine_, queues_, phi_, kT0, 360, 60.0);
+    agendas_ = build_agendas(*engine_, plan_, kT0, 60.0);
+  }
+
+  std::vector<groundseg::SatelliteConfig> sats_;
+  std::vector<groundseg::GroundStation> stations_;
+  std::unique_ptr<VisibilityEngine> engine_;
+  std::vector<OnboardQueue> queues_;
+  LatencyValue phi_;
+  HorizonPlan plan_;
+  std::vector<StationAgenda> agendas_;
+};
+
+TEST_F(AgendaTest, EveryStationGetsAnAgendaObject) {
+  EXPECT_EQ(agendas_.size(), stations_.size());
+  int total_jobs = 0;
+  for (const auto& a : agendas_) {
+    total_jobs += static_cast<int>(a.entries.size());
+  }
+  EXPECT_GT(total_jobs, 0);
+}
+
+TEST_F(AgendaTest, JobsAreChronologicalAndNonOverlapping) {
+  for (const auto& a : agendas_) {
+    for (std::size_t i = 1; i < a.entries.size(); ++i) {
+      EXPECT_GE(a.entries[i].start.seconds_since(a.entries[i - 1].stop),
+                -1e-6)
+          << "station " << a.station;
+    }
+    for (const auto& e : a.entries) {
+      EXPECT_GT(e.duration_seconds(), 0.0);
+    }
+  }
+}
+
+TEST_F(AgendaTest, AgendaVolumeMatchesPlanVolume) {
+  double plan_bytes = 0.0;
+  for (const auto& step : plan_.per_step) {
+    for (const ContactEdge& e : step) {
+      plan_bytes += e.predicted_rate_bps * 60.0 / 8.0;
+    }
+  }
+  double agenda_bytes = 0.0;
+  for (const auto& a : agendas_) {
+    for (const auto& e : a.entries) agenda_bytes += e.expected_bytes;
+  }
+  EXPECT_NEAR(agenda_bytes, plan_bytes, plan_bytes * 1e-9 + 1.0);
+}
+
+TEST_F(AgendaTest, PointingIsAboveTheMaskDuringJobs) {
+  for (const auto& a : agendas_) {
+    const double mask_deg =
+        util::rad2deg(stations_[a.station].min_elevation_rad);
+    for (const auto& e : a.entries) {
+      // Quantization of job boundaries allows a small dip below the mask
+      // at the very edges; the mid-job pointing must be comfortably up.
+      EXPECT_GT(e.tca_pointing.elevation_deg, mask_deg - 1.0);
+      EXPECT_GE(e.aos_pointing.elevation_deg, mask_deg - 3.0);
+      EXPECT_GE(e.aos_pointing.azimuth_deg, 0.0);
+      EXPECT_LT(e.aos_pointing.azimuth_deg, 360.0);
+    }
+  }
+}
+
+TEST_F(AgendaTest, JobsAreFusedNotPerQuantum) {
+  // At 60 s quanta a 6-10 minute pass must fuse into one job, so the mean
+  // job duration is far above one quantum.
+  double total = 0.0;
+  int count = 0;
+  for (const auto& a : agendas_) {
+    for (const auto& e : a.entries) {
+      total += e.duration_seconds();
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_GT(total / count, 150.0);  // > 2.5 quanta on average
+}
+
+TEST_F(AgendaTest, CsvExportIsParseable) {
+  const StationAgenda* busiest = &agendas_[0];
+  for (const auto& a : agendas_) {
+    if (a.entries.size() > busiest->entries.size()) busiest = &a;
+  }
+  std::stringstream ss;
+  write_agenda_csv(ss, *busiest);
+  std::string line;
+  int lines = 0;
+  while (std::getline(ss, line)) {
+    if (lines == 0) {
+      EXPECT_NE(line.find("sat,start,stop"), std::string::npos);
+    } else {
+      // 10 comma-separated fields per row.
+      EXPECT_EQ(std::count(line.begin(), line.end(), ','), 9) << line;
+    }
+    ++lines;
+  }
+  EXPECT_EQ(lines, static_cast<int>(busiest->entries.size()) + 1);
+}
+
+}  // namespace
+}  // namespace dgs::core

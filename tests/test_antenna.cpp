@@ -1,0 +1,72 @@
+// Antenna gain and system noise temperature.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/link/antenna.h"
+
+namespace dgs::link {
+namespace {
+
+TEST(DishGain, KnownValueAtXBand) {
+  // 1 m dish at 8.2 GHz with 55% efficiency: G = 10log10(0.55*(pi*D*f/c)^2)
+  // = ~36.1 dBi.
+  EXPECT_NEAR(dish_gain_dbi(1.0, 8.2e9, 0.55), 36.1, 0.2);
+  // 4 m dish gains +12 dB over 1 m (20*log10(4)).
+  EXPECT_NEAR(dish_gain_dbi(4.0, 8.2e9, 0.55) - dish_gain_dbi(1.0, 8.2e9, 0.55),
+              12.04, 0.01);
+}
+
+TEST(DishGain, QuadraticInDiameterAndFrequency) {
+  EXPECT_NEAR(dish_gain_dbi(2.0, 8.2e9) - dish_gain_dbi(1.0, 8.2e9), 6.02,
+              0.01);
+  EXPECT_NEAR(dish_gain_dbi(1.0, 16.4e9) - dish_gain_dbi(1.0, 8.2e9), 6.02,
+              0.01);
+}
+
+TEST(DishGain, RejectsBadInputs) {
+  EXPECT_THROW(dish_gain_dbi(0.0, 8.2e9), std::invalid_argument);
+  EXPECT_THROW(dish_gain_dbi(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(dish_gain_dbi(1.0, 8.2e9, 0.0), std::invalid_argument);
+  EXPECT_THROW(dish_gain_dbi(1.0, 8.2e9, 1.5), std::invalid_argument);
+}
+
+TEST(SystemNoise, ClearSkyBaseline) {
+  const ReceiveSystem rx;
+  const double t = system_noise_temp_k(rx, 0.0);
+  EXPECT_DOUBLE_EQ(t, rx.clear_sky_temp_k + rx.ground_spillover_k +
+                          rx.lna_noise_temp_k);
+}
+
+TEST(SystemNoise, RainRaisesNoiseTemperature) {
+  const ReceiveSystem rx;
+  const double clear = system_noise_temp_k(rx, 0.0);
+  const double light = system_noise_temp_k(rx, 1.0);
+  const double heavy = system_noise_temp_k(rx, 10.0);
+  EXPECT_GT(light, clear);
+  EXPECT_GT(heavy, light);
+  // Saturates toward T_medium + fixed terms as A -> inf.
+  const double opaque = system_noise_temp_k(rx, 60.0);
+  EXPECT_NEAR(opaque, 275.0 + rx.ground_spillover_k + rx.lna_noise_temp_k,
+              0.5);
+}
+
+TEST(SystemNoise, RejectsNegativeLoss) {
+  EXPECT_THROW(system_noise_temp_k(ReceiveSystem{}, -0.1),
+               std::invalid_argument);
+}
+
+TEST(GOverT, ImprovesWithDishAndDegradesWithRain) {
+  ReceiveSystem small, big;
+  big.dish_diameter_m = 4.0;
+  EXPECT_GT(g_over_t_db(big, 8.2e9, 0.0), g_over_t_db(small, 8.2e9, 0.0));
+  EXPECT_GT(g_over_t_db(small, 8.2e9, 0.0), g_over_t_db(small, 8.2e9, 3.0));
+}
+
+TEST(GOverT, TypicalMagnitudeForDgsNode) {
+  // 1 m dish, ~155 K clear-sky system: G/T ~ 14 dB/K at X band.
+  EXPECT_NEAR(g_over_t_db(ReceiveSystem{}, 8.2e9, 0.0), 14.2, 1.0);
+}
+
+}  // namespace
+}  // namespace dgs::link

@@ -1,0 +1,132 @@
+// Capacitated (beamforming) matching: hospitals/residents-style stability,
+// capacity enforcement, degeneration to the 1:1 case.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/core/matching.h"
+#include "src/util/rng.h"
+
+namespace dgs::core {
+namespace {
+
+std::vector<Edge> random_graph(util::Rng& rng, int sats, int stations,
+                               double density) {
+  std::vector<Edge> edges;
+  for (int s = 0; s < sats; ++s) {
+    for (int g = 0; g < stations; ++g) {
+      if (rng.uniform() < density) {
+        edges.push_back(Edge{s, g, rng.uniform(0.1, 100.0)});
+      }
+    }
+  }
+  return edges;
+}
+
+bool respects_capacities(const std::vector<Edge>& edges, const Matching& m,
+                         int num_sats, const std::vector<int>& caps) {
+  std::vector<int> sat_ct(num_sats, 0), gs_ct(caps.size(), 0);
+  for (int i : m) {
+    sat_ct[edges[i].sat] += 1;
+    gs_ct[edges[i].station] += 1;
+  }
+  for (int c : sat_ct) {
+    if (c > 1) return false;
+  }
+  for (std::size_t g = 0; g < caps.size(); ++g) {
+    if (gs_ct[g] > caps[g]) return false;
+  }
+  return true;
+}
+
+TEST(BMatching, UnitCapacitiesMatchOneToOne) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto edges = random_graph(rng, 10, 8, 0.4);
+    const std::vector<int> caps(8, 1);
+    const double w_b =
+        matching_value(edges, stable_b_matching(edges, 10, caps));
+    const double w_1 = matching_value(edges, stable_matching(edges, 10, 8));
+    EXPECT_NEAR(w_b, w_1, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(BMatching, CapacityIsEnforced) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto edges = random_graph(rng, 20, 5, 0.6);
+    std::vector<int> caps{3, 1, 2, 0, 4};
+    const Matching ms = stable_b_matching(edges, 20, caps);
+    const Matching mg = greedy_b_matching(edges, 20, caps);
+    EXPECT_TRUE(respects_capacities(edges, ms, 20, caps));
+    EXPECT_TRUE(respects_capacities(edges, mg, 20, caps));
+    // Zero-capacity station 3 must never appear.
+    for (int i : ms) EXPECT_NE(edges[i].station, 3);
+    for (int i : mg) EXPECT_NE(edges[i].station, 3);
+  }
+}
+
+TEST(BMatching, StableOutputsAreStable) {
+  util::Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int sats = static_cast<int>(rng.uniform_int(2, 25));
+    const int stations = static_cast<int>(rng.uniform_int(1, 8));
+    const auto edges = random_graph(rng, sats, stations, 0.5);
+    std::vector<int> caps(stations);
+    for (auto& c : caps) c = static_cast<int>(rng.uniform_int(0, 4));
+    const Matching m = stable_b_matching(edges, sats, caps);
+    EXPECT_TRUE(respects_capacities(edges, m, sats, caps));
+    EXPECT_TRUE(is_stable_b_matching(edges, m, sats, caps))
+        << "trial " << trial;
+  }
+}
+
+TEST(BMatching, MoreBeamsServeMoreSatellites) {
+  // 6 satellites all see one station.
+  std::vector<Edge> edges;
+  for (int s = 0; s < 6; ++s) edges.push_back(Edge{s, 0, 10.0 + s});
+  EXPECT_EQ(stable_b_matching(edges, 6, {1}).size(), 1u);
+  EXPECT_EQ(stable_b_matching(edges, 6, {3}).size(), 3u);
+  EXPECT_EQ(stable_b_matching(edges, 6, {10}).size(), 6u);
+  // The 3-beam station keeps the three heaviest edges.
+  double total = matching_value(edges, stable_b_matching(edges, 6, {3}));
+  EXPECT_NEAR(total, 15.0 + 14.0 + 13.0, 1e-12);
+}
+
+TEST(BMatching, DisplacedSatelliteFindsSecondChoice) {
+  // s0 and s1 both prefer g0 (cap 1); s1 is better there; s0 must settle
+  // for g1 even though it proposed to g0 first.
+  const std::vector<Edge> edges{
+      {0, 0, 5.0}, {1, 0, 9.0}, {0, 1, 2.0}};
+  const Matching m = stable_b_matching(edges, 2, {1, 1});
+  double total = matching_value(edges, m);
+  EXPECT_NEAR(total, 11.0, 1e-12);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(BMatching, GreedyNeverBeatsItsOwnCapacityBound) {
+  util::Rng rng(21);
+  const auto edges = random_graph(rng, 30, 6, 0.7);
+  const std::vector<int> caps{2, 2, 2, 2, 2, 2};
+  const Matching m = greedy_b_matching(edges, 30, caps);
+  EXPECT_LE(m.size(), 12u);
+  EXPECT_TRUE(respects_capacities(edges, m, 30, caps));
+}
+
+TEST(BMatching, RejectsBadInputs) {
+  const std::vector<Edge> edges{{0, 0, 1.0}};
+  EXPECT_THROW(stable_b_matching(edges, 1, {-1}), std::invalid_argument);
+  EXPECT_THROW(stable_b_matching(edges, 1, {}), std::invalid_argument);
+  EXPECT_THROW(greedy_b_matching(edges, 1, {-2}), std::invalid_argument);
+  EXPECT_THROW(is_stable_b_matching(edges, {}, 1, {-2}),
+               std::invalid_argument);
+}
+
+TEST(BMatching, EmptyGraphEmptyMatching) {
+  EXPECT_TRUE(stable_b_matching({}, 4, {2, 2}).empty());
+  EXPECT_TRUE(greedy_b_matching({}, 4, {2, 2}).empty());
+  EXPECT_TRUE(is_stable_b_matching({}, {}, 4, {2, 2}));
+}
+
+}  // namespace
+}  // namespace dgs::core

@@ -1,0 +1,152 @@
+// End-to-end link budget behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/link/budget.h"
+#include "src/link/fspl.h"
+#include "src/util/angles.h"
+
+namespace dgs::link {
+namespace {
+
+using util::deg2rad;
+
+PathConditions leo_path(double elevation_deg, double rain = 0.0,
+                        double cloud = 0.0) {
+  // Slant range for a 550 km orbit over a spherical Earth.
+  const double re = 6371.0, h = 550.0;
+  const double el = deg2rad(elevation_deg);
+  const double range =
+      std::sqrt((re + h) * (re + h) - re * re * std::cos(el) * std::cos(el)) -
+      re * std::sin(el);
+  PathConditions p;
+  p.range_km = range;
+  p.elevation_rad = el;
+  p.site_latitude_rad = deg2rad(45.0);
+  p.site_altitude_km = 0.0;
+  p.rain_rate_mm_h = rain;
+  p.cloud_liquid_kg_m2 = cloud;
+  return p;
+}
+
+TEST(Fspl, KnownValue) {
+  // 1000 km at 8.2 GHz: 32.45 + 20log10(km) + 20log10(MHz) = 170.7 dB.
+  EXPECT_NEAR(fspl_db(1000.0, 8.2e9), 170.7, 0.1);
+}
+
+TEST(Fspl, TwentyLogDistanceSlope) {
+  EXPECT_NEAR(fspl_db(2000.0, 8.2e9) - fspl_db(1000.0, 8.2e9), 6.02, 0.01);
+}
+
+TEST(Fspl, RejectsBadInputs) {
+  EXPECT_THROW(fspl_db(0.0, 8.2e9), std::invalid_argument);
+  EXPECT_THROW(fspl_db(1000.0, -1.0), std::invalid_argument);
+}
+
+TEST(LinkBudget, ClosesAtZenithForDefaultDgsNode) {
+  const LinkBudget b = evaluate_link(RadioSpec{}, ReceiveSystem{},
+                                     leo_path(90.0));
+  ASSERT_TRUE(b.closes());
+  EXPECT_GT(b.data_rate_bps, 100e6);  // high-order MODCOD near zenith
+}
+
+TEST(LinkBudget, RateDegradesTowardHorizon) {
+  double prev = 1e18;
+  for (double el : {90.0, 60.0, 30.0, 10.0, 5.0}) {
+    const LinkBudget b =
+        evaluate_link(RadioSpec{}, ReceiveSystem{}, leo_path(el));
+    ASSERT_TRUE(b.closes()) << "el=" << el;
+    EXPECT_LE(b.data_rate_bps, prev) << "el=" << el;
+    prev = b.data_rate_bps;
+  }
+}
+
+TEST(LinkBudget, BelowHorizonYieldsNoLink) {
+  PathConditions p = leo_path(10.0);
+  p.elevation_rad = -0.01;
+  const LinkBudget b = evaluate_link(RadioSpec{}, ReceiveSystem{}, p);
+  EXPECT_FALSE(b.closes());
+  EXPECT_DOUBLE_EQ(b.data_rate_bps, 0.0);
+}
+
+TEST(LinkBudget, RainReducesEsN0TwiceOver) {
+  // Rain hits twice: path attenuation and receiver noise temperature.
+  const LinkBudget clear =
+      evaluate_link(RadioSpec{}, ReceiveSystem{}, leo_path(30.0));
+  const LinkBudget wet =
+      evaluate_link(RadioSpec{}, ReceiveSystem{}, leo_path(30.0, 25.0, 1.0));
+  EXPECT_GT(wet.rain_db, 0.0);
+  EXPECT_GT(wet.cloud_db, 0.0);
+  // Es/N0 drop exceeds the pure path attenuation due to the noise rise.
+  EXPECT_GT(clear.esn0_db - wet.esn0_db, wet.total_atmos_db - clear.gas_db);
+}
+
+TEST(LinkBudget, SixChannelsScaleRateOnly) {
+  RadioSpec one, six;
+  six.channels = 6;
+  const LinkBudget b1 = evaluate_link(one, ReceiveSystem{}, leo_path(45.0));
+  const LinkBudget b6 = evaluate_link(six, ReceiveSystem{}, leo_path(45.0));
+  ASSERT_TRUE(b1.closes());
+  ASSERT_TRUE(b6.closes());
+  EXPECT_DOUBLE_EQ(b1.esn0_db, b6.esn0_db);
+  EXPECT_NEAR(b6.data_rate_bps, 6.0 * b1.data_rate_bps, 1.0);
+}
+
+TEST(LinkBudget, BaselineStationIsRoughlyTenTimesDgsNode) {
+  // Paper §4: each baseline station achieves ~10x the throughput of a DGS
+  // node (6 channels + 4 m dish vs 1 channel + 1 m dish).
+  RadioSpec dgs_radio, base_radio;
+  base_radio.channels = 6;
+  ReceiveSystem dgs_rx;  // 1 m
+  ReceiveSystem base_rx;
+  base_rx.dish_diameter_m = 4.0;
+  base_rx.aperture_efficiency = 0.65;
+  base_rx.lna_noise_temp_k = 50.0;
+
+  double dgs_total = 0.0, base_total = 0.0;
+  for (double el : {10.0, 20.0, 30.0, 45.0, 60.0, 75.0, 90.0}) {
+    dgs_total += evaluate_link(dgs_radio, dgs_rx, leo_path(el)).data_rate_bps;
+    base_total +=
+        evaluate_link(base_radio, base_rx, leo_path(el)).data_rate_bps;
+  }
+  const double ratio = base_total / dgs_total;
+  EXPECT_GT(ratio, 6.0);
+  EXPECT_LT(ratio, 14.0);
+}
+
+TEST(LinkBudget, HeavyRainCanKillTheLink) {
+  RadioSpec radio;
+  radio.frequency_hz = 26.5e9;  // Ka band: weather-limited (paper §1)
+  const LinkBudget clear =
+      evaluate_link(radio, ReceiveSystem{}, leo_path(15.0));
+  const LinkBudget storm =
+      evaluate_link(radio, ReceiveSystem{}, leo_path(15.0, 50.0, 2.0));
+  EXPECT_TRUE(clear.closes());
+  EXPECT_GT(storm.rain_db, 10.0);  // the paper's 10-25 dB regime
+  EXPECT_LT(storm.data_rate_bps, clear.data_rate_bps * 0.5);
+}
+
+TEST(LinkBudget, AccountingIsSelfConsistent) {
+  const LinkBudget b =
+      evaluate_link(RadioSpec{}, ReceiveSystem{}, leo_path(40.0, 5.0, 0.5));
+  EXPECT_NEAR(b.total_atmos_db, b.rain_db + b.cloud_db + b.gas_db, 1e-12);
+  const RadioSpec radio;
+  EXPECT_NEAR(b.esn0_db,
+              b.cn0_dbhz - 10.0 * std::log10(radio.symbol_rate_hz), 1e-9);
+}
+
+TEST(LinkBudget, RejectsInvalidInputs) {
+  PathConditions p = leo_path(30.0);
+  p.range_km = -5.0;
+  EXPECT_THROW(evaluate_link(RadioSpec{}, ReceiveSystem{}, p),
+               std::invalid_argument);
+  RadioSpec radio;
+  radio.channels = 0;
+  EXPECT_THROW(evaluate_link(radio, ReceiveSystem{}, leo_path(30.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dgs::link

@@ -1,0 +1,127 @@
+// Property sweeps over the link budget: the predicted rate must respond
+// monotonically to every physical knob, across the operating envelope.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/link/budget.h"
+#include "src/util/angles.h"
+
+namespace dgs::link {
+namespace {
+
+using util::deg2rad;
+
+PathConditions path_at(double el_deg, double rain = 0.0, double cloud = 0.0,
+                       double lat_deg = 45.0) {
+  const double re = 6371.0, h = 550.0;
+  const double el = deg2rad(el_deg);
+  PathConditions p;
+  p.range_km =
+      std::sqrt((re + h) * (re + h) - re * re * std::cos(el) * std::cos(el)) -
+      re * std::sin(el);
+  p.elevation_rad = el;
+  p.site_latitude_rad = deg2rad(lat_deg);
+  p.rain_rate_mm_h = rain;
+  p.cloud_liquid_kg_m2 = cloud;
+  return p;
+}
+
+class BudgetElevationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetElevationSweep, RainOnlyEverHurts) {
+  const double el = GetParam();
+  double prev = 1e18;
+  for (double rain : {0.0, 1.0, 5.0, 15.0, 40.0, 90.0}) {
+    const LinkBudget b =
+        evaluate_link(RadioSpec{}, ReceiveSystem{}, path_at(el, rain, 0.5));
+    EXPECT_LE(b.esn0_db, prev + 1e-9) << "rain=" << rain;
+    prev = b.esn0_db;
+  }
+}
+
+TEST_P(BudgetElevationSweep, CloudOnlyEverHurts) {
+  const double el = GetParam();
+  double prev = 1e18;
+  for (double cloud : {0.0, 0.2, 0.5, 1.0, 2.0, 4.0}) {
+    const LinkBudget b =
+        evaluate_link(RadioSpec{}, ReceiveSystem{}, path_at(el, 0.0, cloud));
+    EXPECT_LE(b.esn0_db, prev + 1e-9) << "cloud=" << cloud;
+    prev = b.esn0_db;
+  }
+}
+
+TEST_P(BudgetElevationSweep, BiggerDishNeverHurts) {
+  const double el = GetParam();
+  double prev = -1e18;
+  for (double dish : {0.6, 1.0, 1.8, 2.4, 4.0}) {
+    ReceiveSystem rx;
+    rx.dish_diameter_m = dish;
+    const LinkBudget b =
+        evaluate_link(RadioSpec{}, rx, path_at(el, 5.0, 0.5));
+    EXPECT_GE(b.esn0_db, prev - 1e-9) << "dish=" << dish;
+    EXPECT_GE(b.data_rate_bps, 0.0);
+    prev = b.esn0_db;
+  }
+}
+
+TEST_P(BudgetElevationSweep, MoreEirpNeverHurts) {
+  const double el = GetParam();
+  double prev = -1e18;
+  for (double eirp : {6.0, 10.0, 13.0, 16.0, 20.0}) {
+    RadioSpec radio;
+    radio.eirp_dbw = eirp;
+    const LinkBudget b =
+        evaluate_link(radio, ReceiveSystem{}, path_at(el, 2.0, 0.3));
+    EXPECT_GE(b.esn0_db, prev - 1e-9) << "eirp=" << eirp;
+    prev = b.esn0_db;
+  }
+}
+
+TEST_P(BudgetElevationSweep, RateFollowsEsN0ThroughTheModcodLadder) {
+  // As Es/N0 rises (here via EIRP), the selected rate is non-decreasing.
+  const double el = GetParam();
+  double prev_rate = -1.0;
+  for (double eirp = 0.0; eirp <= 24.0; eirp += 0.5) {
+    RadioSpec radio;
+    radio.eirp_dbw = eirp;
+    const LinkBudget b =
+        evaluate_link(radio, ReceiveSystem{}, path_at(el));
+    EXPECT_GE(b.data_rate_bps, prev_rate - 1e-6) << "eirp=" << eirp;
+    prev_rate = b.data_rate_bps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Elevations, BudgetElevationSweep,
+                         ::testing::Values(5.0, 12.0, 25.0, 45.0, 70.0,
+                                           90.0));
+
+TEST(BudgetProperty, HigherFrequencyIsMoreWeatherSensitive) {
+  // The Es/N0 penalty of the same storm grows with frequency.
+  double prev_penalty = -1.0;
+  for (double f_ghz : {8.2, 12.0, 14.0, 20.0, 26.5}) {
+    RadioSpec radio;
+    radio.frequency_hz = f_ghz * 1e9;
+    const LinkBudget clear =
+        evaluate_link(radio, ReceiveSystem{}, path_at(25.0));
+    const LinkBudget storm =
+        evaluate_link(radio, ReceiveSystem{}, path_at(25.0, 30.0, 1.5));
+    const double penalty = clear.esn0_db - storm.esn0_db;
+    EXPECT_GT(penalty, prev_penalty) << "f=" << f_ghz;
+    prev_penalty = penalty;
+  }
+}
+
+TEST(BudgetProperty, LatitudeOnlyMattersThroughRainHeight) {
+  // Same geometry and weather, different latitude: the high-latitude site
+  // has a shallower rain layer, so it suffers LESS rain attenuation.
+  const LinkBudget tropics = evaluate_link(RadioSpec{}, ReceiveSystem{},
+                                           path_at(20.0, 25.0, 0.0, 5.0));
+  const LinkBudget subpolar = evaluate_link(RadioSpec{}, ReceiveSystem{},
+                                            path_at(20.0, 25.0, 0.0, 62.0));
+  EXPECT_GT(tropics.rain_db, subpolar.rain_db);
+  EXPECT_DOUBLE_EQ(tropics.fspl_db, subpolar.fspl_db);
+}
+
+}  // namespace
+}  // namespace dgs::link

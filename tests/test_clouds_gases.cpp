@@ -1,0 +1,105 @@
+// ITU-R P.840 cloud attenuation and the gaseous absorption surrogate.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/link/clouds.h"
+#include "src/link/gases.h"
+#include "src/util/angles.h"
+
+namespace dgs::link {
+namespace {
+
+using util::deg2rad;
+
+TEST(WaterPermittivity, StaticLimitMatchesDebyeModel) {
+  // At f -> 0 and 0 C (theta = 300/273.15), eps' -> eps0 = 77.66 + 103.3*(theta-1).
+  const double theta = 300.0 / 273.15;
+  const double eps0 = 77.66 + 103.3 * (theta - 1.0);
+  const WaterPermittivity e = water_permittivity(0.001, 273.15);
+  EXPECT_NEAR(e.real, eps0, 0.5);
+  EXPECT_NEAR(e.imag, 0.0, 0.05);
+}
+
+TEST(WaterPermittivity, ImaginaryPartPositiveInBand) {
+  for (double f : {1.0, 10.0, 30.0, 100.0}) {
+    const WaterPermittivity e = water_permittivity(f, 273.15);
+    EXPECT_GT(e.imag, 0.0);
+    EXPECT_GT(e.real, 3.0);  // above the optical limit eps2 = 3.52 roughly
+  }
+}
+
+TEST(CloudCoefficient, TypicalXBandValue) {
+  // P.840 K_l at 10 GHz, 0 C is ~0.1 (dB/km)/(g/m^3).
+  EXPECT_NEAR(cloud_specific_attenuation_coeff(10.0, 273.15), 0.1, 0.03);
+}
+
+TEST(CloudCoefficient, IncreasesWithFrequency) {
+  double prev = 0.0;
+  for (double f : {2.0, 8.0, 15.0, 30.0, 60.0, 100.0}) {
+    const double k = cloud_specific_attenuation_coeff(f);
+    EXPECT_GT(k, prev) << "f=" << f;
+    prev = k;
+  }
+}
+
+TEST(CloudCoefficient, RejectsOutOfBand) {
+  EXPECT_THROW(cloud_specific_attenuation_coeff(0.0), std::invalid_argument);
+  EXPECT_THROW(cloud_specific_attenuation_coeff(250.0), std::invalid_argument);
+}
+
+TEST(CloudAttenuation, ScalesLinearlyWithColumnarWater) {
+  const double a1 = cloud_attenuation_db(8.2, 1.0, deg2rad(30.0));
+  const double a2 = cloud_attenuation_db(8.2, 2.0, deg2rad(30.0));
+  EXPECT_NEAR(a2, 2.0 * a1, 1e-12);
+}
+
+TEST(CloudAttenuation, CosecantElevationScaling) {
+  const double zen = cloud_attenuation_db(8.2, 1.0, deg2rad(90.0));
+  const double a30 = cloud_attenuation_db(8.2, 1.0, deg2rad(30.0));
+  EXPECT_NEAR(a30, zen / std::sin(deg2rad(30.0)), 1e-9);
+}
+
+TEST(CloudAttenuation, GrazingClampedAtFiveDegrees) {
+  EXPECT_DOUBLE_EQ(cloud_attenuation_db(8.2, 1.0, deg2rad(2.0)),
+                   cloud_attenuation_db(8.2, 1.0, deg2rad(5.0)));
+}
+
+TEST(CloudAttenuation, ZeroWaterZeroLoss) {
+  EXPECT_DOUBLE_EQ(cloud_attenuation_db(8.2, 0.0, deg2rad(30.0)), 0.0);
+}
+
+TEST(CloudAttenuation, RejectsBadInputs) {
+  EXPECT_THROW(cloud_attenuation_db(8.2, -1.0, deg2rad(30.0)),
+               std::invalid_argument);
+  EXPECT_THROW(cloud_attenuation_db(8.2, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Gases, ZenithValuesAreSmallOffLines) {
+  // X-band clear-air zenith absorption is a few hundredths of a dB.
+  EXPECT_GT(gaseous_zenith_attenuation_db(8.2), 0.0);
+  EXPECT_LT(gaseous_zenith_attenuation_db(8.2), 0.2);
+}
+
+TEST(Gases, WaterVapourLinePeaksNear22GHz) {
+  EXPECT_GT(gaseous_zenith_attenuation_db(22.2),
+            gaseous_zenith_attenuation_db(16.0));
+  EXPECT_GT(gaseous_zenith_attenuation_db(22.2),
+            gaseous_zenith_attenuation_db(30.0));
+}
+
+TEST(Gases, SlantScalingAndClamp) {
+  const double zen = gaseous_attenuation_db(8.2, deg2rad(90.0));
+  EXPECT_NEAR(gaseous_attenuation_db(8.2, deg2rad(30.0)),
+              zen / std::sin(deg2rad(30.0)), 1e-9);
+  EXPECT_DOUBLE_EQ(gaseous_attenuation_db(8.2, deg2rad(1.0)),
+                   gaseous_attenuation_db(8.2, deg2rad(5.0)));
+}
+
+TEST(Gases, RejectsBadInputs) {
+  EXPECT_THROW(gaseous_zenith_attenuation_db(0.0), std::invalid_argument);
+  EXPECT_THROW(gaseous_attenuation_db(8.2, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dgs::link

@@ -1,0 +1,53 @@
+// CRC-32 reference vectors and incremental API.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "src/util/crc32.h"
+
+namespace dgs::util {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Crc32, CheckValue) {
+  // The canonical CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(crc32(bytes("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32(bytes("")), 0x00000000u);
+  EXPECT_EQ(crc32(bytes("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(bytes("abc")), 0x352441C2u);
+  EXPECT_EQ(crc32(bytes("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto data = bytes("incremental-crc-check-data-0123456789");
+  for (std::size_t split = 0; split <= data.size(); split += 5) {
+    std::uint32_t s = crc32_init();
+    s = crc32_update(s, std::span(data).subspan(0, split));
+    s = crc32_update(s, std::span(data).subspan(split));
+    EXPECT_EQ(crc32_final(s), crc32(data)) << "split " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  auto data = bytes("payload under test");
+  const std::uint32_t good = crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); byte += 3) {
+    for (int bit = 0; bit < 8; bit += 2) {
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32(data), good) << "byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dgs::util

@@ -1,0 +1,145 @@
+// Onboard queue: generation, FIFO transmit, partial chunks, ack-free
+// storage semantics.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/data_queue.h"
+
+namespace dgs::core {
+namespace {
+
+const util::Epoch kT0(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+
+TEST(OnboardQueue, StartsEmpty) {
+  OnboardQueue q;
+  EXPECT_DOUBLE_EQ(q.queued_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(q.pending_ack_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(q.storage_bytes(), 0.0);
+}
+
+TEST(OnboardQueue, GenerateAccumulates) {
+  OnboardQueue q;
+  q.generate(100.0, kT0);
+  q.generate(50.0, kT0.plus_seconds(60));
+  EXPECT_DOUBLE_EQ(q.queued_bytes(), 150.0);
+  EXPECT_EQ(q.chunks().size(), 2u);
+  EXPECT_DOUBLE_EQ(q.oldest_capture().jd(), kT0.jd());
+}
+
+TEST(OnboardQueue, ZeroGenerationIsNoOp) {
+  OnboardQueue q;
+  q.generate(0.0, kT0);
+  EXPECT_TRUE(q.chunks().empty());
+}
+
+TEST(OnboardQueue, RejectsNegativeBytes) {
+  OnboardQueue q;
+  EXPECT_THROW(q.generate(-1.0, kT0), std::invalid_argument);
+  EXPECT_THROW(q.transmit(-1.0, kT0, nullptr), std::invalid_argument);
+}
+
+TEST(OnboardQueue, TransmitIsOldestFirst) {
+  OnboardQueue q;
+  q.generate(100.0, kT0);
+  q.generate(100.0, kT0.plus_seconds(600));
+  std::vector<double> latencies;
+  const double sent = q.transmit(
+      100.0, kT0.plus_seconds(1200),
+      [&](double lat_s, const DataChunk&) { latencies.push_back(lat_s); });
+  EXPECT_DOUBLE_EQ(sent, 100.0);
+  ASSERT_EQ(latencies.size(), 1u);
+  EXPECT_NEAR(latencies[0], 1200.0, 1e-6);  // the older chunk went first
+  EXPECT_DOUBLE_EQ(q.queued_bytes(), 100.0);
+}
+
+TEST(OnboardQueue, PartialChunkCompletionLatency) {
+  OnboardQueue q;
+  q.generate(100.0, kT0);
+  std::vector<double> latencies;
+  auto cb = [&](double lat_s, const DataChunk& chunk) {
+    latencies.push_back(lat_s);
+    EXPECT_DOUBLE_EQ(chunk.total_bytes, 100.0);  // the whole chunk
+  };
+  q.transmit(40.0, kT0.plus_seconds(60), cb);
+  EXPECT_TRUE(latencies.empty());  // not finished yet
+  EXPECT_DOUBLE_EQ(q.queued_bytes(), 60.0);
+  q.transmit(60.0, kT0.plus_seconds(120), cb);
+  ASSERT_EQ(latencies.size(), 1u);
+  // Latency counts to the moment the LAST byte arrives.
+  EXPECT_NEAR(latencies[0], 120.0, 1e-6);
+  EXPECT_DOUBLE_EQ(q.queued_bytes(), 0.0);
+}
+
+TEST(OnboardQueue, TransmitBoundedByQueue) {
+  OnboardQueue q;
+  q.generate(30.0, kT0);
+  EXPECT_DOUBLE_EQ(q.transmit(100.0, kT0.plus_seconds(10), nullptr), 30.0);
+  EXPECT_DOUBLE_EQ(q.transmit(100.0, kT0.plus_seconds(20), nullptr), 0.0);
+}
+
+TEST(OnboardQueue, AckFreeStorageSemantics) {
+  // Paper §3.3: transmitted data still occupies storage until an ack
+  // arrives through a transmit-capable contact.
+  OnboardQueue q;
+  q.generate(200.0, kT0);
+  q.transmit(80.0, kT0.plus_seconds(60), nullptr);
+  EXPECT_DOUBLE_EQ(q.queued_bytes(), 120.0);
+  EXPECT_DOUBLE_EQ(q.pending_ack_bytes(), 80.0);
+  EXPECT_DOUBLE_EQ(q.storage_bytes(), 200.0);  // nothing freed yet
+
+  std::vector<std::pair<double, double>> acks;
+  q.acknowledge_all(kT0.plus_seconds(360), [&](double delay_s, double bytes) {
+    acks.emplace_back(delay_s, bytes);
+  });
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_NEAR(acks[0].first, 300.0, 1e-6);  // sent at t=60, acked at t=360
+  EXPECT_DOUBLE_EQ(acks[0].second, 80.0);
+  EXPECT_DOUBLE_EQ(q.pending_ack_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(q.storage_bytes(), 120.0);
+}
+
+TEST(OnboardQueue, MultipleBatchesAckSeparately) {
+  OnboardQueue q;
+  q.generate(100.0, kT0);
+  q.transmit(30.0, kT0.plus_seconds(60), nullptr);
+  q.transmit(30.0, kT0.plus_seconds(120), nullptr);
+  std::vector<double> delays;
+  q.acknowledge_all(kT0.plus_seconds(600),
+                    [&](double d, double) { delays.push_back(d); });
+  ASSERT_EQ(delays.size(), 2u);
+  EXPECT_NEAR(delays[0], 540.0, 1e-6);
+  EXPECT_NEAR(delays[1], 480.0, 1e-6);
+}
+
+TEST(OnboardQueue, AckOnEmptyPendingIsNoOp) {
+  OnboardQueue q;
+  int calls = 0;
+  q.acknowledge_all(kT0, [&](double, double) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(OnboardQueue, ConservationUnderRandomizedWorkload) {
+  OnboardQueue q;
+  double generated = 0.0, delivered_chunks = 0.0, sent_total = 0.0;
+  util::Epoch t = kT0;
+  for (int i = 0; i < 500; ++i) {
+    t = t.plus_seconds(60);
+    const double gen = (i * 37 % 97) * 1.0;
+    q.generate(gen, t);
+    generated += gen;
+    const double sent = q.transmit(
+        (i * 53 % 83) * 1.0, t,
+        [&](double, const DataChunk& c) { delivered_chunks += c.total_bytes; });
+    sent_total += sent;
+  }
+  // Bytes are conserved: generated == queued + sent; sent == pending (no
+  // acks were issued); fully-delivered chunk bytes never exceed sent bytes.
+  EXPECT_NEAR(q.queued_bytes() + sent_total, generated, 1e-6);
+  EXPECT_NEAR(q.pending_ack_bytes(), sent_total, 1e-6);
+  EXPECT_LE(delivered_chunks, sent_total + 1e-6);
+}
+
+}  // namespace
+}  // namespace dgs::core

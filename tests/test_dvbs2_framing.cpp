@@ -1,0 +1,116 @@
+// DVB-S2 framing: the frame structure must re-derive the MODCOD table's
+// spectral efficiencies exactly, plus air-time accounting.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/link/dvbs2_framing.h"
+
+namespace dgs::link {
+namespace {
+
+TEST(FecParams, KnownBlockSizes) {
+  EXPECT_EQ(fec_params(1.0 / 4).k_bch, 16008);
+  EXPECT_EQ(fec_params(1.0 / 4).k_ldpc, 16200);
+  EXPECT_EQ(fec_params(1.0 / 2).k_bch, 32208);
+  EXPECT_EQ(fec_params(9.0 / 10).k_bch, 58192);
+  EXPECT_EQ(fec_params(9.0 / 10).k_ldpc, 58320);
+}
+
+TEST(FecParams, LdpcOutputIsAlways64800) {
+  // k_ldpc / rate == 64800 for every standard rate.
+  for (double rate : {1.0 / 4, 1.0 / 3, 2.0 / 5, 1.0 / 2, 3.0 / 5, 2.0 / 3,
+                      3.0 / 4, 4.0 / 5, 5.0 / 6, 8.0 / 9, 9.0 / 10}) {
+    const FecParams p = fec_params(rate);
+    EXPECT_NEAR(p.k_ldpc / rate, kFecFrameBits, 0.5) << rate;
+    EXPECT_LT(p.k_bch, p.k_ldpc);  // BCH parity fits inside LDPC info
+  }
+}
+
+TEST(FecParams, RejectsNonStandardRates) {
+  EXPECT_THROW(fec_params(0.55), std::invalid_argument);
+  EXPECT_THROW(fec_params(7.0 / 8), std::invalid_argument);
+}
+
+// The headline self-consistency test: for every one of the 28 MODCODs the
+// efficiency derived from frame structure (k_bch - 80)/(90 + 64800/eta)
+// must equal the table's quoted spectral efficiency.
+class FramingDerivesTable : public ::testing::TestWithParam<int> {};
+
+TEST_P(FramingDerivesTable, EfficiencyMatchesTable) {
+  const ModCod& mc = dvbs2_modcods()[GetParam()];
+  EXPECT_NEAR(derived_efficiency(mc, /*pilots=*/false),
+              mc.spectral_efficiency, 5e-7)
+      << mc.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(All28, FramingDerivesTable, ::testing::Range(0, 28));
+
+TEST(Framing, PilotOverheadIsAboutTwoPercent) {
+  for (const ModCod& mc : dvbs2_modcods()) {
+    const double ratio = derived_efficiency(mc, true) /
+                         derived_efficiency(mc, false);
+    EXPECT_LT(ratio, 1.0) << mc.name;
+    EXPECT_GT(ratio, 0.97) << mc.name;  // ~2.2-2.4% pilot overhead
+  }
+}
+
+TEST(Framing, PlframeSymbolCounts) {
+  const ModCod& qpsk14 = dvbs2_modcods().front();
+  // QPSK: 64800/2 = 32400 data symbols + 90 header.
+  EXPECT_EQ(plframe_symbols(qpsk14, false), 32490);
+  // 360 slots -> 22 pilot blocks of 36 symbols.
+  EXPECT_EQ(plframe_symbols(qpsk14, true), 32490 + 22 * 36);
+}
+
+TEST(FrameAccounting, ZeroPayloadZeroFrames) {
+  const auto acc = frame_accounting(dvbs2_modcods().front(), 0.0, 1e6);
+  EXPECT_EQ(acc.frames, 0);
+  EXPECT_EQ(acc.total_symbols, 0);
+  EXPECT_DOUBLE_EQ(acc.duration_s, 0.0);
+}
+
+TEST(FrameAccounting, SingleFrameExactFill) {
+  const ModCod& mc = dvbs2_modcods().front();  // QPSK 1/4
+  const double payload = plframe_payload_bits(mc) / 8.0;
+  const auto acc = frame_accounting(mc, payload, 1e6);
+  EXPECT_EQ(acc.frames, 1);
+  EXPECT_NEAR(acc.efficiency_achieved, mc.spectral_efficiency, 1e-6);
+  // One more byte spills to a second, nearly-empty frame.
+  const auto acc2 = frame_accounting(mc, payload + 1, 1e6);
+  EXPECT_EQ(acc2.frames, 2);
+  EXPECT_LT(acc2.efficiency_achieved, acc.efficiency_achieved);
+}
+
+TEST(FrameAccounting, LargeTransferApproachesTableEfficiency) {
+  const ModCod& mc = dvbs2_modcods().back();  // 32APSK 9/10
+  const auto acc = frame_accounting(mc, 1e9, 66.7e6);
+  EXPECT_NEAR(acc.efficiency_achieved, mc.spectral_efficiency,
+              mc.spectral_efficiency * 1e-3);
+  // 1 GB at ~297 Mbps is ~27 s of air time.
+  EXPECT_NEAR(acc.duration_s, 8e9 / (mc.spectral_efficiency * 66.7e6), 0.1);
+}
+
+TEST(FrameAccounting, RejectsBadInputs) {
+  const ModCod& mc = dvbs2_modcods().front();
+  EXPECT_THROW(frame_accounting(mc, -1.0, 1e6), std::invalid_argument);
+  EXPECT_THROW(frame_accounting(mc, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(ModcodIndex, RoundTripsAllEntries) {
+  const auto table = dvbs2_modcods();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const std::uint8_t idx = modcod_index(table[i]);
+    EXPECT_EQ(idx, i);
+    EXPECT_EQ(modcod_by_index(idx).name, table[i].name);
+  }
+}
+
+TEST(ModcodIndex, RejectsOutOfRange) {
+  EXPECT_THROW(modcod_by_index(28), std::invalid_argument);
+  const ModCod fake{"FAKE 1/2", Modulation::kQpsk, 0.5, 1.0, 0.0};
+  EXPECT_THROW(modcod_index(fake), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dgs::link

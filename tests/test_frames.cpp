@@ -1,0 +1,135 @@
+// Frame transforms: geodetic <-> ECEF round trips, TEME -> ECEF rotation,
+// topocentric look angles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/orbit/frames.h"
+#include "src/util/angles.h"
+#include "src/util/constants.h"
+
+namespace dgs::orbit {
+namespace {
+
+using util::deg2rad;
+using util::rad2deg;
+using util::Vec3;
+
+TEST(GeodeticEcef, EquatorPrimeMeridian) {
+  const Vec3 r = geodetic_to_ecef({0.0, 0.0, 0.0});
+  EXPECT_NEAR(r.x, util::wgs84::kSemiMajorKm, 1e-9);
+  EXPECT_NEAR(r.y, 0.0, 1e-9);
+  EXPECT_NEAR(r.z, 0.0, 1e-9);
+}
+
+TEST(GeodeticEcef, NorthPole) {
+  const Vec3 r = geodetic_to_ecef({deg2rad(90.0), 0.0, 0.0});
+  EXPECT_NEAR(r.x, 0.0, 1e-6);
+  EXPECT_NEAR(r.y, 0.0, 1e-6);
+  // Polar radius b = a*(1-f) = 6356.752 km.
+  EXPECT_NEAR(r.z, 6356.7523142, 1e-4);
+}
+
+class GeodeticRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(GeodeticRoundTrip, EcefInvertsGeodetic) {
+  const auto [lat_deg, lon_deg, alt_km] = GetParam();
+  const Geodetic g{deg2rad(lat_deg), deg2rad(lon_deg), alt_km};
+  const Geodetic back = ecef_to_geodetic(geodetic_to_ecef(g));
+  EXPECT_NEAR(rad2deg(back.latitude_rad), lat_deg, 1e-8);
+  EXPECT_NEAR(util::wrap_pi(back.longitude_rad - g.longitude_rad), 0.0, 1e-10);
+  EXPECT_NEAR(back.altitude_km, alt_km, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GeodeticRoundTrip,
+    ::testing::Values(std::make_tuple(0.0, 0.0, 0.0),
+                      std::make_tuple(45.0, 90.0, 0.5),
+                      std::make_tuple(-33.9, 18.4, 0.1),
+                      std::make_tuple(78.2, 15.4, 0.45),
+                      std::make_tuple(-72.0, 2.5, 1.3),
+                      std::make_tuple(89.5, -135.0, 0.0),
+                      std::make_tuple(-89.5, 45.0, 2.0),
+                      std::make_tuple(51.5, -0.1, 0.03),
+                      std::make_tuple(10.0, 179.9, 0.0),
+                      std::make_tuple(-10.0, -179.9, 400.0)));
+
+TEST(TemeEcef, RotationPreservesNormAndZ) {
+  const Vec3 teme{4000.0, 5000.0, 1000.0};
+  const util::Epoch when(util::DateTime{2020, 11, 4, 6, 0, 0.0});
+  const Vec3 ecef = teme_to_ecef(teme, when);
+  EXPECT_NEAR(ecef.norm(), teme.norm(), 1e-9);
+  EXPECT_DOUBLE_EQ(ecef.z, teme.z);
+}
+
+TEST(TemeEcef, VelocityTransportTerm) {
+  // A satellite stationary in TEME appears to move westward in ECEF at
+  // omega x r.
+  const Vec3 r_teme{7000.0, 0.0, 0.0};
+  const Vec3 v_teme{0.0, 0.0, 0.0};
+  const util::Epoch when(util::DateTime{2020, 1, 1, 0, 0, 0.0});
+  Vec3 r_ecef, v_ecef;
+  teme_to_ecef(r_teme, v_teme, when, r_ecef, v_ecef);
+  EXPECT_NEAR(v_ecef.norm(), util::kEarthRotationRadPerSec * 7000.0, 1e-9);
+}
+
+TEST(LookAngles, ZenithTarget) {
+  const Geodetic site{deg2rad(52.0), deg2rad(13.0), 0.0};
+  const Vec3 site_ecef = geodetic_to_ecef(site);
+  // Place the target 500 km along the geodetic normal.
+  const double clat = std::cos(site.latitude_rad);
+  const Vec3 up{clat * std::cos(site.longitude_rad),
+                clat * std::sin(site.longitude_rad),
+                std::sin(site.latitude_rad)};
+  const Vec3 target = site_ecef + up * 500.0;
+  const LookAngles la = look_angles(site, target);
+  EXPECT_NEAR(rad2deg(la.elevation_rad), 90.0, 1e-6);
+  EXPECT_NEAR(la.range_km, 500.0, 1e-9);
+}
+
+TEST(LookAngles, CardinalAzimuths) {
+  const Geodetic site{0.0, 0.0, 0.0};  // equator, prime meridian
+  const Vec3 site_ecef = geodetic_to_ecef(site);
+  // North = +z from the equator.
+  LookAngles la = look_angles(site, site_ecef + Vec3{0.0, 0.0, 100.0});
+  EXPECT_NEAR(rad2deg(la.azimuth_rad), 0.0, 1e-6);
+  // East = +y.
+  la = look_angles(site, site_ecef + Vec3{0.0, 100.0, 0.0});
+  EXPECT_NEAR(rad2deg(la.azimuth_rad), 90.0, 1e-6);
+  // South = -z.
+  la = look_angles(site, site_ecef + Vec3{0.0, 0.0, -100.0});
+  EXPECT_NEAR(rad2deg(la.azimuth_rad), 180.0, 1e-6);
+  // West = -y.
+  la = look_angles(site, site_ecef + Vec3{0.0, -100.0, 0.0});
+  EXPECT_NEAR(rad2deg(la.azimuth_rad), 270.0, 1e-6);
+}
+
+TEST(LookAngles, HorizonTargetHasZeroElevation) {
+  const Geodetic site{0.0, 0.0, 0.0};
+  const Vec3 site_ecef = geodetic_to_ecef(site);
+  const LookAngles la = look_angles(site, site_ecef + Vec3{0.0, 0.0, 1.0});
+  EXPECT_NEAR(rad2deg(la.elevation_rad), 0.0, 1e-6);
+}
+
+TEST(LookAngles, RangeRateSign) {
+  const Geodetic site{0.0, 0.0, 0.0};
+  const Vec3 site_ecef = geodetic_to_ecef(site);
+  const Vec3 target = site_ecef + Vec3{500.0, 0.0, 500.0};
+  // Moving away along the line of sight: positive range rate.
+  const Vec3 away = (target - site_ecef).normalized() * 7.0;
+  EXPECT_GT(look_angles(site, target, away).range_rate_km_s, 0.0);
+  EXPECT_LT(look_angles(site, target, -away).range_rate_km_s, 0.0);
+}
+
+TEST(SubsatellitePoint, LiesBelowTheSatellite) {
+  // A satellite directly over (0, gmst) in TEME maps to latitude ~0.
+  const util::Epoch when(util::DateTime{2020, 6, 1, 0, 0, 0.0});
+  const Vec3 r_teme{7000.0, 0.0, 0.0};
+  const Geodetic g = subsatellite_point(r_teme, when);
+  EXPECT_NEAR(g.latitude_rad, 0.0, 1e-9);
+  EXPECT_NEAR(g.altitude_km, 7000.0 - util::wgs84::kSemiMajorKm, 0.5);
+}
+
+}  // namespace
+}  // namespace dgs::orbit

@@ -1,0 +1,136 @@
+// Ground-track and coverage analysis.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/orbit/groundtrack.h"
+#include "src/orbit/tle.h"
+#include "src/util/angles.h"
+#include "src/util/constants.h"
+
+namespace dgs::orbit {
+namespace {
+
+using util::deg2rad;
+using util::rad2deg;
+
+constexpr const char* kIssL1 =
+    "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
+constexpr const char* kIssL2 =
+    "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
+
+class GroundTrackTest : public ::testing::Test {
+ protected:
+  GroundTrackTest() : sat_(parse_tle(kIssL1, kIssL2)) {}
+  Sgp4 sat_;
+};
+
+TEST_F(GroundTrackTest, LatitudeBoundedByInclination) {
+  const auto track = ground_track(sat_, sat_.epoch(),
+                                  sat_.epoch().plus_days(1.0), 30.0);
+  ASSERT_GT(track.size(), 1000u);
+  for (const auto& p : track) {
+    EXPECT_LE(std::fabs(rad2deg(p.geodetic.latitude_rad)), 51.6416 + 0.3);
+  }
+  // ...and actually reaches near the inclination extremes within a day.
+  double max_lat = 0.0;
+  for (const auto& p : track) {
+    max_lat = std::max(max_lat, std::fabs(rad2deg(p.geodetic.latitude_rad)));
+  }
+  EXPECT_GT(max_lat, 51.0);
+}
+
+TEST_F(GroundTrackTest, AltitudeIsLeo) {
+  for (const auto& p : ground_track(sat_, sat_.epoch(),
+                                    sat_.epoch().plus_minutes(200.0), 60.0)) {
+    EXPECT_GT(p.geodetic.altitude_km, 300.0);
+    EXPECT_LT(p.geodetic.altitude_km, 400.0);
+  }
+}
+
+TEST_F(GroundTrackTest, NodeShiftMatchesEarthRotation) {
+  // ~91.6 min period -> the Earth rotates ~22.9 deg per orbit.
+  const double shift = rad2deg(node_shift_per_orbit_rad(sat_));
+  EXPECT_NEAR(shift, 360.0 * sat_.period_minutes() / (24.0 * 60.0), 0.1);
+  EXPECT_NEAR(shift, 22.9, 0.3);
+}
+
+TEST_F(GroundTrackTest, SuccessiveEquatorCrossingsShiftWestward) {
+  // Find successive ascending equator crossings and measure the longitude
+  // shift between them.
+  const auto track = ground_track(sat_, sat_.epoch(),
+                                  sat_.epoch().plus_minutes(200.0), 5.0);
+  std::vector<double> crossing_lons;
+  for (std::size_t i = 1; i < track.size(); ++i) {
+    if (track[i - 1].geodetic.latitude_rad < 0.0 &&
+        track[i].geodetic.latitude_rad >= 0.0) {
+      crossing_lons.push_back(track[i].geodetic.longitude_rad);
+    }
+  }
+  ASSERT_GE(crossing_lons.size(), 2u);
+  const double shift =
+      util::wrap_pi(crossing_lons[1] - crossing_lons[0]);
+  EXPECT_NEAR(rad2deg(shift), -rad2deg(node_shift_per_orbit_rad(sat_)), 1.0);
+}
+
+TEST_F(GroundTrackTest, TargetVisitsForOnTrackPoint) {
+  // Pick a point on the track; with a generous swath it must be revisited
+  // at least once in a day, and every visit entry is a distinct pass.
+  const auto track = ground_track(sat_, sat_.epoch(),
+                                  sat_.epoch().plus_minutes(10.0), 60.0);
+  const Geodetic target = track[5].geodetic;
+  const auto visits = target_visits(sat_, target, 400.0, sat_.epoch(),
+                                    sat_.epoch().plus_days(1.0), 30.0);
+  ASSERT_GE(visits.size(), 1u);
+  for (std::size_t i = 1; i < visits.size(); ++i) {
+    EXPECT_GT(visits[i].seconds_since(visits[i - 1]), 600.0);
+  }
+}
+
+TEST_F(GroundTrackTest, PolarTargetNeverVisited) {
+  const Geodetic pole{deg2rad(89.0), 0.0, 0.0};
+  EXPECT_TRUE(target_visits(sat_, pole, 200.0, sat_.epoch(),
+                            sat_.epoch().plus_days(1.0))
+                  .empty());
+}
+
+TEST_F(GroundTrackTest, CoverageGrowsWithSwathAndTime) {
+  std::vector<Sgp4> sats{sat_};
+  const auto narrow = coverage(sats, 100.0, sat_.epoch(),
+                               sat_.epoch().plus_days(0.5), 18, 60.0);
+  const auto wide = coverage(sats, 500.0, sat_.epoch(),
+                             sat_.epoch().plus_days(0.5), 18, 60.0);
+  const auto longer = coverage(sats, 100.0, sat_.epoch(),
+                               sat_.epoch().plus_days(1.0), 18, 60.0);
+  EXPECT_GT(narrow.covered_fraction, 0.0);
+  EXPECT_LT(narrow.covered_fraction, 1.0);
+  EXPECT_GE(wide.covered_fraction, narrow.covered_fraction);
+  EXPECT_GE(longer.covered_fraction, narrow.covered_fraction);
+  EXPECT_EQ(narrow.cells_total, wide.cells_total);
+}
+
+TEST_F(GroundTrackTest, MidInclinationCannotCoverPoles) {
+  std::vector<Sgp4> sats{sat_};
+  const auto c = coverage(sats, 300.0, sat_.epoch(),
+                          sat_.epoch().plus_days(1.0), 18, 60.0);
+  // 51.6 deg inclination leaves the polar caps unimaged: strictly < 85%.
+  EXPECT_LT(c.covered_fraction, 0.85);
+}
+
+TEST_F(GroundTrackTest, RejectsBadArguments) {
+  EXPECT_THROW(ground_track(sat_, sat_.epoch(),
+                            sat_.epoch().plus_seconds(-1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(ground_track(sat_, sat_.epoch(),
+                            sat_.epoch().plus_seconds(10.0), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(target_visits(sat_, Geodetic{}, 0.0, sat_.epoch(),
+                             sat_.epoch().plus_seconds(10.0)),
+               std::invalid_argument);
+  EXPECT_THROW(coverage({sat_}, 100.0, sat_.epoch(),
+                        sat_.epoch().plus_seconds(10.0), 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dgs::orbit

@@ -1,0 +1,154 @@
+// End-to-end paper-shape checks at reduced scale: DGS vs the centralized
+// baseline must reproduce the orderings of Fig. 3 (latency and backlog
+// advantages, value-function adaptability).  Absolute numbers differ from
+// the paper (synthetic geometry, shorter horizon); orderings must not.
+#include <gtest/gtest.h>
+
+#include "src/core/simulator.h"
+#include "src/weather/synthetic.h"
+
+namespace dgs::core {
+namespace {
+
+const util::Epoch kEpoch(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+
+struct Systems {
+  std::vector<groundseg::SatelliteConfig> sats;
+  std::vector<groundseg::GroundStation> dgs;
+  std::vector<groundseg::GroundStation> dgs25;
+  std::vector<groundseg::GroundStation> baseline;
+};
+
+Systems make_systems() {
+  // Reduced satellite count (for runtime) but the full station network:
+  // the DGS advantage needs both baseline contention (paper: 259 sats vs
+  // 5 stations, ~52:1; we keep 30:1) and enough DGS(25%) stations to cover
+  // the longitudes (43 stations, as in the paper).
+  groundseg::NetworkOptions opts;
+  opts.num_stations = 173;
+  opts.num_satellites = 150;
+  opts.seed = 2020;
+  Systems sys;
+  sys.sats = groundseg::generate_constellation(opts, kEpoch);
+  sys.dgs = groundseg::generate_dgs_stations(opts);
+  sys.dgs25 = groundseg::subsample_stations(sys.dgs, 0.25);
+  sys.baseline = groundseg::baseline_stations();
+  // Baseline radios: 6 channels on the satellite side when talking to the
+  // high-end stations is modelled by upgrading the satellite radio in the
+  // baseline runs (the paper's baseline combines 6 channels per link).
+  return sys;
+}
+
+std::vector<groundseg::SatelliteConfig> six_channel(
+    std::vector<groundseg::SatelliteConfig> sats) {
+  for (auto& s : sats) s.radio.channels = 6;
+  return sats;
+}
+
+SimulationOptions sim_opts(ValueKind value = ValueKind::kLatency) {
+  SimulationOptions o;
+  o.start = kEpoch;
+  o.duration_hours = 12.0;
+  o.step_seconds = 60.0;
+  o.value = value;
+  return o;
+}
+
+class PaperShape : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sys_ = new Systems(make_systems());
+    wx_ = new weather::SyntheticWeatherProvider(777, kEpoch, 13.0);
+
+    dgs_ = new SimulationResult(
+        Simulator(sys_->sats, sys_->dgs, wx_, sim_opts()).run());
+    dgs25_ = new SimulationResult(
+        Simulator(sys_->sats, sys_->dgs25, wx_, sim_opts()).run());
+    baseline_ = new SimulationResult(
+        Simulator(six_channel(sys_->sats), sys_->baseline, wx_, sim_opts())
+            .run());
+  }
+  static void TearDownTestSuite() {
+    delete dgs_;
+    delete dgs25_;
+    delete baseline_;
+    delete wx_;
+    delete sys_;
+    dgs_ = dgs25_ = baseline_ = nullptr;
+    wx_ = nullptr;
+    sys_ = nullptr;
+  }
+
+  static Systems* sys_;
+  static weather::SyntheticWeatherProvider* wx_;
+  static SimulationResult* dgs_;
+  static SimulationResult* dgs25_;
+  static SimulationResult* baseline_;
+};
+
+Systems* PaperShape::sys_ = nullptr;
+weather::SyntheticWeatherProvider* PaperShape::wx_ = nullptr;
+SimulationResult* PaperShape::dgs_ = nullptr;
+SimulationResult* PaperShape::dgs25_ = nullptr;
+SimulationResult* PaperShape::baseline_ = nullptr;
+
+TEST_F(PaperShape, AllSystemsDeliverData) {
+  EXPECT_GT(dgs_->total_delivered_bytes, 0.0);
+  EXPECT_GT(dgs25_->total_delivered_bytes, 0.0);
+  EXPECT_GT(baseline_->total_delivered_bytes, 0.0);
+}
+
+TEST_F(PaperShape, DgsLatencyBeatsBaseline) {
+  // Fig. 3b: DGS median and tail latency are several times lower.
+  EXPECT_LT(dgs_->latency_minutes.median(),
+            baseline_->latency_minutes.median());
+  EXPECT_LT(dgs_->latency_minutes.percentile(90.0),
+            baseline_->latency_minutes.percentile(90.0));
+}
+
+TEST_F(PaperShape, EvenQuarterDgsLatencyBeatsBaseline) {
+  // The paper's key claim: geographic diversity, not aggregate capacity,
+  // drives latency; DGS(25%) has less capacity than the baseline yet much
+  // lower latency.
+  EXPECT_LT(dgs25_->latency_minutes.median(),
+            baseline_->latency_minutes.median());
+  EXPECT_LT(dgs25_->latency_minutes.percentile(90.0),
+            baseline_->latency_minutes.percentile(90.0));
+}
+
+TEST_F(PaperShape, DgsBacklogBeatsBaseline) {
+  // Fig. 3a: the full DGS network keeps backlog below the baseline.
+  EXPECT_LT(dgs_->backlog_gb.median(), baseline_->backlog_gb.median() + 1e-9);
+  EXPECT_LT(dgs_->backlog_gb.percentile(90.0),
+            baseline_->backlog_gb.percentile(90.0) + 1e-9);
+}
+
+TEST_F(PaperShape, QuarterDgsBetweenFullAndNothing) {
+  // DGS(25%) backlog sits at or above full DGS.
+  EXPECT_GE(dgs25_->backlog_gb.median(), dgs_->backlog_gb.median() - 1e-9);
+  // And its latency at or above full DGS.
+  EXPECT_GE(dgs25_->latency_minutes.median(),
+            dgs_->latency_minutes.median() - 1e-9);
+}
+
+TEST_F(PaperShape, ThroughputValueRaisesLatencyTail) {
+  // Fig. 3c: switching Phi from latency to throughput raises the tail
+  // latency on the same network.
+  const SimulationResult t =
+      Simulator(sys_->sats, sys_->dgs25, wx_, sim_opts(ValueKind::kThroughput))
+          .run();
+  EXPECT_GE(t.latency_minutes.percentile(90.0),
+            dgs25_->latency_minutes.percentile(90.0));
+  // ...without delivering less data overall (it is throughput-optimized).
+  EXPECT_GE(t.total_delivered_bytes, dgs25_->total_delivered_bytes * 0.95);
+}
+
+TEST_F(PaperShape, BaselineStationsAreBusier) {
+  // Five baseline stations serve everything: near-saturated; DGS spreads
+  // the load thin.
+  EXPECT_GT(baseline_->mean_station_utilization,
+            dgs_->mean_station_utilization);
+}
+
+}  // namespace
+}  // namespace dgs::core

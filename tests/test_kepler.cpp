@@ -1,0 +1,131 @@
+// Two-body utilities: Kepler equation solver, element <-> state round trips,
+// orbital period behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/orbit/kepler.h"
+#include "src/util/angles.h"
+#include "src/util/constants.h"
+
+namespace dgs::orbit {
+namespace {
+
+using util::deg2rad;
+
+TEST(SolveKepler, CircularOrbitIsIdentity) {
+  for (double m = -3.0; m <= 3.0; m += 0.37) {
+    EXPECT_NEAR(solve_kepler(m, 0.0), util::wrap_pi(m), 1e-12);
+  }
+}
+
+TEST(SolveKepler, SatisfiesKeplersEquation) {
+  for (double e : {0.001, 0.1, 0.5, 0.9, 0.99}) {
+    for (double m = -3.1; m <= 3.1; m += 0.17) {
+      const double ea = solve_kepler(m, e);
+      EXPECT_NEAR(ea - e * std::sin(ea), util::wrap_pi(m), 1e-10)
+          << "e=" << e << " m=" << m;
+    }
+  }
+}
+
+TEST(SolveKepler, RejectsInvalidEccentricity) {
+  EXPECT_THROW(solve_kepler(1.0, -0.1), std::domain_error);
+  EXPECT_THROW(solve_kepler(1.0, 1.0), std::domain_error);
+}
+
+TEST(MeanMotion, MatchesKeplersThirdLaw) {
+  // GEO: a = 42164 km -> period of one sidereal day.
+  const double n = mean_motion_rad_s(42164.0);
+  EXPECT_NEAR(util::kTwoPi / n, 86164.0, 30.0);
+  // 550 km LEO: ~95.6 min period.
+  const double n_leo = mean_motion_rad_s(6928.0);
+  EXPECT_NEAR(util::kTwoPi / n_leo / 60.0, 95.6, 0.3);
+}
+
+TEST(TwoBody, RadiusBoundsRespectEccentricity) {
+  KeplerianElements el;
+  el.semi_major_axis_km = 7000.0;
+  el.eccentricity = 0.1;
+  el.inclination_rad = deg2rad(51.6);
+  const double period_s = util::kTwoPi / mean_motion_rad_s(7000.0);
+  for (double t = 0.0; t < period_s; t += period_s / 37.0) {
+    const double r = propagate_two_body(el, t).position_km.norm();
+    EXPECT_GE(r, 7000.0 * 0.9 - 1e-6);
+    EXPECT_LE(r, 7000.0 * 1.1 + 1e-6);
+  }
+}
+
+TEST(TwoBody, PeriodReturnsToStart) {
+  KeplerianElements el;
+  el.semi_major_axis_km = 6928.0;
+  el.eccentricity = 0.02;
+  el.inclination_rad = deg2rad(97.5);
+  el.raan_rad = deg2rad(123.0);
+  el.arg_perigee_rad = deg2rad(45.0);
+  el.mean_anomaly_rad = deg2rad(200.0);
+  const double period_s = util::kTwoPi / mean_motion_rad_s(6928.0);
+  const StateVector s0 = propagate_two_body(el, 0.0);
+  const StateVector s1 = propagate_two_body(el, period_s);
+  EXPECT_NEAR((s1.position_km - s0.position_km).norm(), 0.0, 1e-6);
+  EXPECT_NEAR((s1.velocity_km_s - s0.velocity_km_s).norm(), 0.0, 1e-9);
+}
+
+TEST(TwoBody, AngularMomentumIsConserved) {
+  KeplerianElements el;
+  el.semi_major_axis_km = 7200.0;
+  el.eccentricity = 0.3;
+  el.inclination_rad = deg2rad(63.4);
+  const util::Vec3 h0 = propagate_two_body(el, 0.0).position_km.cross(
+      propagate_two_body(el, 0.0).velocity_km_s);
+  for (double t : {100.0, 1000.0, 5000.0}) {
+    const StateVector s = propagate_two_body(el, t);
+    const util::Vec3 h = s.position_km.cross(s.velocity_km_s);
+    EXPECT_NEAR((h - h0).norm(), 0.0, 1e-6 * h0.norm());
+  }
+}
+
+class ElementsRoundTrip
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(ElementsRoundTrip, StateToElementsInvertsPropagation) {
+  const auto [ecc, incl_deg, ma_deg] = GetParam();
+  KeplerianElements el;
+  el.semi_major_axis_km = 6928.0;
+  el.eccentricity = ecc;
+  el.inclination_rad = deg2rad(incl_deg);
+  el.raan_rad = deg2rad(77.0);
+  el.arg_perigee_rad = deg2rad(130.0);
+  el.mean_anomaly_rad = deg2rad(ma_deg);
+
+  const StateVector sv = propagate_two_body(el, 0.0);
+  const KeplerianElements back = elements_from_state(sv);
+
+  EXPECT_NEAR(back.semi_major_axis_km, el.semi_major_axis_km, 1e-6);
+  EXPECT_NEAR(back.eccentricity, el.eccentricity, 1e-9);
+  EXPECT_NEAR(back.inclination_rad, el.inclination_rad, 1e-9);
+  if (ecc > 1e-6) {
+    EXPECT_NEAR(util::wrap_pi(back.raan_rad - el.raan_rad), 0.0, 1e-8);
+    EXPECT_NEAR(util::wrap_pi(back.arg_perigee_rad - el.arg_perigee_rad), 0.0,
+                1e-7);
+    EXPECT_NEAR(util::wrap_pi(back.mean_anomaly_rad - el.mean_anomaly_rad),
+                0.0, 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ElementsRoundTrip,
+    ::testing::Values(std::make_tuple(0.001, 51.6, 10.0),
+                      std::make_tuple(0.1, 97.5, 123.0),
+                      std::make_tuple(0.3, 28.5, 250.0),
+                      std::make_tuple(0.6, 63.4, 359.0),
+                      std::make_tuple(0.001, 5.0, 45.0)));
+
+TEST(ElementsFromState, RejectsHyperbolic) {
+  StateVector sv{{7000.0, 0.0, 0.0}, {0.0, 12.0, 0.0}};  // > escape speed
+  EXPECT_THROW(elements_from_state(sv), std::domain_error);
+}
+
+}  // namespace
+}  // namespace dgs::orbit

@@ -1,0 +1,185 @@
+// Look-ahead (time-expanded) planner: pass-block construction, conflict-free
+// allocation, and end-to-end behaviour through the simulator.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "src/core/lookahead.h"
+#include "src/core/simulator.h"
+
+namespace dgs::core {
+namespace {
+
+const util::Epoch kEpoch(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+constexpr double kGb = 1e9;
+
+groundseg::NetworkOptions small_net() {
+  groundseg::NetworkOptions opts;
+  opts.num_stations = 25;
+  opts.num_satellites = 15;
+  opts.seed = 17;
+  return opts;
+}
+
+class LookaheadTest : public ::testing::Test {
+ protected:
+  LookaheadTest()
+      : sats_(groundseg::generate_constellation(small_net(), kEpoch)),
+        stations_(groundseg::generate_dgs_stations(small_net())),
+        engine_(sats_, stations_, nullptr) {}
+
+  std::vector<groundseg::SatelliteConfig> sats_;
+  std::vector<groundseg::GroundStation> stations_;
+  VisibilityEngine engine_;
+};
+
+TEST_F(LookaheadTest, BlocksAreContiguousAndConsistent) {
+  const int steps = 120;
+  const auto blocks = find_pass_blocks(engine_, kEpoch, steps, 60.0);
+  ASSERT_FALSE(blocks.empty());
+  for (const PassBlock& b : blocks) {
+    EXPECT_GE(b.first_step, 0);
+    EXPECT_LT(b.last_step(), steps);
+    EXPECT_FALSE(b.steps.empty());
+    for (const ContactEdge& e : b.steps) {
+      EXPECT_EQ(e.sat, b.sat);
+      EXPECT_EQ(e.station, b.station);
+      EXPECT_GT(e.predicted_rate_bps, 0.0);
+    }
+    EXPECT_GT(b.capacity_bytes(60.0), 0.0);
+  }
+}
+
+TEST_F(LookaheadTest, BlocksCoverExactlyTheVisibleEdges) {
+  // The union of block steps equals the per-instant contact sets.
+  const int steps = 60;
+  const auto blocks = find_pass_blocks(engine_, kEpoch, steps, 60.0);
+  std::map<int, std::set<std::pair<int, int>>> from_blocks;
+  for (const PassBlock& b : blocks) {
+    for (int k = b.first_step; k <= b.last_step(); ++k) {
+      EXPECT_TRUE(from_blocks[k].insert({b.sat, b.station}).second)
+          << "duplicate pair in blocks at step " << k;
+    }
+  }
+  std::vector<double> leads(engine_.num_sats(), 0.0);
+  for (int k = 0; k < steps; ++k) {
+    std::fill(leads.begin(), leads.end(), k * 60.0);
+    const auto edges =
+        engine_.contacts(kEpoch.plus_seconds(k * 60.0), leads);
+    std::set<std::pair<int, int>> direct;
+    for (const ContactEdge& e : edges) direct.insert({e.sat, e.station});
+    EXPECT_EQ(from_blocks[k], direct) << "step " << k;
+  }
+}
+
+TEST_F(LookaheadTest, PassBlockDurationsAreLeoTypical) {
+  const auto blocks = find_pass_blocks(engine_, kEpoch, 24 * 60, 60.0);
+  util::SampleSet durations_min;
+  for (const PassBlock& b : blocks) {
+    durations_min.add(static_cast<double>(b.steps.size()));
+  }
+  // Above amateur masks, pass blocks run a few minutes; none exceed ~15.
+  EXPECT_LE(durations_min.max(), 15.0);
+  EXPECT_GE(durations_min.median(), 2.0);
+}
+
+TEST_F(LookaheadTest, PlanRespectsMatchingConstraints) {
+  std::vector<OnboardQueue> queues(sats_.size());
+  for (auto& q : queues) q.generate(50.0 * kGb, kEpoch.plus_seconds(-3600));
+  LatencyValue phi;
+  const int steps = 180;
+  const HorizonPlan plan =
+      plan_horizon(engine_, queues, phi, kEpoch, steps, 60.0);
+  ASSERT_EQ(plan.per_step.size(), static_cast<std::size_t>(steps));
+  for (const auto& assignments : plan.per_step) {
+    std::set<int> sats, stations;
+    for (const ContactEdge& e : assignments) {
+      EXPECT_TRUE(sats.insert(e.sat).second);
+      EXPECT_TRUE(stations.insert(e.station).second);
+    }
+  }
+}
+
+TEST_F(LookaheadTest, EmptyQueuesPlanNothing) {
+  std::vector<OnboardQueue> queues(sats_.size());
+  LatencyValue phi;
+  const HorizonPlan plan =
+      plan_horizon(engine_, queues, phi, kEpoch, 60, 60.0);
+  for (const auto& assignments : plan.per_step) {
+    EXPECT_TRUE(assignments.empty());
+  }
+}
+
+TEST_F(LookaheadTest, SatelliteHoldsStationAcrossWholePass) {
+  // The distinguishing behaviour vs per-instant matching: once allocated,
+  // a (sat, station) pairing persists for the full block.
+  std::vector<OnboardQueue> queues(sats_.size());
+  for (auto& q : queues) q.generate(50.0 * kGb, kEpoch.plus_seconds(-3600));
+  LatencyValue phi;
+  const HorizonPlan plan =
+      plan_horizon(engine_, queues, phi, kEpoch, 180, 60.0);
+  // Count switches: a satellite changing station between adjacent steps
+  // while remaining scheduled.
+  int transitions = 0, continuations = 0;
+  for (std::size_t k = 1; k < plan.per_step.size(); ++k) {
+    for (const ContactEdge& cur : plan.per_step[k]) {
+      for (const ContactEdge& prev : plan.per_step[k - 1]) {
+        if (prev.sat != cur.sat) continue;
+        if (prev.station == cur.station) {
+          ++continuations;
+        } else {
+          ++transitions;
+        }
+      }
+    }
+  }
+  // Mid-pass handoffs can only happen at block boundaries, so
+  // continuations must dominate.
+  EXPECT_GT(continuations, 5 * std::max(1, transitions));
+}
+
+TEST_F(LookaheadTest, RejectsBadArguments) {
+  std::vector<OnboardQueue> queues(sats_.size());
+  LatencyValue phi;
+  EXPECT_THROW(find_pass_blocks(engine_, kEpoch, 0, 60.0),
+               std::invalid_argument);
+  EXPECT_THROW(find_pass_blocks(engine_, kEpoch, 10, 0.0),
+               std::invalid_argument);
+  std::vector<OnboardQueue> wrong(3);
+  EXPECT_THROW(plan_horizon(engine_, wrong, phi, kEpoch, 10, 60.0),
+               std::invalid_argument);
+}
+
+TEST_F(LookaheadTest, SimulatorIntegrationConservesBytes) {
+  SimulationOptions opts;
+  opts.start = kEpoch;
+  opts.duration_hours = 6.0;
+  opts.step_seconds = 60.0;
+  opts.lookahead_hours = 1.0;
+  Simulator sim(sats_, stations_, nullptr, opts);
+  const SimulationResult r = sim.run();
+  EXPECT_GT(r.total_delivered_bytes, 0.0);
+  double backlog = 0.0;
+  for (const auto& o : r.per_satellite) backlog += o.backlog_bytes;
+  EXPECT_NEAR(r.total_generated_bytes, r.total_delivered_bytes + backlog,
+              r.total_generated_bytes * 1e-9 + 1.0);
+}
+
+TEST_F(LookaheadTest, SimulatorRejectsLookaheadWithOutages) {
+  SimulationOptions opts;
+  opts.start = kEpoch;
+  opts.duration_hours = 2.0;
+  opts.lookahead_hours = 1.0;
+  opts.outages.push_back(StationOutage{0, 0.0, 1.0});
+  EXPECT_THROW(Simulator(sats_, stations_, nullptr, opts),
+               std::invalid_argument);
+  opts.outages.clear();
+  opts.lookahead_hours = -1.0;
+  EXPECT_THROW(Simulator(sats_, stations_, nullptr, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dgs::core

@@ -1,0 +1,214 @@
+// Synthetic network generator: station footprint, constellation validity,
+// TX subset, constraints, subsampling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "src/groundseg/network_gen.h"
+#include "src/orbit/sgp4.h"
+#include "src/util/angles.h"
+
+namespace dgs::groundseg {
+namespace {
+
+using util::deg2rad;
+using util::rad2deg;
+
+const util::Epoch kEpoch(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+
+TEST(StationGen, CountAndDeterminism) {
+  NetworkOptions opts;
+  const auto a = generate_dgs_stations(opts);
+  const auto b = generate_dgs_stations(opts);
+  ASSERT_EQ(a.size(), 173u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].location.latitude_rad, b[i].location.latitude_rad);
+    EXPECT_EQ(a[i].tx_capable, b[i].tx_capable);
+  }
+}
+
+TEST(StationGen, FootprintMatchesSatnogsShape) {
+  const auto stations = generate_dgs_stations(NetworkOptions{});
+  int north = 0, europe_ish = 0;
+  for (const auto& gs : stations) {
+    const double lat = rad2deg(gs.location.latitude_rad);
+    const double lon = rad2deg(gs.location.longitude_rad);
+    if (lat > 0.0) ++north;
+    if (lat > 36.0 && lat < 69.0 && lon > -10.0 && lon < 40.0) ++europe_ish;
+  }
+  // SatNOGS is strongly northern-hemisphere and Europe-heavy.
+  EXPECT_GT(north, static_cast<int>(stations.size() * 0.6));
+  EXPECT_GT(europe_ish, static_cast<int>(stations.size() * 0.3));
+}
+
+TEST(StationGen, TxFractionRespected) {
+  NetworkOptions opts;
+  opts.tx_fraction = 0.10;
+  const auto stations = generate_dgs_stations(opts);
+  const int tx = static_cast<int>(
+      std::count_if(stations.begin(), stations.end(),
+                    [](const GroundStation& g) { return g.tx_capable; }));
+  EXPECT_NEAR(tx, 17, 1);  // 10% of 173
+}
+
+TEST(StationGen, AtLeastOneTxEvenAtZeroFraction) {
+  NetworkOptions opts;
+  opts.tx_fraction = 0.0;
+  const auto stations = generate_dgs_stations(opts);
+  EXPECT_EQ(std::count_if(stations.begin(), stations.end(),
+                          [](const GroundStation& g) { return g.tx_capable; }),
+            1);
+}
+
+TEST(StationGen, ElevationMasksWithinAmateurRange) {
+  for (const auto& gs : generate_dgs_stations(NetworkOptions{})) {
+    EXPECT_GE(gs.min_elevation_rad, deg2rad(5.0) - 1e-12);
+    EXPECT_LE(gs.min_elevation_rad, deg2rad(15.0) + 1e-12);
+    EXPECT_DOUBLE_EQ(gs.receiver.dish_diameter_m, 1.0);
+  }
+}
+
+TEST(StationGen, ConstraintBitmapsApplied) {
+  NetworkOptions opts;
+  opts.constraint_denial_fraction = 0.2;
+  const auto stations = generate_dgs_stations(opts);
+  std::size_t denied = 0;
+  for (const auto& gs : stations) denied += gs.constraints.denied_count();
+  const double frac =
+      static_cast<double>(denied) / (stations.size() * opts.num_satellites);
+  EXPECT_NEAR(frac, 0.2, 0.03);
+}
+
+TEST(StationGen, RejectsBadOptions) {
+  NetworkOptions bad;
+  bad.num_stations = 0;
+  EXPECT_THROW(generate_dgs_stations(bad), std::invalid_argument);
+  bad = NetworkOptions{};
+  bad.tx_fraction = 1.5;
+  EXPECT_THROW(generate_dgs_stations(bad), std::invalid_argument);
+}
+
+TEST(BaselineStations, FivePolarHighEndSites) {
+  const auto stations = baseline_stations();
+  ASSERT_EQ(stations.size(), 5u);
+  for (const auto& gs : stations) {
+    EXPECT_TRUE(gs.tx_capable);
+    EXPECT_DOUBLE_EQ(gs.receiver.dish_diameter_m, 4.0);
+    // "Preferably close to the Earth's poles" (paper §2).
+    EXPECT_GT(std::fabs(rad2deg(gs.location.latitude_rad)), 50.0);
+  }
+}
+
+TEST(ConstellationGen, CountAndUniqueIds) {
+  const auto sats = generate_constellation(NetworkOptions{}, kEpoch);
+  ASSERT_EQ(sats.size(), 259u);
+  std::set<int> ids, satnums;
+  for (const auto& s : sats) {
+    ids.insert(s.id);
+    satnums.insert(s.tle.satnum);
+  }
+  EXPECT_EQ(ids.size(), sats.size());
+  EXPECT_EQ(satnums.size(), sats.size());
+}
+
+TEST(ConstellationGen, OrbitsAreEoTypical) {
+  int sso = 0, iss_like = 0;
+  const auto sats = generate_constellation(NetworkOptions{}, kEpoch);
+  for (const auto& s : sats) {
+    // Paper §1: EO satellites at 300-600 km in low Earth orbit.
+    EXPECT_GT(s.tle.perigee_altitude_km(), 400.0) << s.name;
+    EXPECT_LT(s.tle.apogee_altitude_km(), 650.0) << s.name;
+    EXPECT_GT(s.tle.inclination_deg, 44.0) << s.name;
+    EXPECT_LT(s.tle.inclination_deg, 101.0) << s.name;
+    EXPECT_GT(s.tle.mean_motion_revs_per_day, 14.0);
+    EXPECT_LT(s.tle.mean_motion_revs_per_day, 16.5);
+    if (std::fabs(s.tle.inclination_deg - 97.5) < 3.0) ++sso;
+    if (std::fabs(s.tle.inclination_deg - 51.6) < 2.0) ++iss_like;
+  }
+  // The LEO population mix: roughly 45% sun-synchronous, 25% ISS-orbit
+  // rideshares (see generate_constellation).
+  EXPECT_NEAR(static_cast<double>(sso) / sats.size(), 0.45, 0.12);
+  EXPECT_NEAR(static_cast<double>(iss_like) / sats.size(), 0.25, 0.10);
+}
+
+TEST(ConstellationGen, TlesAreParseableAndPropagable) {
+  const auto sats = generate_constellation(NetworkOptions{}, kEpoch);
+  for (std::size_t i = 0; i < sats.size(); i += 13) {
+    const auto& tle = sats[i].tle;
+    // Round-trip through the canonical text representation.
+    const orbit::Tle back = orbit::parse_tle(orbit::format_tle_line1(tle),
+                                             orbit::format_tle_line2(tle));
+    const orbit::Sgp4 prop(back);
+    const auto st = prop.propagate(45.0);
+    const double r = st.position_km.norm();
+    EXPECT_GT(r, 6700.0);
+    EXPECT_LT(r, 7100.0);
+  }
+}
+
+TEST(ConstellationGen, RaanSpreadCoversTheGlobe) {
+  const auto sats = generate_constellation(NetworkOptions{}, kEpoch);
+  double min_raan = 360.0, max_raan = 0.0;
+  for (const auto& s : sats) {
+    min_raan = std::min(min_raan, s.tle.raan_deg);
+    max_raan = std::max(max_raan, s.tle.raan_deg);
+  }
+  EXPECT_LT(min_raan, 40.0);
+  EXPECT_GT(max_raan, 320.0);
+}
+
+TEST(Subsample, QuarterNetworkKeepsSpreadAndTx) {
+  const auto all = generate_dgs_stations(NetworkOptions{});
+  const auto quarter = subsample_stations(all, 0.25);
+  EXPECT_NEAR(static_cast<double>(quarter.size()), 43.0, 1.0);
+  EXPECT_TRUE(std::any_of(quarter.begin(), quarter.end(),
+                          [](const GroundStation& g) { return g.tx_capable; }));
+  // Latitude spread preserved: both hemispheres present.
+  const auto [lo, hi] = std::minmax_element(
+      quarter.begin(), quarter.end(),
+      [](const GroundStation& a, const GroundStation& b) {
+        return a.location.latitude_rad < b.location.latitude_rad;
+      });
+  EXPECT_LT(rad2deg(lo->location.latitude_rad), 0.0);
+  EXPECT_GT(rad2deg(hi->location.latitude_rad), 40.0);
+}
+
+TEST(Subsample, FullFractionIsIdentity) {
+  const auto all = generate_dgs_stations(NetworkOptions{});
+  EXPECT_EQ(subsample_stations(all, 1.0).size(), all.size());
+}
+
+TEST(Subsample, RejectsBadFraction) {
+  const auto all = generate_dgs_stations(NetworkOptions{});
+  EXPECT_THROW(subsample_stations(all, 0.0), std::invalid_argument);
+  EXPECT_THROW(subsample_stations(all, 1.1), std::invalid_argument);
+}
+
+TEST(DownlinkConstraints, DefaultAllowsEverything) {
+  DownlinkConstraints c;
+  EXPECT_TRUE(c.allows(0));
+  EXPECT_TRUE(c.allows(10'000));
+  EXPECT_EQ(c.denied_count(), 0u);
+}
+
+TEST(DownlinkConstraints, DenyAndReAllow) {
+  DownlinkConstraints c(16);
+  c.deny(3);
+  EXPECT_FALSE(c.allows(3));
+  EXPECT_TRUE(c.allows(4));
+  EXPECT_EQ(c.denied_count(), 1u);
+  c.allow(3);
+  EXPECT_TRUE(c.allows(3));
+}
+
+TEST(DownlinkConstraints, DenyBeyondSizeGrowsBitmap) {
+  DownlinkConstraints c(4);
+  c.deny(10);
+  EXPECT_FALSE(c.allows(10));
+  EXPECT_TRUE(c.allows(9));
+}
+
+}  // namespace
+}  // namespace dgs::groundseg

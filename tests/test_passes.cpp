@@ -1,0 +1,144 @@
+// Pass prediction: LEO contact geometry, durations, masks, refinement.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/orbit/passes.h"
+#include "src/orbit/tle.h"
+#include "src/util/angles.h"
+
+namespace dgs::orbit {
+namespace {
+
+using util::deg2rad;
+using util::rad2deg;
+
+constexpr const char* kIssL1 =
+    "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927";
+constexpr const char* kIssL2 =
+    "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537";
+
+class PassesTest : public ::testing::Test {
+ protected:
+  PassesTest() : sat_(parse_tle(kIssL1, kIssL2)) {}
+  Sgp4 sat_;
+};
+
+TEST_F(PassesTest, MidLatitudeSiteSeesSeveralPassesPerDay) {
+  const Geodetic site{deg2rad(47.6), deg2rad(-122.3), 0.05};  // Seattle
+  const util::Epoch start = sat_.epoch();
+  const auto passes = predict_passes(sat_, site, start, start.plus_days(1.0));
+  // ISS from a mid-latitude site: typically 4-7 passes/day above 0 deg.
+  EXPECT_GE(passes.size(), 3u);
+  EXPECT_LE(passes.size(), 9u);
+}
+
+TEST_F(PassesTest, PassDurationsAreLeoTypical) {
+  const Geodetic site{deg2rad(47.6), deg2rad(-122.3), 0.05};
+  const util::Epoch start = sat_.epoch();
+  for (const Pass& p :
+       predict_passes(sat_, site, start, start.plus_days(1.0))) {
+    EXPECT_GT(p.duration_seconds(), 30.0);
+    EXPECT_LT(p.duration_seconds(), 12.0 * 60.0);  // < 12 minutes
+  }
+}
+
+TEST_F(PassesTest, PassesAreChronologicalAndDisjoint) {
+  const Geodetic site{deg2rad(47.6), deg2rad(-122.3), 0.05};
+  const util::Epoch start = sat_.epoch();
+  const auto passes = predict_passes(sat_, site, start, start.plus_days(1.0));
+  for (std::size_t i = 1; i < passes.size(); ++i) {
+    EXPECT_GT(passes[i].aos.seconds_since(passes[i - 1].los), 0.0);
+  }
+  for (const Pass& p : passes) {
+    EXPECT_GE(p.los.seconds_since(p.aos), 0.0);
+    EXPECT_GE(p.tca.seconds_since(p.aos), -1.0);
+    EXPECT_GE(p.los.seconds_since(p.tca), -1.0);
+  }
+}
+
+TEST_F(PassesTest, ElevationAtBoundariesMatchesMask) {
+  const Geodetic site{deg2rad(47.6), deg2rad(-122.3), 0.05};
+  const util::Epoch start = sat_.epoch();
+  PassPredictorOptions opts;
+  opts.min_elevation_rad = deg2rad(10.0);
+  opts.refine_tolerance_seconds = 0.2;
+  const auto passes =
+      predict_passes(sat_, site, start, start.plus_days(1.0), opts);
+  ASSERT_FALSE(passes.empty());
+  for (const Pass& p : passes) {
+    // AOS/LOS bracket the mask crossing to within the refinement tolerance.
+    EXPECT_NEAR(rad2deg(elevation_at(sat_, site, p.aos)), 10.0, 0.5);
+    EXPECT_NEAR(rad2deg(elevation_at(sat_, site, p.los)), 10.0, 0.5);
+    EXPECT_GT(p.max_elevation_rad, deg2rad(10.0));
+  }
+}
+
+TEST_F(PassesTest, TcaIsTheElevationMaximum) {
+  const Geodetic site{deg2rad(47.6), deg2rad(-122.3), 0.05};
+  const util::Epoch start = sat_.epoch();
+  const auto passes = predict_passes(sat_, site, start, start.plus_days(1.0));
+  ASSERT_FALSE(passes.empty());
+  for (const Pass& p : passes) {
+    const double peak = rad2deg(p.max_elevation_rad);
+    for (double offset : {-60.0, -30.0, 30.0, 60.0}) {
+      const util::Epoch t = p.tca.plus_seconds(offset);
+      if (t < p.aos || p.los < t) continue;
+      EXPECT_LE(rad2deg(elevation_at(sat_, site, t)), peak + 0.05);
+    }
+  }
+}
+
+TEST_F(PassesTest, HigherMaskYieldsFewerShorterPasses) {
+  const Geodetic site{deg2rad(47.6), deg2rad(-122.3), 0.05};
+  const util::Epoch start = sat_.epoch();
+  PassPredictorOptions lo, hi;
+  lo.min_elevation_rad = 0.0;
+  hi.min_elevation_rad = deg2rad(25.0);
+  const auto plo = predict_passes(sat_, site, start, start.plus_days(1.0), lo);
+  const auto phi = predict_passes(sat_, site, start, start.plus_days(1.0), hi);
+  EXPECT_LE(phi.size(), plo.size());
+  double lo_total = 0.0, hi_total = 0.0;
+  for (const Pass& p : plo) lo_total += p.duration_seconds();
+  for (const Pass& p : phi) hi_total += p.duration_seconds();
+  EXPECT_LT(hi_total, lo_total);
+}
+
+TEST_F(PassesTest, HighInclinationSiteOutOfCoverage) {
+  // ISS at 51.6 deg inclination never rises above a 15-deg mask at the
+  // South Pole.
+  const Geodetic pole{deg2rad(-90.0), 0.0, 2.8};
+  const util::Epoch start = sat_.epoch();
+  PassPredictorOptions opts;
+  opts.min_elevation_rad = deg2rad(15.0);
+  EXPECT_TRUE(
+      predict_passes(sat_, pole, start, start.plus_days(1.0), opts).empty());
+}
+
+TEST_F(PassesTest, WindowTruncationIsReported) {
+  const Geodetic site{deg2rad(47.6), deg2rad(-122.3), 0.05};
+  const util::Epoch start = sat_.epoch();
+  const auto day = predict_passes(sat_, site, start, start.plus_days(1.0));
+  ASSERT_FALSE(day.empty());
+  // Re-run with the window ending mid-pass: the last pass is clipped at end.
+  const Pass& first = day.front();
+  const util::Epoch mid = first.aos.plus_seconds(first.duration_seconds() / 2);
+  const auto clipped = predict_passes(sat_, site, start, mid);
+  ASSERT_FALSE(clipped.empty());
+  EXPECT_NEAR(clipped.back().los.seconds_since(mid), 0.0, 1e-6);
+}
+
+TEST_F(PassesTest, RejectsInvalidWindows) {
+  const Geodetic site{0.0, 0.0, 0.0};
+  const util::Epoch start = sat_.epoch();
+  EXPECT_THROW(predict_passes(sat_, site, start, start.plus_seconds(-10.0)),
+               std::invalid_argument);
+  PassPredictorOptions bad;
+  bad.coarse_step_seconds = 0.0;
+  EXPECT_THROW(
+      predict_passes(sat_, site, start, start.plus_seconds(10.0), bad),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dgs::orbit

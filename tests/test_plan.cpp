@@ -1,0 +1,131 @@
+// Downlink plan / ack report wire format: round trips, sizes, corruption
+// detection.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/core/plan.h"
+
+namespace dgs::core {
+namespace {
+
+const util::Epoch kEpoch(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+
+DownlinkPlan sample_plan(int entries) {
+  DownlinkPlan plan;
+  plan.sat_id = 90042;
+  plan.epoch = kEpoch;
+  for (int i = 0; i < entries; ++i) {
+    PlanEntry e;
+    e.start_offset_s = 600u * i;
+    e.duration_s = static_cast<std::uint16_t>(300 + i);
+    e.station_id = static_cast<std::uint16_t>(i % 173);
+    e.modcod_index = static_cast<std::uint8_t>(i % 28);
+    e.channels = static_cast<std::uint8_t>(1 + i % 6);
+    plan.entries.push_back(e);
+  }
+  return plan;
+}
+
+TEST(PlanWire, RoundTrip) {
+  const DownlinkPlan plan = sample_plan(17);
+  const auto bytes = serialize(plan);
+  EXPECT_EQ(bytes.size(), plan_wire_size(17));
+  const DownlinkPlan back = parse_plan(bytes);
+  EXPECT_EQ(back.sat_id, plan.sat_id);
+  EXPECT_NEAR(back.epoch.jd(), plan.epoch.jd(), 1e-12);
+  ASSERT_EQ(back.entries.size(), plan.entries.size());
+  for (std::size_t i = 0; i < plan.entries.size(); ++i) {
+    EXPECT_EQ(back.entries[i].start_offset_s, plan.entries[i].start_offset_s);
+    EXPECT_EQ(back.entries[i].duration_s, plan.entries[i].duration_s);
+    EXPECT_EQ(back.entries[i].station_id, plan.entries[i].station_id);
+    EXPECT_EQ(back.entries[i].modcod_index, plan.entries[i].modcod_index);
+    EXPECT_EQ(back.entries[i].channels, plan.entries[i].channels);
+  }
+}
+
+TEST(PlanWire, EmptyPlanRoundTrips) {
+  const auto bytes = serialize(sample_plan(0));
+  EXPECT_EQ(parse_plan(bytes).entries.size(), 0u);
+}
+
+TEST(PlanWire, CorruptionIsDetectedEverywhere) {
+  auto bytes = serialize(sample_plan(5));
+  for (std::size_t i = 0; i < bytes.size(); i += 3) {
+    auto corrupted = bytes;
+    corrupted[i] ^= 0x40;
+    EXPECT_THROW(parse_plan(corrupted), std::invalid_argument)
+        << "byte " << i;
+  }
+}
+
+TEST(PlanWire, TruncationIsDetected) {
+  const auto bytes = serialize(sample_plan(5));
+  for (std::size_t keep : {std::size_t{0}, std::size_t{4}, bytes.size() - 5,
+                           bytes.size() - 1}) {
+    EXPECT_THROW(parse_plan(std::span(bytes).subspan(0, keep)),
+                 std::invalid_argument)
+        << "kept " << keep;
+  }
+}
+
+TEST(PlanWire, WrongMagicRejected) {
+  const auto plan_bytes = serialize(sample_plan(2));
+  AckReport report;
+  report.sat_id = 1;
+  report.collated_at = kEpoch;
+  const auto ack_bytes = serialize(report);
+  EXPECT_THROW(parse_plan(ack_bytes), std::invalid_argument);
+  EXPECT_THROW(parse_ack_report(plan_bytes), std::invalid_argument);
+}
+
+TEST(PlanWire, RejectsOversizedPlan) {
+  DownlinkPlan plan = sample_plan(1);
+  plan.entries.resize(70'000);
+  EXPECT_THROW(serialize(plan), std::invalid_argument);
+}
+
+TEST(AckWire, RoundTrip) {
+  AckReport report;
+  report.sat_id = 90001;
+  report.collated_at = kEpoch.plus_seconds(4321.5);
+  report.ranges.push_back(AckRange{0, 1'000'000'000});
+  report.ranges.push_back(AckRange{2'000'000'000, 0xFFFFFFFFFFFFull});
+  const auto bytes = serialize(report);
+  EXPECT_EQ(bytes.size(), ack_wire_size(2));
+  const AckReport back = parse_ack_report(bytes);
+  EXPECT_EQ(back.sat_id, report.sat_id);
+  ASSERT_EQ(back.ranges.size(), 2u);
+  EXPECT_EQ(back.ranges[1].last_byte, 0xFFFFFFFFFFFFull);
+}
+
+TEST(PlanWire, WireSizesAreCompact) {
+  // A full-day DGS plan (a few hundred slots) must be a few kB: trivially
+  // uploadable over a hundreds-of-kbps TT&C channel in one contact.
+  EXPECT_EQ(plan_wire_size(0), 23u);
+  EXPECT_EQ(plan_wire_size(300), 23u + 3000u);
+  EXPECT_LT(plan_wire_size(400), 5000u);
+}
+
+TEST(UploadDuration, HandshakePlusSerialization) {
+  EXPECT_NEAR(upload_duration_s(0, 256e3), 2.0, 1e-12);
+  EXPECT_NEAR(upload_duration_s(3200, 256e3), 2.0 + 0.1, 1e-12);
+  EXPECT_NEAR(upload_duration_s(3200, 256e3, 0.0), 0.1, 1e-12);
+}
+
+TEST(UploadDuration, RejectsBadInputs) {
+  EXPECT_THROW(upload_duration_s(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(upload_duration_s(100, 1e3, -1.0), std::invalid_argument);
+}
+
+TEST(UploadDuration, FullDayPlanFitsInSeconds) {
+  // The feasibility check behind the hybrid design: plan + acks for a full
+  // day upload in a few seconds of a 7-10 minute TX pass.
+  const std::size_t plan_bytes = plan_wire_size(300);
+  const std::size_t ack_bytes = ack_wire_size(200);
+  const double t = upload_duration_s(plan_bytes + ack_bytes, 256e3);
+  EXPECT_LT(t, 10.0);
+}
+
+}  // namespace
+}  // namespace dgs::core

@@ -1,0 +1,127 @@
+// End-to-end control plane: a real scheduled horizon, converted to the
+// per-satellite wire-format plan, must serialize/parse losslessly and fit
+// the TT&C uplink budget.
+#include <gtest/gtest.h>
+
+#include "src/core/agenda.h"
+#include "src/core/plan.h"
+#include "src/link/dvbs2_framing.h"
+#include "src/link/ttc.h"
+
+namespace dgs::core {
+namespace {
+
+const util::Epoch kT0(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+
+class PlanIntegration : public ::testing::Test {
+ protected:
+  PlanIntegration() {
+    groundseg::NetworkOptions net;
+    net.num_stations = 30;
+    net.num_satellites = 20;
+    net.seed = 51;
+    sats_ = groundseg::generate_constellation(net, kT0);
+    stations_ = groundseg::generate_dgs_stations(net);
+    engine_ = std::make_unique<VisibilityEngine>(sats_, stations_, nullptr);
+    queues_.resize(sats_.size());
+    for (auto& q : queues_) q.generate(60e9, kT0.plus_seconds(-3600));
+    LatencyValue phi;
+    plan_ = plan_horizon(*engine_, queues_, phi, kT0, 12 * 60, 60.0);
+  }
+
+  /// Converts one satellite's share of the horizon plan into the wire
+  /// format uploaded at a TX contact.
+  DownlinkPlan wire_plan_for(int sat) const {
+    DownlinkPlan plan;
+    plan.sat_id = static_cast<std::uint32_t>(sat);
+    plan.epoch = kT0;
+    const auto agendas = build_agendas(*engine_, plan_, kT0, 60.0);
+    for (const auto& agenda : agendas) {
+      for (const auto& e : agenda.entries) {
+        if (e.sat != sat) continue;
+        PlanEntry entry;
+        entry.start_offset_s =
+            static_cast<std::uint32_t>(e.start.seconds_since(kT0) + 0.5);
+        entry.duration_s =
+            static_cast<std::uint16_t>(e.duration_seconds() + 0.5);
+        entry.station_id = static_cast<std::uint16_t>(agenda.station);
+        entry.modcod_index = e.modcod_index;
+        entry.channels = 1;
+        plan.entries.push_back(entry);
+      }
+    }
+    // A satellite executes its plan in time order regardless of which
+    // station's agenda each slot came from.
+    std::sort(plan.entries.begin(), plan.entries.end(),
+              [](const PlanEntry& a, const PlanEntry& b) {
+                return a.start_offset_s < b.start_offset_s;
+              });
+    return plan;
+  }
+
+  std::vector<groundseg::SatelliteConfig> sats_;
+  std::vector<groundseg::GroundStation> stations_;
+  std::unique_ptr<VisibilityEngine> engine_;
+  std::vector<OnboardQueue> queues_;
+  HorizonPlan plan_;
+};
+
+TEST_F(PlanIntegration, EverySatellitePlanRoundTripsLosslessly) {
+  int nonempty = 0;
+  for (int s = 0; s < static_cast<int>(sats_.size()); ++s) {
+    const DownlinkPlan plan = wire_plan_for(s);
+    if (plan.entries.empty()) continue;
+    ++nonempty;
+    const auto bytes = serialize(plan);
+    const DownlinkPlan back = parse_plan(bytes);
+    ASSERT_EQ(back.entries.size(), plan.entries.size());
+    for (std::size_t i = 0; i < plan.entries.size(); ++i) {
+      EXPECT_EQ(back.entries[i].start_offset_s,
+                plan.entries[i].start_offset_s);
+      EXPECT_EQ(back.entries[i].station_id, plan.entries[i].station_id);
+      EXPECT_EQ(back.entries[i].modcod_index, plan.entries[i].modcod_index);
+    }
+  }
+  EXPECT_GT(nonempty, static_cast<int>(sats_.size()) / 2);
+}
+
+TEST_F(PlanIntegration, ModcodIndicesResolveToTableEntries) {
+  for (int s = 0; s < static_cast<int>(sats_.size()); ++s) {
+    for (const PlanEntry& e : wire_plan_for(s).entries) {
+      // Throws (failing the test) if the index is out of table range.
+      const link::ModCod& mc = link::modcod_by_index(e.modcod_index);
+      EXPECT_GT(mc.spectral_efficiency, 0.0);
+    }
+  }
+}
+
+TEST_F(PlanIntegration, TwelveHourPlanFitsOneTtcContact) {
+  const link::TtcUplinkSpec gs;
+  const link::SatCommandReceiver sat_rx;
+  for (int s = 0; s < static_cast<int>(sats_.size()); ++s) {
+    const DownlinkPlan plan = wire_plan_for(s);
+    const auto bytes = serialize(plan);
+    // Worst realistic command geometry: 2500 km slant range.
+    const double rate = link::ttc_uplink_rate_bps(gs, sat_rx, 2500.0);
+    ASSERT_GT(rate, 0.0);
+    const double upload_s = upload_duration_s(bytes.size(), rate);
+    // A pass lasts 7-10 min; the plan must cost a tiny fraction of one.
+    EXPECT_LT(upload_s, 30.0) << "sat " << s << " plan " << bytes.size()
+                              << " B";
+  }
+}
+
+TEST_F(PlanIntegration, PlanEntriesAreChronologicalPerSatellite) {
+  for (int s = 0; s < static_cast<int>(sats_.size()); ++s) {
+    const DownlinkPlan plan = wire_plan_for(s);
+    for (std::size_t i = 1; i < plan.entries.size(); ++i) {
+      EXPECT_GE(plan.entries[i].start_offset_s,
+                plan.entries[i - 1].start_offset_s +
+                    plan.entries[i - 1].duration_s)
+          << "sat " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dgs::core

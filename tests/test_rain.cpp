@@ -1,0 +1,132 @@
+// ITU-R P.838/P.839 rain model: table values, monotonicity, slant path.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/link/rain.h"
+#include "src/util/angles.h"
+
+namespace dgs::link {
+namespace {
+
+using util::deg2rad;
+
+TEST(RainCoefficients, MatchesPublishedTableAt10GHz) {
+  // ITU-R P.838-3 tabulates k_H = 0.01217, alpha_H = 1.2571 at 10 GHz.
+  const RainCoefficients h = rain_coefficients(10.0, Polarization::kHorizontal);
+  EXPECT_NEAR(h.k, 0.01217, 2e-4);
+  EXPECT_NEAR(h.alpha, 1.2571, 2e-3);
+  // and k_V = 0.01129, alpha_V = 1.2156.
+  const RainCoefficients v = rain_coefficients(10.0, Polarization::kVertical);
+  EXPECT_NEAR(v.k, 0.01129, 2e-4);
+  EXPECT_NEAR(v.alpha, 1.2156, 2e-3);
+}
+
+TEST(RainCoefficients, MatchesPublishedTableAt20GHz) {
+  // P.838-3: k_H = 0.09164, alpha_H = 1.0568 at 20 GHz.
+  const RainCoefficients h = rain_coefficients(20.0, Polarization::kHorizontal);
+  EXPECT_NEAR(h.k, 0.09164, 2e-3);
+  EXPECT_NEAR(h.alpha, 1.0568, 5e-3);
+}
+
+TEST(RainCoefficients, CircularIsBetweenLinearPolarizations) {
+  for (double f : {4.0, 8.2, 12.0, 20.0, 30.0}) {
+    const auto h = rain_coefficients(f, Polarization::kHorizontal);
+    const auto v = rain_coefficients(f, Polarization::kVertical);
+    const auto c = rain_coefficients(f, Polarization::kCircular);
+    EXPECT_GE(c.k, std::min(h.k, v.k));
+    EXPECT_LE(c.k, std::max(h.k, v.k));
+  }
+}
+
+TEST(RainCoefficients, RejectsOutOfBandFrequencies) {
+  EXPECT_THROW(rain_coefficients(0.5, Polarization::kHorizontal),
+               std::invalid_argument);
+  EXPECT_THROW(rain_coefficients(1500.0, Polarization::kHorizontal),
+               std::invalid_argument);
+}
+
+TEST(RainSpecificAttenuation, ZeroRainZeroLoss) {
+  EXPECT_DOUBLE_EQ(
+      rain_specific_attenuation_db_km(8.2, 0.0, Polarization::kCircular), 0.0);
+}
+
+TEST(RainSpecificAttenuation, RejectsNegativeRain) {
+  EXPECT_THROW(
+      rain_specific_attenuation_db_km(8.2, -1.0, Polarization::kCircular),
+      std::invalid_argument);
+}
+
+TEST(RainSpecificAttenuation, IncreasesWithRainAndFrequency) {
+  double prev = 0.0;
+  for (double r : {1.0, 5.0, 25.0, 60.0, 100.0}) {
+    const double g =
+        rain_specific_attenuation_db_km(8.2, r, Polarization::kCircular);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+  prev = 0.0;
+  for (double f : {2.0, 4.0, 8.0, 12.0, 20.0, 30.0}) {
+    const double g =
+        rain_specific_attenuation_db_km(f, 25.0, Polarization::kCircular);
+    EXPECT_GT(g, prev) << "f=" << f;
+    prev = g;
+  }
+}
+
+TEST(RainHeight, LatitudeClimatology) {
+  EXPECT_DOUBLE_EQ(rain_height_km(0.0), 5.0);             // tropics
+  EXPECT_DOUBLE_EQ(rain_height_km(deg2rad(20.0)), 5.0);
+  EXPECT_NEAR(rain_height_km(deg2rad(45.0)), 5.0 - 0.075 * 22.0, 1e-9);
+  EXPECT_GE(rain_height_km(deg2rad(89.0)), 0.0);          // never negative
+  // Symmetric in hemisphere.
+  EXPECT_DOUBLE_EQ(rain_height_km(deg2rad(-45.0)), rain_height_km(deg2rad(45.0)));
+}
+
+TEST(RainAttenuation, PaperCitedMagnitudes) {
+  // Paper §1/§3.2: rain attenuates 10-25 dB in the X/Ku/Ka bands used for
+  // downlink.  Heavy rain (40 mm/h) at Ku/Ka and low-moderate elevation
+  // should land in or above that range; X band is at the low edge.
+  const double ku = rain_attenuation_db(14.0, 40.0, deg2rad(20.0),
+                                        deg2rad(40.0), 0.0);
+  const double ka = rain_attenuation_db(27.0, 40.0, deg2rad(20.0),
+                                        deg2rad(40.0), 0.0);
+  EXPECT_GT(ku, 5.0);
+  EXPECT_LT(ku, 40.0);
+  EXPECT_GT(ka, 15.0);
+}
+
+TEST(RainAttenuation, DecreasesWithElevation) {
+  double prev = 1e9;
+  for (double el : {5.0, 10.0, 20.0, 45.0, 90.0}) {
+    const double a = rain_attenuation_db(12.0, 25.0, deg2rad(el),
+                                         deg2rad(45.0), 0.0);
+    EXPECT_LT(a, prev) << "el=" << el;
+    prev = a;
+  }
+}
+
+TEST(RainAttenuation, StationAboveRainLayerSeesNone) {
+  // A 5.2 km-altitude site poleward of 60 deg sits above the rain height.
+  EXPECT_DOUBLE_EQ(
+      rain_attenuation_db(12.0, 25.0, deg2rad(30.0), deg2rad(62.0), 5.2), 0.0);
+}
+
+TEST(RainAttenuation, GrazingPathUsesSphericalCorrection) {
+  // Below 5 deg the spherical-Earth form caps the slant length; the result
+  // must stay finite and larger than at 5 deg.
+  const double a3 =
+      rain_attenuation_db(12.0, 25.0, deg2rad(3.0), deg2rad(45.0), 0.0);
+  const double a5 =
+      rain_attenuation_db(12.0, 25.0, deg2rad(5.0), deg2rad(45.0), 0.0);
+  EXPECT_GT(a3, a5);
+  EXPECT_LT(a3, 200.0);
+}
+
+TEST(RainAttenuation, RejectsNonPositiveElevation) {
+  EXPECT_THROW(rain_attenuation_db(12.0, 25.0, 0.0, 0.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dgs::link

@@ -1,0 +1,89 @@
+// Timeseries collection and report export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/report.h"
+
+namespace dgs::core {
+namespace {
+
+const util::Epoch kT0(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+
+SimulationResult run_small(bool timeseries) {
+  groundseg::NetworkOptions net;
+  net.num_stations = 15;
+  net.num_satellites = 8;
+  net.seed = 13;
+  const auto sats = groundseg::generate_constellation(net, kT0);
+  const auto stations = groundseg::generate_dgs_stations(net);
+  SimulationOptions opts;
+  opts.start = kT0;
+  opts.duration_hours = 4.0;
+  opts.collect_timeseries = timeseries;
+  return Simulator(sats, stations, nullptr, opts).run();
+}
+
+TEST(Timeseries, OffByDefault) {
+  EXPECT_TRUE(run_small(false).timeseries.empty());
+}
+
+TEST(Timeseries, OneRecordPerStep) {
+  const SimulationResult r = run_small(true);
+  EXPECT_EQ(static_cast<std::int64_t>(r.timeseries.size()), r.steps);
+}
+
+TEST(Timeseries, CumulativeCurvesAreMonotone) {
+  const SimulationResult r = run_small(true);
+  double prev_delivered = -1.0;
+  std::int64_t prev_failed = -1;
+  double prev_hours = 0.0;
+  for (const StepRecord& rec : r.timeseries) {
+    EXPECT_GE(rec.delivered_bytes_cum, prev_delivered);
+    EXPECT_GE(rec.failed_cum, prev_failed);
+    EXPECT_GT(rec.hours, prev_hours);
+    EXPECT_GE(rec.backlog_bytes_total, 0.0);
+    prev_delivered = rec.delivered_bytes_cum;
+    prev_failed = rec.failed_cum;
+    prev_hours = rec.hours;
+  }
+  // Final record matches the summary totals.
+  EXPECT_NEAR(r.timeseries.back().delivered_bytes_cum,
+              r.total_delivered_bytes, 1.0);
+  EXPECT_NEAR(r.timeseries.back().hours, 4.0, 1e-9);
+}
+
+TEST(Report, CsvRowPerStepPlusHeader) {
+  const SimulationResult r = run_small(true);
+  std::stringstream ss;
+  write_timeseries_csv(ss, r);
+  int lines = 0;
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (lines > 0) {
+      EXPECT_EQ(std::count(line.begin(), line.end(), ','), 4) << line;
+    }
+    ++lines;
+  }
+  EXPECT_EQ(lines, static_cast<int>(r.timeseries.size()) + 1);
+}
+
+TEST(Report, JsonHasStableKeysAndBalancedBraces) {
+  const SimulationResult r = run_small(false);
+  std::stringstream ss;
+  write_summary_json(ss, r);
+  const std::string json = ss.str();
+  for (const char* key :
+       {"latency_minutes", "backlog_gb", "total_delivered_tb",
+        "failed_assignments", "mean_station_utilization"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  // Empty sample sets serialize as null, not a crash.
+  EXPECT_NE(json.find("\"urgent_latency_minutes\": null"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dgs::core

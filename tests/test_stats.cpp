@@ -1,0 +1,132 @@
+// SampleSet percentiles, CDF, and summary formatting.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace dgs::util {
+namespace {
+
+TEST(Percentile, ThrowsOnEmpty) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  SampleSet s;
+  EXPECT_THROW(s.percentile(50.0), std::invalid_argument);
+}
+
+TEST(Percentile, RejectsOutOfRangePct) {
+  const double v[] = {1.0, 2.0};
+  EXPECT_THROW(percentile(v, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile(v, 100.5), std::invalid_argument);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 7.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  SampleSet s;
+  for (double v : {0.0, 10.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 2.5);
+}
+
+TEST(Percentile, MedianOfKnownSet) {
+  SampleSet s;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(v);  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(Percentile, MonotoneInPct) {
+  Rng rng(7);
+  SampleSet s;
+  for (int i = 0; i < 500; ++i) s.add(rng.normal(0.0, 10.0));
+  double prev = s.percentile(0.0);
+  for (double p = 1.0; p <= 100.0; p += 1.0) {
+    const double cur = s.percentile(p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Cdf, MatchesDefinition) {
+  SampleSet s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.cdf(100.0), 1.0);
+}
+
+TEST(Cdf, CurveEndpointsAndMonotonicity) {
+  Rng rng(11);
+  SampleSet s;
+  for (int i = 0; i < 200; ++i) s.add(rng.exponential(0.1));
+  const auto curve = s.cdf_curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+}
+
+TEST(Cdf, CurveNeedsTwoPoints) {
+  SampleSet s;
+  s.add(1.0);
+  EXPECT_THROW(s.cdf_curve(1), std::invalid_argument);
+}
+
+TEST(Cdf, PercentileAndCdfAreConsistent) {
+  Rng rng(3);
+  SampleSet s;
+  for (int i = 0; i < 1000; ++i) s.add(rng.uniform(0.0, 100.0));
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double x = s.percentile(p);
+    EXPECT_NEAR(s.cdf(x) * 100.0, p, 1.0);
+  }
+}
+
+TEST(SummaryRow, Format) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  const std::string row = summary_row(s, "min");
+  EXPECT_NE(row.find("min"), std::string::npos);
+  EXPECT_NE(row.find("p90"), std::string::npos);
+  EXPECT_NE(row.find("p99"), std::string::npos);
+}
+
+TEST(SampleSet, AddAllMatchesRepeatedAdd) {
+  SampleSet a, b;
+  const double vs[] = {3.0, 1.0, 2.0};
+  a.add_all(vs);
+  for (double v : vs) b.add(v);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_DOUBLE_EQ(a.median(), b.median());
+}
+
+TEST(Rng, ForkedStreamsAreIndependentButDeterministic) {
+  Rng a(123), b(123);
+  Rng fa = a.fork(1), fb = b.fork(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+  }
+  Rng c(123);
+  Rng f2 = c.fork(2);
+  // Different stream ids should diverge immediately (overwhelmingly likely).
+  Rng d(123);
+  Rng f1 = d.fork(1);
+  EXPECT_NE(f1.uniform(), f2.uniform());
+}
+
+}  // namespace
+}  // namespace dgs::util

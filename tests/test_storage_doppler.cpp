@@ -1,0 +1,142 @@
+// On-board storage limits (recorder-full drops) and Doppler prediction.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/core/simulator.h"
+#include "src/link/doppler.h"
+#include "src/orbit/passes.h"
+#include "src/orbit/tle.h"
+#include "src/util/angles.h"
+
+namespace dgs {
+namespace {
+
+const util::Epoch kT0(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+
+TEST(StorageCapacity, TailDropWhenFull) {
+  core::OnboardQueue q;
+  q.set_capacity(100.0);
+  q.generate(80.0, kT0);
+  EXPECT_DOUBLE_EQ(q.dropped_bytes(), 0.0);
+  q.generate(50.0, kT0.plus_seconds(60));
+  EXPECT_DOUBLE_EQ(q.queued_bytes(), 100.0);  // only 20 fit
+  EXPECT_DOUBLE_EQ(q.dropped_bytes(), 30.0);
+  // Completely full: everything dropped.
+  q.generate(10.0, kT0.plus_seconds(120));
+  EXPECT_DOUBLE_EQ(q.dropped_bytes(), 40.0);
+}
+
+TEST(StorageCapacity, PendingAckCountsTowardCapacity) {
+  // Paper §3.3: delivered-but-unacked data still occupies the recorder.
+  core::OnboardQueue q;
+  q.set_capacity(100.0);
+  q.generate(100.0, kT0);
+  q.transmit(60.0, kT0.plus_seconds(60), nullptr);
+  EXPECT_DOUBLE_EQ(q.storage_bytes(), 100.0);  // 40 queued + 60 pending
+  q.generate(30.0, kT0.plus_seconds(120));
+  EXPECT_DOUBLE_EQ(q.dropped_bytes(), 30.0);   // nothing fits
+  // Acks free the space.
+  q.acknowledge_all(kT0.plus_seconds(180), nullptr);
+  q.generate(30.0, kT0.plus_seconds(240));
+  EXPECT_DOUBLE_EQ(q.dropped_bytes(), 30.0);   // fits now
+  EXPECT_DOUBLE_EQ(q.queued_bytes(), 70.0);
+}
+
+TEST(StorageCapacity, UnlimitedByDefault) {
+  core::OnboardQueue q;
+  q.generate(1e15, kT0);
+  EXPECT_DOUBLE_EQ(q.dropped_bytes(), 0.0);
+}
+
+TEST(StorageCapacity, RejectsNonPositiveCapacity) {
+  core::OnboardQueue q;
+  EXPECT_THROW(q.set_capacity(0.0), std::invalid_argument);
+  EXPECT_THROW(q.set_capacity(-5.0), std::invalid_argument);
+}
+
+TEST(StorageCapacity, SimulatorAccountsDrops) {
+  groundseg::NetworkOptions net;
+  net.num_stations = 10;
+  net.num_satellites = 6;
+  net.tx_fraction = 0.0;  // one TX station; acks are rare
+  auto sats = groundseg::generate_constellation(net, kT0);
+  for (auto& s : sats) s.storage_capacity_bytes = 5e9;  // tiny recorder
+  const auto stations = groundseg::generate_dgs_stations(net);
+
+  core::SimulationOptions opts;
+  opts.start = kT0;
+  opts.duration_hours = 8.0;
+  const core::SimulationResult r =
+      core::Simulator(sats, stations, nullptr, opts).run();
+
+  EXPECT_GT(r.total_dropped_bytes, 0.0);
+  double generated = 0.0, delivered = 0.0, backlog = 0.0, dropped = 0.0;
+  for (const auto& o : r.per_satellite) {
+    generated += o.generated_bytes;
+    delivered += o.delivered_bytes;
+    backlog += o.backlog_bytes;
+    dropped += o.dropped_bytes;
+    // Storage never exceeded the recorder.
+    EXPECT_LE(o.storage_high_water_bytes, 5e9 + 1.0);
+  }
+  // Conservation with drops: captured = delivered + queued + dropped.
+  EXPECT_NEAR(generated, delivered + backlog + dropped,
+              generated * 1e-9 + 1.0);
+}
+
+TEST(Doppler, MagnitudeAtXBandLeo) {
+  // 7.5 km/s closing speed at 8.2 GHz: ~205 kHz upshift.
+  const double shift = link::doppler_shift_hz(8.2e9, -7.5);
+  EXPECT_NEAR(shift, 205.1e3, 0.5e3);
+  EXPECT_GT(shift, 0.0);  // approaching -> carrier up
+  // Opening: symmetric, negative.
+  EXPECT_NEAR(link::doppler_shift_hz(8.2e9, 7.5), -shift, 1e-9);
+  // Zero at closest approach.
+  EXPECT_DOUBLE_EQ(link::doppler_shift_hz(8.2e9, 0.0), 0.0);
+}
+
+TEST(Doppler, ScalesLinearlyWithFrequency) {
+  EXPECT_NEAR(link::doppler_shift_hz(16.4e9, -3.0),
+              2.0 * link::doppler_shift_hz(8.2e9, -3.0), 1e-9);
+}
+
+TEST(Doppler, PredictedOverARealPass) {
+  // Compute Doppler along an ISS pass; it must sweep monotonically from
+  // positive (approaching) through ~0 near TCA to negative (receding).
+  const orbit::Tle tle = orbit::parse_tle(
+      "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927",
+      "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 "
+      "15.72125391563537");
+  const orbit::Sgp4 sat(tle);
+  const orbit::Geodetic site{util::deg2rad(47.6), util::deg2rad(-122.3),
+                             0.05};
+  const auto passes = orbit::predict_passes(sat, site, sat.epoch(),
+                                            sat.epoch().plus_days(1.0));
+  ASSERT_FALSE(passes.empty());
+  const orbit::Pass& p = passes.front();
+
+  auto doppler_at = [&](const util::Epoch& t) {
+    const orbit::TemeState st = sat.propagate_to(t);
+    util::Vec3 r, v;
+    orbit::teme_to_ecef(st.position_km, st.velocity_km_s, t, r, v);
+    const orbit::LookAngles la = orbit::look_angles(site, r, v);
+    return link::doppler_shift_hz(8.2e9, la.range_rate_km_s);
+  };
+
+  const double at_aos = doppler_at(p.aos.plus_seconds(5.0));
+  const double at_tca = doppler_at(p.tca);
+  const double at_los = doppler_at(p.los.plus_seconds(-5.0));
+  EXPECT_GT(at_aos, 50e3);
+  EXPECT_LT(at_los, -50e3);
+  EXPECT_LT(std::fabs(at_tca), std::fabs(at_aos));
+  EXPECT_LT(std::fabs(at_tca), 40e3);
+}
+
+TEST(Doppler, RejectsBadFrequency) {
+  EXPECT_THROW(link::doppler_shift_hz(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(link::doppler_rate_hz_s(-1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dgs

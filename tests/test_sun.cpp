@@ -1,0 +1,108 @@
+// Solar ephemeris and sun-outage prediction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/orbit/sun.h"
+#include "src/util/angles.h"
+
+namespace dgs::orbit {
+namespace {
+
+using util::deg2rad;
+using util::rad2deg;
+
+TEST(SunPosition, DistanceIsOneAu) {
+  for (int month = 1; month <= 12; ++month) {
+    const util::Epoch t(util::DateTime{2020, month, 15, 0, 0, 0.0});
+    const double r_au = sun_position_km(t).norm() / 149597870.7;
+    EXPECT_GT(r_au, 0.982) << "month " << month;
+    EXPECT_LT(r_au, 1.018) << "month " << month;
+  }
+  // Perihelion (early January) is closer than aphelion (early July).
+  const double january =
+      sun_position_km(util::Epoch(util::DateTime{2020, 1, 4, 0, 0, 0.0}))
+          .norm();
+  const double july =
+      sun_position_km(util::Epoch(util::DateTime{2020, 7, 4, 0, 0, 0.0}))
+          .norm();
+  EXPECT_LT(january, july);
+}
+
+TEST(SunPosition, DeclinationBoundedByObliquity) {
+  for (int day = 0; day < 365; day += 7) {
+    const util::Epoch t =
+        util::Epoch(util::DateTime{2020, 1, 1, 12, 0, 0.0}).plus_days(day);
+    const util::Vec3 s = sun_position_km(t);
+    const double decl = std::asin(s.z / s.norm());
+    EXPECT_LE(std::fabs(rad2deg(decl)), 23.45 + 0.05) << "day " << day;
+  }
+}
+
+TEST(SunPosition, SolsticesAndEquinoxes) {
+  // June solstice: declination near +23.4 deg.
+  const util::Vec3 june =
+      sun_position_km(util::Epoch(util::DateTime{2020, 6, 20, 22, 0, 0.0}));
+  EXPECT_NEAR(rad2deg(std::asin(june.z / june.norm())), 23.43, 0.1);
+  // December solstice: near -23.4 deg.
+  const util::Vec3 dec =
+      sun_position_km(util::Epoch(util::DateTime{2020, 12, 21, 10, 0, 0.0}));
+  EXPECT_NEAR(rad2deg(std::asin(dec.z / dec.norm())), -23.43, 0.1);
+  // March equinox: declination near zero.
+  const util::Vec3 mar =
+      sun_position_km(util::Epoch(util::DateTime{2020, 3, 20, 4, 0, 0.0}));
+  EXPECT_NEAR(rad2deg(std::asin(mar.z / mar.norm())), 0.0, 0.3);
+}
+
+TEST(SunAngles, LocalNoonPutsSunHighAndSouthish) {
+  // Berlin (52.5 N), June 21 near local solar noon (~11:50 UTC + lon adj).
+  const Geodetic site{deg2rad(52.5), deg2rad(13.4), 0.0};
+  const util::Epoch noon(util::DateTime{2020, 6, 21, 11, 10, 0.0});
+  const SunAngles s = sun_angles(site, noon);
+  // Max solar elevation at 52.5 N on the solstice: 90 - 52.5 + 23.4 = 60.9.
+  EXPECT_NEAR(rad2deg(s.elevation_rad), 60.9, 2.0);
+  const double az = rad2deg(s.azimuth_rad);
+  EXPECT_GT(az, 150.0);
+  EXPECT_LT(az, 210.0);
+}
+
+TEST(SunAngles, MidnightSunIsDown) {
+  const Geodetic site{deg2rad(52.5), deg2rad(13.4), 0.0};
+  const util::Epoch midnight(util::DateTime{2020, 6, 21, 23, 10, 0.0});
+  EXPECT_LT(sun_angles(site, midnight).elevation_rad, 0.0);
+}
+
+TEST(SunOutage, TriggeredWhenPointingAtTheSun) {
+  const Geodetic site{deg2rad(52.5), deg2rad(13.4), 0.0};
+  const util::Epoch noon(util::DateTime{2020, 6, 21, 11, 10, 0.0});
+  const SunAngles s = sun_angles(site, noon);
+  // Point straight at the sun: outage at any cone.
+  EXPECT_TRUE(sun_outage(site, s.azimuth_rad, s.elevation_rad, noon,
+                         deg2rad(0.5)));
+  // Point 10 degrees away in azimuth: no outage with a 2 deg cone.
+  EXPECT_FALSE(sun_outage(site, s.azimuth_rad + deg2rad(10.0),
+                          s.elevation_rad, noon, deg2rad(2.0)));
+  // ...but a 15 deg cone catches it again (cos(el) scaling notwithstanding).
+  EXPECT_TRUE(sun_outage(site, s.azimuth_rad + deg2rad(10.0),
+                         s.elevation_rad, noon, deg2rad(15.0)));
+}
+
+TEST(SunOutage, NeverAtNight) {
+  const Geodetic site{deg2rad(52.5), deg2rad(13.4), 0.0};
+  const util::Epoch midnight(util::DateTime{2020, 6, 21, 23, 10, 0.0});
+  // Whatever direction we look, a below-horizon sun cannot blind us.
+  for (double az = 0.0; az < 360.0; az += 45.0) {
+    EXPECT_FALSE(
+        sun_outage(site, deg2rad(az), deg2rad(20.0), midnight, deg2rad(5.0)));
+  }
+}
+
+TEST(SunOutage, RejectsBadCone) {
+  const Geodetic site{0.0, 0.0, 0.0};
+  const util::Epoch t(util::DateTime{2020, 6, 1, 12, 0, 0.0});
+  EXPECT_THROW(sun_outage(site, 0.0, 0.5, t, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dgs::orbit

@@ -1,0 +1,120 @@
+// Time utilities: Julian date round trips, GMST reference values, Epoch
+// arithmetic.
+#include <gtest/gtest.h>
+
+#include "src/util/angles.h"
+#include "src/util/time.h"
+
+namespace dgs::util {
+namespace {
+
+TEST(JulianDate, J2000ReferenceEpoch) {
+  // 2000-01-01 12:00 UTC is JD 2451545.0 by definition.
+  EXPECT_DOUBLE_EQ(julian_date(DateTime{2000, 1, 1, 12, 0, 0.0}), 2451545.0);
+}
+
+TEST(JulianDate, KnownHistoricalValues) {
+  // Vallado, example 3-4: 1996-10-26 14:20:00 UTC -> 2450383.09722222.
+  EXPECT_NEAR(julian_date(DateTime{1996, 10, 26, 14, 20, 0.0}),
+              2450383.09722222, 1e-8);
+  // Unix epoch: 1970-01-01 00:00 UTC.
+  EXPECT_DOUBLE_EQ(julian_date(DateTime{1970, 1, 1, 0, 0, 0.0}), 2440587.5);
+}
+
+TEST(JulianDate, MidnightIsHalfDay) {
+  const double jd = julian_date(DateTime{2020, 11, 4, 0, 0, 0.0});
+  EXPECT_DOUBLE_EQ(jd - std::floor(jd), 0.5);
+}
+
+TEST(CalendarFromJd, RoundTripsWholeDates) {
+  for (int month = 1; month <= 12; ++month) {
+    const DateTime dt{2020, month, 15, 6, 30, 15.5};
+    const DateTime back = calendar_from_jd(julian_date(dt));
+    EXPECT_EQ(back.year, dt.year);
+    EXPECT_EQ(back.month, dt.month);
+    EXPECT_EQ(back.day, dt.day);
+    EXPECT_EQ(back.hour, dt.hour);
+    EXPECT_EQ(back.minute, dt.minute);
+    EXPECT_NEAR(back.second, dt.second, 1e-4);
+  }
+}
+
+TEST(CalendarFromJd, LeapYearFebruary29) {
+  const DateTime dt{2020, 2, 29, 23, 59, 30.0};
+  const DateTime back = calendar_from_jd(julian_date(dt));
+  EXPECT_EQ(back.month, 2);
+  EXPECT_EQ(back.day, 29);
+}
+
+TEST(CalendarFromJd, YearBoundary) {
+  const DateTime dt{2019, 12, 31, 23, 0, 0.0};
+  const DateTime back = calendar_from_jd(julian_date(dt));
+  EXPECT_EQ(back.year, 2019);
+  EXPECT_EQ(back.month, 12);
+  EXPECT_EQ(back.day, 31);
+  EXPECT_EQ(back.hour, 23);
+}
+
+TEST(Gmst, ValladoReferenceCase) {
+  // Vallado example 3-5: 1992-08-20 12:14 UT1 -> GMST 152.578787886 deg.
+  const double jd = julian_date(DateTime{1992, 8, 20, 12, 14, 0.0});
+  EXPECT_NEAR(rad2deg(gmst(jd)), 152.578787886, 1e-6);
+}
+
+TEST(Gmst, StaysInRange) {
+  for (double jd = 2451545.0; jd < 2451545.0 + 400.0; jd += 0.37) {
+    const double g = gmst(jd);
+    EXPECT_GE(g, 0.0);
+    EXPECT_LT(g, kTwoPi);
+  }
+}
+
+TEST(Gmst, AdvancesBySiderealRate) {
+  // Over one solar day GMST advances ~360.9856 deg (mod 360) ~ 0.9856 deg.
+  const double jd0 = 2459000.5;
+  const double delta = wrap_two_pi(gmst(jd0 + 1.0) - gmst(jd0));
+  EXPECT_NEAR(rad2deg(delta), 0.98565, 1e-3);
+}
+
+TEST(Epoch, SecondsArithmeticRoundTrip) {
+  const Epoch e0(DateTime{2020, 11, 4, 0, 0, 0.0});
+  const Epoch e1 = e0.plus_seconds(86399.25);
+  EXPECT_NEAR(e1.seconds_since(e0), 86399.25, 1e-6);
+  EXPECT_NEAR(e0.seconds_since(e1), -86399.25, 1e-6);
+}
+
+TEST(Epoch, SubSecondResolutionOverDays) {
+  const Epoch e0(DateTime{2020, 1, 1, 0, 0, 0.0});
+  Epoch e = e0;
+  for (int i = 0; i < 1000; ++i) e = e.plus_seconds(61.0);
+  EXPECT_NEAR(e.seconds_since(e0), 61000.0, 1e-5);
+}
+
+TEST(Epoch, ComparisonOperators) {
+  const Epoch a(DateTime{2020, 1, 1, 0, 0, 0.0});
+  const Epoch b = a.plus_seconds(1.0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a == a);
+}
+
+TEST(Epoch, FromTleEpochConvention) {
+  // Day 1.0 of 2020 == Jan 1 00:00.
+  const Epoch e = Epoch::from_tle_epoch(20, 1.0);
+  const DateTime dt = e.utc();
+  EXPECT_EQ(dt.year, 2020);
+  EXPECT_EQ(dt.month, 1);
+  EXPECT_EQ(dt.day, 1);
+  EXPECT_EQ(dt.hour, 0);
+  // Two-digit years 57..99 map to the 1900s.
+  EXPECT_EQ(Epoch::from_tle_epoch(58, 1.0).utc().year, 1958);
+  EXPECT_EQ(Epoch::from_tle_epoch(0, 179.5).utc().year, 2000);
+}
+
+TEST(Epoch, ToStringFormat) {
+  const Epoch e(DateTime{2020, 11, 4, 9, 5, 3.2});
+  EXPECT_EQ(e.to_string(), "2020-11-04T09:05:03Z");
+}
+
+}  // namespace
+}  // namespace dgs::util

@@ -1,0 +1,75 @@
+// S-band TT&C uplink: budget magnitudes, rate ladder, validation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/link/ttc.h"
+
+namespace dgs::link {
+namespace {
+
+TEST(TtcUplink, PaperClassRatesAtLeoRanges) {
+  // Paper §2: uplink is "tens to hundreds of kbps".  A 10 W, 1 m S-band
+  // chain must support at least hundreds of kbps across typical LEO slant
+  // ranges.
+  const TtcUplinkSpec gs;
+  const SatCommandReceiver sat;
+  for (double range : {600.0, 1000.0, 1500.0, 2200.0}) {
+    const double rate = ttc_uplink_rate_bps(gs, sat, range);
+    EXPECT_GE(rate, 64e3) << "range " << range;
+    EXPECT_LE(rate, 1024e3);
+  }
+}
+
+TEST(TtcUplink, Cn0DecreasesWithRange) {
+  const TtcUplinkSpec gs;
+  const SatCommandReceiver sat;
+  double prev = 1e9;
+  for (double range : {500.0, 1000.0, 2000.0, 3000.0}) {
+    const double cn0 = ttc_uplink_cn0_dbhz(gs, sat, range);
+    EXPECT_LT(cn0, prev);
+    prev = cn0;
+  }
+  // 20*log10 slope: doubling range costs ~6 dB.
+  EXPECT_NEAR(ttc_uplink_cn0_dbhz(gs, sat, 1000.0) -
+                  ttc_uplink_cn0_dbhz(gs, sat, 2000.0),
+              6.02, 0.01);
+}
+
+TEST(TtcUplink, RateLadderThresholds) {
+  // 4 kbps needs C/N0 >= 4.5 + 3 + 10log10(4000) = 43.5 dBHz.
+  EXPECT_DOUBLE_EQ(ttc_select_rate_bps(43.0), 0.0);
+  EXPECT_DOUBLE_EQ(ttc_select_rate_bps(43.6), 4e3);
+  // 1024 kbps needs >= 7.5 + 60.1 = 67.6 dBHz.
+  EXPECT_DOUBLE_EQ(ttc_select_rate_bps(67.0), 256e3);
+  EXPECT_DOUBLE_EQ(ttc_select_rate_bps(68.0), 1024e3);
+}
+
+TEST(TtcUplink, RateMonotoneInCn0) {
+  double prev = 0.0;
+  for (double cn0 = 40.0; cn0 <= 75.0; cn0 += 0.5) {
+    const double r = ttc_select_rate_bps(cn0);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(TtcUplink, MoreMarginLowersRate) {
+  const TtcUplinkSpec gs;
+  const SatCommandReceiver sat;
+  EXPECT_GE(ttc_uplink_rate_bps(gs, sat, 1500.0, 0.0),
+            ttc_uplink_rate_bps(gs, sat, 1500.0, 10.0));
+}
+
+TEST(TtcUplink, RejectsBadInputs) {
+  const TtcUplinkSpec gs;
+  const SatCommandReceiver sat;
+  EXPECT_THROW(ttc_uplink_cn0_dbhz(gs, sat, 0.0), std::invalid_argument);
+  TtcUplinkSpec bad = gs;
+  bad.tx_power_w = 0.0;
+  EXPECT_THROW(ttc_uplink_cn0_dbhz(bad, sat, 1000.0), std::invalid_argument);
+  EXPECT_THROW(ttc_select_rate_bps(60.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dgs::link

@@ -1,0 +1,151 @@
+// Contact graph construction: geometry, masks, constraints, weather input.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/core/visibility.h"
+#include "src/orbit/passes.h"
+#include "src/util/angles.h"
+
+namespace dgs::core {
+namespace {
+
+using util::deg2rad;
+
+const util::Epoch kEpoch(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+
+groundseg::NetworkOptions small_opts() {
+  groundseg::NetworkOptions opts;
+  opts.num_stations = 12;
+  opts.num_satellites = 8;
+  opts.seed = 7;
+  return opts;
+}
+
+class VisibilityTest : public ::testing::Test {
+ protected:
+  VisibilityTest()
+      : sats_(groundseg::generate_constellation(small_opts(), kEpoch)),
+        stations_(groundseg::generate_dgs_stations(small_opts())),
+        engine_(sats_, stations_, nullptr) {}
+
+  std::vector<groundseg::SatelliteConfig> sats_;
+  std::vector<groundseg::GroundStation> stations_;
+  VisibilityEngine engine_;
+};
+
+TEST_F(VisibilityTest, EdgesRespectElevationMasks) {
+  for (double h = 0.0; h < 3.0; h += 0.25) {
+    const util::Epoch t = kEpoch.plus_seconds(h * 3600.0);
+    for (const ContactEdge& e : engine_.contacts(t)) {
+      EXPECT_GE(e.elevation_rad,
+                stations_[e.station].min_elevation_rad - 1e-9);
+      EXPECT_GT(e.range_km, 400.0);   // never below the orbit altitude
+      EXPECT_LT(e.range_km, 3500.0);  // LEO horizon limit
+    }
+  }
+}
+
+TEST_F(VisibilityTest, EdgesAgreeWithPassPredictor) {
+  // Cross-check against the independent pass predictor for one pair.
+  const orbit::Sgp4 prop(sats_[0].tle);
+  const auto& gs = stations_[0];
+  orbit::PassPredictorOptions popts;
+  popts.min_elevation_rad = gs.min_elevation_rad;
+  const auto passes = orbit::predict_passes(prop, gs.location, kEpoch,
+                                            kEpoch.plus_days(0.5), popts);
+  for (const orbit::Pass& p : passes) {
+    const util::Epoch mid = p.aos.plus_seconds(p.duration_seconds() / 2.0);
+    EXPECT_TRUE(engine_.visible(0, 0, mid));
+    bool found = false;
+    for (const ContactEdge& e : engine_.contacts(mid)) {
+      if (e.sat == 0 && e.station == 0) found = true;
+    }
+    EXPECT_TRUE(found) << "pass at " << mid.to_string();
+  }
+}
+
+TEST_F(VisibilityTest, SomeContactsExistOverAnOrbit) {
+  int total = 0;
+  for (double m = 0.0; m < 100.0; m += 5.0) {
+    total += static_cast<int>(
+        engine_.contacts(kEpoch.plus_seconds(m * 60.0)).size());
+  }
+  EXPECT_GT(total, 0);
+}
+
+TEST_F(VisibilityTest, PredictedRatesDecreaseWithRange) {
+  // Within a single station's simultaneous contacts, a much longer slant
+  // range never yields a faster predicted rate.
+  for (double m = 0.0; m < 200.0; m += 10.0) {
+    const auto edges = engine_.contacts(kEpoch.plus_seconds(m * 60.0));
+    for (const auto& a : edges) {
+      for (const auto& b : edges) {
+        if (a.station != b.station) continue;
+        if (a.range_km > b.range_km * 1.8) {
+          EXPECT_LE(a.predicted_rate_bps, b.predicted_rate_bps + 1e-6);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(VisibilityTest, ConstraintsRemoveEdges) {
+  // Deny satellite 0 everywhere; its edges must vanish.
+  auto constrained = stations_;
+  for (auto& gs : constrained) {
+    gs.constraints = groundseg::DownlinkConstraints(sats_.size());
+    gs.constraints.deny(0);
+  }
+  VisibilityEngine restricted(sats_, constrained, nullptr);
+  for (double m = 0.0; m < 300.0; m += 7.0) {
+    for (const ContactEdge& e :
+         restricted.contacts(kEpoch.plus_seconds(m * 60.0))) {
+      EXPECT_NE(e.sat, 0);
+    }
+  }
+}
+
+TEST_F(VisibilityTest, RainAtAStationReducesItsPredictedRate) {
+  // A provider that rains hard everywhere vs clear sky.
+  class Monsoon final : public weather::WeatherProvider {
+   public:
+    weather::WeatherSample actual(double, double,
+                                  const util::Epoch&) const override {
+      return {40.0, 2.0};
+    }
+  } monsoon;
+
+  VisibilityEngine wet(sats_, stations_, &monsoon);
+  for (double m = 0.0; m < 200.0; m += 10.0) {
+    const util::Epoch t = kEpoch.plus_seconds(m * 60.0);
+    const auto clear_edges = engine_.contacts(t);
+    const auto wet_edges = wet.contacts(t);
+    // Wet predictions never exceed clear ones for the same pair.
+    for (const auto& ce : clear_edges) {
+      for (const auto& we : wet_edges) {
+        if (we.sat == ce.sat && we.station == ce.station) {
+          EXPECT_LE(we.predicted_rate_bps, ce.predicted_rate_bps + 1e-6);
+        }
+      }
+    }
+    // And the wet graph cannot contain extra edges.
+    EXPECT_LE(wet_edges.size(), clear_edges.size());
+  }
+}
+
+TEST_F(VisibilityTest, SatelliteEcefIsLeoAltitude) {
+  for (int s = 0; s < engine_.num_sats(); ++s) {
+    const double r = engine_.satellite_ecef(s, kEpoch).norm();
+    EXPECT_GT(r, 6800.0);
+    EXPECT_LT(r, 7050.0);
+  }
+}
+
+TEST_F(VisibilityTest, LeadVectorSizeValidated) {
+  std::vector<double> bad(3, 0.0);  // wrong size
+  EXPECT_THROW(engine_.contacts(kEpoch, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dgs::core

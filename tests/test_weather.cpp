@@ -1,0 +1,194 @@
+// Synthetic weather provider: determinism, physical bounds, correlation
+// structure, forecast error growth.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/util/angles.h"
+#include "src/weather/climatology.h"
+#include "src/weather/synthetic.h"
+
+namespace dgs::weather {
+namespace {
+
+using util::deg2rad;
+
+class SyntheticWeatherTest : public ::testing::Test {
+ protected:
+  SyntheticWeatherTest()
+      : start_(util::DateTime{2020, 11, 4, 0, 0, 0.0}),
+        wx_(42, start_, 24.0) {}
+  util::Epoch start_;
+  SyntheticWeatherProvider wx_;
+};
+
+TEST_F(SyntheticWeatherTest, DeterministicForSameSeed) {
+  SyntheticWeatherProvider other(42, start_, 24.0);
+  for (double lat : {-60.0, -5.0, 30.0, 52.0}) {
+    for (double h : {0.0, 6.0, 18.0}) {
+      const auto a = wx_.actual(deg2rad(lat), deg2rad(13.0),
+                                start_.plus_seconds(h * 3600));
+      const auto b = other.actual(deg2rad(lat), deg2rad(13.0),
+                                  start_.plus_seconds(h * 3600));
+      EXPECT_DOUBLE_EQ(a.rain_rate_mm_h, b.rain_rate_mm_h);
+      EXPECT_DOUBLE_EQ(a.cloud_liquid_kg_m2, b.cloud_liquid_kg_m2);
+    }
+  }
+}
+
+TEST_F(SyntheticWeatherTest, DifferentSeedsDiffer) {
+  SyntheticWeatherProvider other(43, start_, 24.0);
+  int diffs = 0;
+  for (double lat = -80.0; lat <= 80.0; lat += 10.0) {
+    for (double lon = -170.0; lon <= 170.0; lon += 20.0) {
+      const auto a = wx_.actual(deg2rad(lat), deg2rad(lon), start_);
+      const auto b = other.actual(deg2rad(lat), deg2rad(lon), start_);
+      if (a.cloud_liquid_kg_m2 != b.cloud_liquid_kg_m2) ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 10);
+}
+
+TEST_F(SyntheticWeatherTest, PhysicalBoundsEverywhere) {
+  for (double lat = -85.0; lat <= 85.0; lat += 8.5) {
+    for (double lon = -175.0; lon <= 175.0; lon += 17.0) {
+      for (double h : {0.0, 7.0, 13.0, 23.0}) {
+        const auto s = wx_.actual(deg2rad(lat), deg2rad(lon),
+                                  start_.plus_seconds(h * 3600));
+        EXPECT_GE(s.rain_rate_mm_h, 0.0);
+        EXPECT_LE(s.rain_rate_mm_h, 120.0);
+        EXPECT_GE(s.cloud_liquid_kg_m2, 0.0);
+        EXPECT_LE(s.cloud_liquid_kg_m2, 4.0);
+      }
+    }
+  }
+}
+
+TEST_F(SyntheticWeatherTest, SpatialCorrelation) {
+  // Points 20 km apart are much more similar than points 2000 km apart, in
+  // aggregate over many probes.
+  double near_diff = 0.0, far_diff = 0.0;
+  int n = 0;
+  for (double lat = -50.0; lat <= 50.0; lat += 5.0) {
+    for (double lon = -150.0; lon <= 150.0; lon += 30.0) {
+      const auto a = wx_.actual(deg2rad(lat), deg2rad(lon), start_);
+      const auto b =
+          wx_.actual(deg2rad(lat + 0.18), deg2rad(lon), start_);  // ~20 km
+      const auto c =
+          wx_.actual(deg2rad(lat + 18.0), deg2rad(lon), start_);  // ~2000 km
+      near_diff += std::fabs(a.cloud_liquid_kg_m2 - b.cloud_liquid_kg_m2);
+      far_diff += std::fabs(a.cloud_liquid_kg_m2 - c.cloud_liquid_kg_m2);
+      ++n;
+    }
+  }
+  EXPECT_LT(near_diff / n, far_diff / n);
+}
+
+TEST_F(SyntheticWeatherTest, TemporalCorrelation) {
+  double near_diff = 0.0, far_diff = 0.0;
+  int n = 0;
+  for (double lat = -50.0; lat <= 50.0; lat += 10.0) {
+    for (double lon = -150.0; lon <= 150.0; lon += 50.0) {
+      const auto a = wx_.actual(deg2rad(lat), deg2rad(lon),
+                                start_.plus_seconds(6 * 3600));
+      const auto b = wx_.actual(deg2rad(lat), deg2rad(lon),
+                                start_.plus_seconds(6 * 3600 + 300));
+      const auto c = wx_.actual(deg2rad(lat), deg2rad(lon),
+                                start_.plus_seconds(18 * 3600));
+      near_diff += std::fabs(a.cloud_liquid_kg_m2 - b.cloud_liquid_kg_m2);
+      far_diff += std::fabs(a.cloud_liquid_kg_m2 - c.cloud_liquid_kg_m2);
+      ++n;
+    }
+  }
+  EXPECT_LT(near_diff / n, far_diff / n);
+}
+
+TEST_F(SyntheticWeatherTest, SomeRainExistsSomewhere) {
+  int rainy = 0, total = 0;
+  for (double lat = -60.0; lat <= 60.0; lat += 3.0) {
+    for (double lon = -180.0; lon < 180.0; lon += 6.0) {
+      const auto s = wx_.actual(deg2rad(lat), deg2rad(lon),
+                                start_.plus_seconds(12 * 3600));
+      if (s.rain_rate_mm_h > 0.1) ++rainy;
+      ++total;
+    }
+  }
+  EXPECT_GT(rainy, 0);
+  // ...but rain is localized: well under half the globe at any instant.
+  EXPECT_LT(static_cast<double>(rainy) / total, 0.5);
+}
+
+TEST_F(SyntheticWeatherTest, ZeroLeadForecastMatchesActual) {
+  for (double lat : {-30.0, 10.0, 48.0}) {
+    const auto f = wx_.forecast(deg2rad(lat), deg2rad(5.0),
+                                start_.plus_seconds(3600), 0.0);
+    const auto a =
+        wx_.actual(deg2rad(lat), deg2rad(5.0), start_.plus_seconds(3600));
+    EXPECT_DOUBLE_EQ(f.rain_rate_mm_h, a.rain_rate_mm_h);
+    EXPECT_DOUBLE_EQ(f.cloud_liquid_kg_m2, a.cloud_liquid_kg_m2);
+  }
+}
+
+TEST_F(SyntheticWeatherTest, ForecastErrorGrowsWithLead) {
+  double short_err = 0.0, long_err = 0.0;
+  int n = 0;
+  for (double lat = -50.0; lat <= 50.0; lat += 4.0) {
+    for (double lon = -150.0; lon <= 150.0; lon += 25.0) {
+      const util::Epoch when = start_.plus_seconds(10 * 3600);
+      const auto actual = wx_.actual(deg2rad(lat), deg2rad(lon), when);
+      const auto f1 = wx_.forecast(deg2rad(lat), deg2rad(lon), when, 1800.0);
+      const auto f8 = wx_.forecast(deg2rad(lat), deg2rad(lon), when,
+                                   8 * 3600.0);
+      short_err +=
+          std::fabs(f1.cloud_liquid_kg_m2 - actual.cloud_liquid_kg_m2);
+      long_err +=
+          std::fabs(f8.cloud_liquid_kg_m2 - actual.cloud_liquid_kg_m2);
+      ++n;
+    }
+  }
+  EXPECT_LT(short_err / n, long_err / n);
+}
+
+TEST_F(SyntheticWeatherTest, ForecastRejectsNegativeLead) {
+  EXPECT_THROW(wx_.forecast(0.0, 0.0, start_, -1.0), std::invalid_argument);
+}
+
+TEST(SyntheticWeather, RejectsBadConstruction) {
+  const util::Epoch start(util::DateTime{2020, 1, 1, 0, 0, 0.0});
+  EXPECT_THROW(SyntheticWeatherProvider(1, start, 0.0), std::invalid_argument);
+  SyntheticWeatherOptions opts;
+  opts.mean_active_storms = -1;
+  EXPECT_THROW(SyntheticWeatherProvider(1, start, 24.0, opts),
+               std::invalid_argument);
+}
+
+TEST(Climatology, TropicsWetterThanPoles) {
+  EXPECT_GT(storm_density_weight(0.0), storm_density_weight(deg2rad(80.0)));
+  EXPECT_GT(typical_peak_rain_mm_h(0.0),
+            typical_peak_rain_mm_h(deg2rad(70.0)));
+}
+
+TEST(Climatology, StormTracksWetterThanSubtropics) {
+  EXPECT_GT(storm_density_weight(deg2rad(50.0)),
+            storm_density_weight(deg2rad(18.0)));
+}
+
+TEST(Climatology, HemisphericSymmetry) {
+  for (double lat : {10.0, 30.0, 50.0, 70.0}) {
+    EXPECT_DOUBLE_EQ(storm_density_weight(deg2rad(lat)),
+                     storm_density_weight(deg2rad(-lat)));
+    EXPECT_DOUBLE_EQ(background_cloud_kg_m2(deg2rad(lat)),
+                     background_cloud_kg_m2(deg2rad(-lat)));
+  }
+}
+
+TEST(ClearSky, AlwaysZero) {
+  ClearSkyProvider clear;
+  const util::Epoch t(util::DateTime{2020, 6, 1, 0, 0, 0.0});
+  const auto s = clear.actual(0.5, -1.0, t);
+  EXPECT_DOUBLE_EQ(s.rain_rate_mm_h, 0.0);
+  EXPECT_DOUBLE_EQ(s.cloud_liquid_kg_m2, 0.0);
+}
+
+}  // namespace
+}  // namespace dgs::weather
