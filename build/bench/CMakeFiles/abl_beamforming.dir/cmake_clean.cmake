@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_beamforming.dir/abl_beamforming.cpp.o"
+  "CMakeFiles/abl_beamforming.dir/abl_beamforming.cpp.o.d"
+  "abl_beamforming"
+  "abl_beamforming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_beamforming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_constraints.dir/abl_constraints.cpp.o"
+  "CMakeFiles/abl_constraints.dir/abl_constraints.cpp.o.d"
+  "abl_constraints"
+  "abl_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

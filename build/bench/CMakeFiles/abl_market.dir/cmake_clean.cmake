@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_market.dir/abl_market.cpp.o"
+  "CMakeFiles/abl_market.dir/abl_market.cpp.o.d"
+  "abl_market"
+  "abl_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_outage.dir/abl_outage.cpp.o"
+  "CMakeFiles/abl_outage.dir/abl_outage.cpp.o.d"
+  "abl_outage"
+  "abl_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

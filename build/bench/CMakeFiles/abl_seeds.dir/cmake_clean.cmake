@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_seeds.dir/abl_seeds.cpp.o"
+  "CMakeFiles/abl_seeds.dir/abl_seeds.cpp.o.d"
+  "abl_seeds"
+  "abl_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_slew.dir/abl_slew.cpp.o"
+  "CMakeFiles/abl_slew.dir/abl_slew.cpp.o.d"
+  "abl_slew"
+  "abl_slew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_slew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

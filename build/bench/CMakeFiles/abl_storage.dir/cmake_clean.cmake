@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_storage.dir/abl_storage.cpp.o"
+  "CMakeFiles/abl_storage.dir/abl_storage.cpp.o.d"
+  "abl_storage"
+  "abl_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

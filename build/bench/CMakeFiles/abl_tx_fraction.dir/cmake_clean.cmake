@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tx_fraction.dir/abl_tx_fraction.cpp.o"
+  "CMakeFiles/abl_tx_fraction.dir/abl_tx_fraction.cpp.o.d"
+  "abl_tx_fraction"
+  "abl_tx_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tx_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_weather.dir/abl_weather.cpp.o"
+  "CMakeFiles/abl_weather.dir/abl_weather.cpp.o.d"
+  "abl_weather"
+  "abl_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

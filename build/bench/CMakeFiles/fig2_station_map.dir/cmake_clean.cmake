@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_station_map.dir/fig2_station_map.cpp.o"
+  "CMakeFiles/fig2_station_map.dir/fig2_station_map.cpp.o.d"
+  "fig2_station_map"
+  "fig2_station_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_station_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

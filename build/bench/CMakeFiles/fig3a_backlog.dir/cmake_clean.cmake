@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_backlog.dir/fig3a_backlog.cpp.o"
+  "CMakeFiles/fig3a_backlog.dir/fig3a_backlog.cpp.o.d"
+  "fig3a_backlog"
+  "fig3a_backlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_backlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

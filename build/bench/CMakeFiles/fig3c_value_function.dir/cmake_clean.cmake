@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_value_function.dir/fig3c_value_function.cpp.o"
+  "CMakeFiles/fig3c_value_function.dir/fig3c_value_function.cpp.o.d"
+  "fig3c_value_function"
+  "fig3c_value_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_value_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_link.dir/micro_link.cpp.o"
+  "CMakeFiles/micro_link.dir/micro_link.cpp.o.d"
+  "micro_link"
+  "micro_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_matching.cpp" "bench/CMakeFiles/micro_matching.dir/micro_matching.cpp.o" "gcc" "bench/CMakeFiles/micro_matching.dir/micro_matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dgs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/dgs_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/groundseg/CMakeFiles/dgs_groundseg.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/dgs_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/dgs_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/dgs_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dgs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

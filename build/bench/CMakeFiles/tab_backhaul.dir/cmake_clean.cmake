@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_backhaul.dir/tab_backhaul.cpp.o"
+  "CMakeFiles/tab_backhaul.dir/tab_backhaul.cpp.o.d"
+  "tab_backhaul"
+  "tab_backhaul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_backhaul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

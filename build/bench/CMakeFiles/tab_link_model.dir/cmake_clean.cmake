@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_link_model.dir/tab_link_model.cpp.o"
+  "CMakeFiles/tab_link_model.dir/tab_link_model.cpp.o.d"
+  "tab_link_model"
+  "tab_link_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_link_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

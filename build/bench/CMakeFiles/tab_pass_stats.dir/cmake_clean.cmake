@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_pass_stats.dir/tab_pass_stats.cpp.o"
+  "CMakeFiles/tab_pass_stats.dir/tab_pass_stats.cpp.o.d"
+  "tab_pass_stats"
+  "tab_pass_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_pass_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

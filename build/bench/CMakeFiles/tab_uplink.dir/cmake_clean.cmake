@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_uplink.dir/tab_uplink.cpp.o"
+  "CMakeFiles/tab_uplink.dir/tab_uplink.cpp.o.d"
+  "tab_uplink"
+  "tab_uplink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_uplink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ack_relay_walkthrough.dir/ack_relay_walkthrough.cpp.o"
+  "CMakeFiles/ack_relay_walkthrough.dir/ack_relay_walkthrough.cpp.o.d"
+  "ack_relay_walkthrough"
+  "ack_relay_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ack_relay_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ack_relay_walkthrough.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constellation_day.dir/constellation_day.cpp.o"
+  "CMakeFiles/constellation_day.dir/constellation_day.cpp.o.d"
+  "constellation_day"
+  "constellation_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constellation_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgs_cli.dir/dgs_cli.cpp.o"
+  "CMakeFiles/dgs_cli.dir/dgs_cli.cpp.o.d"
+  "dgs_cli"
+  "dgs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/station_agenda.dir/station_agenda.cpp.o"
+  "CMakeFiles/station_agenda.dir/station_agenda.cpp.o.d"
+  "station_agenda"
+  "station_agenda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/station_agenda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

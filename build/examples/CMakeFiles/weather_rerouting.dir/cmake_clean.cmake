@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_rerouting.dir/weather_rerouting.cpp.o"
+  "CMakeFiles/weather_rerouting.dir/weather_rerouting.cpp.o.d"
+  "weather_rerouting"
+  "weather_rerouting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_rerouting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/backhaul.cpp" "src/backend/CMakeFiles/dgs_backend.dir/backhaul.cpp.o" "gcc" "src/backend/CMakeFiles/dgs_backend.dir/backhaul.cpp.o.d"
+  "/root/repo/src/backend/station_edge.cpp" "src/backend/CMakeFiles/dgs_backend.dir/station_edge.cpp.o" "gcc" "src/backend/CMakeFiles/dgs_backend.dir/station_edge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dgs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/dgs_link.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgs_backend.dir/backhaul.cpp.o"
+  "CMakeFiles/dgs_backend.dir/backhaul.cpp.o.d"
+  "CMakeFiles/dgs_backend.dir/station_edge.cpp.o"
+  "CMakeFiles/dgs_backend.dir/station_edge.cpp.o.d"
+  "libdgs_backend.a"
+  "libdgs_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgs_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/agenda.cpp" "src/core/CMakeFiles/dgs_core.dir/agenda.cpp.o" "gcc" "src/core/CMakeFiles/dgs_core.dir/agenda.cpp.o.d"
+  "/root/repo/src/core/data_queue.cpp" "src/core/CMakeFiles/dgs_core.dir/data_queue.cpp.o" "gcc" "src/core/CMakeFiles/dgs_core.dir/data_queue.cpp.o.d"
+  "/root/repo/src/core/lookahead.cpp" "src/core/CMakeFiles/dgs_core.dir/lookahead.cpp.o" "gcc" "src/core/CMakeFiles/dgs_core.dir/lookahead.cpp.o.d"
+  "/root/repo/src/core/market.cpp" "src/core/CMakeFiles/dgs_core.dir/market.cpp.o" "gcc" "src/core/CMakeFiles/dgs_core.dir/market.cpp.o.d"
+  "/root/repo/src/core/matching.cpp" "src/core/CMakeFiles/dgs_core.dir/matching.cpp.o" "gcc" "src/core/CMakeFiles/dgs_core.dir/matching.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/dgs_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/dgs_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/dgs_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/dgs_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/dgs_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/dgs_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/core/CMakeFiles/dgs_core.dir/simulator.cpp.o" "gcc" "src/core/CMakeFiles/dgs_core.dir/simulator.cpp.o.d"
+  "/root/repo/src/core/value.cpp" "src/core/CMakeFiles/dgs_core.dir/value.cpp.o" "gcc" "src/core/CMakeFiles/dgs_core.dir/value.cpp.o.d"
+  "/root/repo/src/core/visibility.cpp" "src/core/CMakeFiles/dgs_core.dir/visibility.cpp.o" "gcc" "src/core/CMakeFiles/dgs_core.dir/visibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dgs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/dgs_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/dgs_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/dgs_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/groundseg/CMakeFiles/dgs_groundseg.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/dgs_backend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgs_core.dir/agenda.cpp.o"
+  "CMakeFiles/dgs_core.dir/agenda.cpp.o.d"
+  "CMakeFiles/dgs_core.dir/data_queue.cpp.o"
+  "CMakeFiles/dgs_core.dir/data_queue.cpp.o.d"
+  "CMakeFiles/dgs_core.dir/lookahead.cpp.o"
+  "CMakeFiles/dgs_core.dir/lookahead.cpp.o.d"
+  "CMakeFiles/dgs_core.dir/market.cpp.o"
+  "CMakeFiles/dgs_core.dir/market.cpp.o.d"
+  "CMakeFiles/dgs_core.dir/matching.cpp.o"
+  "CMakeFiles/dgs_core.dir/matching.cpp.o.d"
+  "CMakeFiles/dgs_core.dir/plan.cpp.o"
+  "CMakeFiles/dgs_core.dir/plan.cpp.o.d"
+  "CMakeFiles/dgs_core.dir/report.cpp.o"
+  "CMakeFiles/dgs_core.dir/report.cpp.o.d"
+  "CMakeFiles/dgs_core.dir/scheduler.cpp.o"
+  "CMakeFiles/dgs_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/dgs_core.dir/simulator.cpp.o"
+  "CMakeFiles/dgs_core.dir/simulator.cpp.o.d"
+  "CMakeFiles/dgs_core.dir/value.cpp.o"
+  "CMakeFiles/dgs_core.dir/value.cpp.o.d"
+  "CMakeFiles/dgs_core.dir/visibility.cpp.o"
+  "CMakeFiles/dgs_core.dir/visibility.cpp.o.d"
+  "libdgs_core.a"
+  "libdgs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

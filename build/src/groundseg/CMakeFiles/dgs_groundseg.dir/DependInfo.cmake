@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/groundseg/io.cpp" "src/groundseg/CMakeFiles/dgs_groundseg.dir/io.cpp.o" "gcc" "src/groundseg/CMakeFiles/dgs_groundseg.dir/io.cpp.o.d"
+  "/root/repo/src/groundseg/network_gen.cpp" "src/groundseg/CMakeFiles/dgs_groundseg.dir/network_gen.cpp.o" "gcc" "src/groundseg/CMakeFiles/dgs_groundseg.dir/network_gen.cpp.o.d"
+  "/root/repo/src/groundseg/station.cpp" "src/groundseg/CMakeFiles/dgs_groundseg.dir/station.cpp.o" "gcc" "src/groundseg/CMakeFiles/dgs_groundseg.dir/station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dgs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/dgs_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/dgs_link.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

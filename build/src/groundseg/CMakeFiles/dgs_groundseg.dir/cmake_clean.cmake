@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgs_groundseg.dir/io.cpp.o"
+  "CMakeFiles/dgs_groundseg.dir/io.cpp.o.d"
+  "CMakeFiles/dgs_groundseg.dir/network_gen.cpp.o"
+  "CMakeFiles/dgs_groundseg.dir/network_gen.cpp.o.d"
+  "CMakeFiles/dgs_groundseg.dir/station.cpp.o"
+  "CMakeFiles/dgs_groundseg.dir/station.cpp.o.d"
+  "libdgs_groundseg.a"
+  "libdgs_groundseg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgs_groundseg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

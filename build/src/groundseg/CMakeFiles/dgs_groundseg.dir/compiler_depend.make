@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dgs_groundseg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/link/antenna.cpp" "src/link/CMakeFiles/dgs_link.dir/antenna.cpp.o" "gcc" "src/link/CMakeFiles/dgs_link.dir/antenna.cpp.o.d"
+  "/root/repo/src/link/budget.cpp" "src/link/CMakeFiles/dgs_link.dir/budget.cpp.o" "gcc" "src/link/CMakeFiles/dgs_link.dir/budget.cpp.o.d"
+  "/root/repo/src/link/clouds.cpp" "src/link/CMakeFiles/dgs_link.dir/clouds.cpp.o" "gcc" "src/link/CMakeFiles/dgs_link.dir/clouds.cpp.o.d"
+  "/root/repo/src/link/dvbs2.cpp" "src/link/CMakeFiles/dgs_link.dir/dvbs2.cpp.o" "gcc" "src/link/CMakeFiles/dgs_link.dir/dvbs2.cpp.o.d"
+  "/root/repo/src/link/dvbs2_framing.cpp" "src/link/CMakeFiles/dgs_link.dir/dvbs2_framing.cpp.o" "gcc" "src/link/CMakeFiles/dgs_link.dir/dvbs2_framing.cpp.o.d"
+  "/root/repo/src/link/gases.cpp" "src/link/CMakeFiles/dgs_link.dir/gases.cpp.o" "gcc" "src/link/CMakeFiles/dgs_link.dir/gases.cpp.o.d"
+  "/root/repo/src/link/rain.cpp" "src/link/CMakeFiles/dgs_link.dir/rain.cpp.o" "gcc" "src/link/CMakeFiles/dgs_link.dir/rain.cpp.o.d"
+  "/root/repo/src/link/ttc.cpp" "src/link/CMakeFiles/dgs_link.dir/ttc.cpp.o" "gcc" "src/link/CMakeFiles/dgs_link.dir/ttc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dgs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgs_link.dir/antenna.cpp.o"
+  "CMakeFiles/dgs_link.dir/antenna.cpp.o.d"
+  "CMakeFiles/dgs_link.dir/budget.cpp.o"
+  "CMakeFiles/dgs_link.dir/budget.cpp.o.d"
+  "CMakeFiles/dgs_link.dir/clouds.cpp.o"
+  "CMakeFiles/dgs_link.dir/clouds.cpp.o.d"
+  "CMakeFiles/dgs_link.dir/dvbs2.cpp.o"
+  "CMakeFiles/dgs_link.dir/dvbs2.cpp.o.d"
+  "CMakeFiles/dgs_link.dir/dvbs2_framing.cpp.o"
+  "CMakeFiles/dgs_link.dir/dvbs2_framing.cpp.o.d"
+  "CMakeFiles/dgs_link.dir/gases.cpp.o"
+  "CMakeFiles/dgs_link.dir/gases.cpp.o.d"
+  "CMakeFiles/dgs_link.dir/rain.cpp.o"
+  "CMakeFiles/dgs_link.dir/rain.cpp.o.d"
+  "CMakeFiles/dgs_link.dir/ttc.cpp.o"
+  "CMakeFiles/dgs_link.dir/ttc.cpp.o.d"
+  "libdgs_link.a"
+  "libdgs_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgs_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orbit/frames.cpp" "src/orbit/CMakeFiles/dgs_orbit.dir/frames.cpp.o" "gcc" "src/orbit/CMakeFiles/dgs_orbit.dir/frames.cpp.o.d"
+  "/root/repo/src/orbit/groundtrack.cpp" "src/orbit/CMakeFiles/dgs_orbit.dir/groundtrack.cpp.o" "gcc" "src/orbit/CMakeFiles/dgs_orbit.dir/groundtrack.cpp.o.d"
+  "/root/repo/src/orbit/kepler.cpp" "src/orbit/CMakeFiles/dgs_orbit.dir/kepler.cpp.o" "gcc" "src/orbit/CMakeFiles/dgs_orbit.dir/kepler.cpp.o.d"
+  "/root/repo/src/orbit/numerical.cpp" "src/orbit/CMakeFiles/dgs_orbit.dir/numerical.cpp.o" "gcc" "src/orbit/CMakeFiles/dgs_orbit.dir/numerical.cpp.o.d"
+  "/root/repo/src/orbit/passes.cpp" "src/orbit/CMakeFiles/dgs_orbit.dir/passes.cpp.o" "gcc" "src/orbit/CMakeFiles/dgs_orbit.dir/passes.cpp.o.d"
+  "/root/repo/src/orbit/sgp4.cpp" "src/orbit/CMakeFiles/dgs_orbit.dir/sgp4.cpp.o" "gcc" "src/orbit/CMakeFiles/dgs_orbit.dir/sgp4.cpp.o.d"
+  "/root/repo/src/orbit/sun.cpp" "src/orbit/CMakeFiles/dgs_orbit.dir/sun.cpp.o" "gcc" "src/orbit/CMakeFiles/dgs_orbit.dir/sun.cpp.o.d"
+  "/root/repo/src/orbit/tle.cpp" "src/orbit/CMakeFiles/dgs_orbit.dir/tle.cpp.o" "gcc" "src/orbit/CMakeFiles/dgs_orbit.dir/tle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dgs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

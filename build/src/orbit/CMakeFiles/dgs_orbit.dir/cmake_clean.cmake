@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgs_orbit.dir/frames.cpp.o"
+  "CMakeFiles/dgs_orbit.dir/frames.cpp.o.d"
+  "CMakeFiles/dgs_orbit.dir/groundtrack.cpp.o"
+  "CMakeFiles/dgs_orbit.dir/groundtrack.cpp.o.d"
+  "CMakeFiles/dgs_orbit.dir/kepler.cpp.o"
+  "CMakeFiles/dgs_orbit.dir/kepler.cpp.o.d"
+  "CMakeFiles/dgs_orbit.dir/numerical.cpp.o"
+  "CMakeFiles/dgs_orbit.dir/numerical.cpp.o.d"
+  "CMakeFiles/dgs_orbit.dir/passes.cpp.o"
+  "CMakeFiles/dgs_orbit.dir/passes.cpp.o.d"
+  "CMakeFiles/dgs_orbit.dir/sgp4.cpp.o"
+  "CMakeFiles/dgs_orbit.dir/sgp4.cpp.o.d"
+  "CMakeFiles/dgs_orbit.dir/sun.cpp.o"
+  "CMakeFiles/dgs_orbit.dir/sun.cpp.o.d"
+  "CMakeFiles/dgs_orbit.dir/tle.cpp.o"
+  "CMakeFiles/dgs_orbit.dir/tle.cpp.o.d"
+  "libdgs_orbit.a"
+  "libdgs_orbit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgs_orbit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

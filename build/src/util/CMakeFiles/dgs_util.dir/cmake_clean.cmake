@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgs_util.dir/crc32.cpp.o"
+  "CMakeFiles/dgs_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/dgs_util.dir/stats.cpp.o"
+  "CMakeFiles/dgs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dgs_util.dir/time.cpp.o"
+  "CMakeFiles/dgs_util.dir/time.cpp.o.d"
+  "libdgs_util.a"
+  "libdgs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

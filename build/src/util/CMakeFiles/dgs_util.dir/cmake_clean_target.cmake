@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdgs_util.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgs_weather.dir/climatology.cpp.o"
+  "CMakeFiles/dgs_weather.dir/climatology.cpp.o.d"
+  "CMakeFiles/dgs_weather.dir/synthetic.cpp.o"
+  "CMakeFiles/dgs_weather.dir/synthetic.cpp.o.d"
+  "libdgs_weather.a"
+  "libdgs_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgs_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

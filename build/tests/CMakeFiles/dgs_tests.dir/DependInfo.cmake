@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_agenda.cpp" "tests/CMakeFiles/dgs_tests.dir/test_agenda.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_agenda.cpp.o.d"
+  "/root/repo/tests/test_antenna.cpp" "tests/CMakeFiles/dgs_tests.dir/test_antenna.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_antenna.cpp.o.d"
+  "/root/repo/tests/test_b_matching.cpp" "tests/CMakeFiles/dgs_tests.dir/test_b_matching.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_b_matching.cpp.o.d"
+  "/root/repo/tests/test_backend.cpp" "tests/CMakeFiles/dgs_tests.dir/test_backend.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_backend.cpp.o.d"
+  "/root/repo/tests/test_beams.cpp" "tests/CMakeFiles/dgs_tests.dir/test_beams.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_beams.cpp.o.d"
+  "/root/repo/tests/test_budget.cpp" "tests/CMakeFiles/dgs_tests.dir/test_budget.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_budget.cpp.o.d"
+  "/root/repo/tests/test_budget_property.cpp" "tests/CMakeFiles/dgs_tests.dir/test_budget_property.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_budget_property.cpp.o.d"
+  "/root/repo/tests/test_clouds_gases.cpp" "tests/CMakeFiles/dgs_tests.dir/test_clouds_gases.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_clouds_gases.cpp.o.d"
+  "/root/repo/tests/test_crc32.cpp" "tests/CMakeFiles/dgs_tests.dir/test_crc32.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_crc32.cpp.o.d"
+  "/root/repo/tests/test_data_queue.cpp" "tests/CMakeFiles/dgs_tests.dir/test_data_queue.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_data_queue.cpp.o.d"
+  "/root/repo/tests/test_dvbs2.cpp" "tests/CMakeFiles/dgs_tests.dir/test_dvbs2.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_dvbs2.cpp.o.d"
+  "/root/repo/tests/test_dvbs2_framing.cpp" "tests/CMakeFiles/dgs_tests.dir/test_dvbs2_framing.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_dvbs2_framing.cpp.o.d"
+  "/root/repo/tests/test_frames.cpp" "tests/CMakeFiles/dgs_tests.dir/test_frames.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_frames.cpp.o.d"
+  "/root/repo/tests/test_groundtrack.cpp" "tests/CMakeFiles/dgs_tests.dir/test_groundtrack.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_groundtrack.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/dgs_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/dgs_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_kepler.cpp" "tests/CMakeFiles/dgs_tests.dir/test_kepler.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_kepler.cpp.o.d"
+  "/root/repo/tests/test_lookahead.cpp" "tests/CMakeFiles/dgs_tests.dir/test_lookahead.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_lookahead.cpp.o.d"
+  "/root/repo/tests/test_market.cpp" "tests/CMakeFiles/dgs_tests.dir/test_market.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_market.cpp.o.d"
+  "/root/repo/tests/test_matching.cpp" "tests/CMakeFiles/dgs_tests.dir/test_matching.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_matching.cpp.o.d"
+  "/root/repo/tests/test_matching_bruteforce.cpp" "tests/CMakeFiles/dgs_tests.dir/test_matching_bruteforce.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_matching_bruteforce.cpp.o.d"
+  "/root/repo/tests/test_network_gen.cpp" "tests/CMakeFiles/dgs_tests.dir/test_network_gen.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_network_gen.cpp.o.d"
+  "/root/repo/tests/test_passes.cpp" "tests/CMakeFiles/dgs_tests.dir/test_passes.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_passes.cpp.o.d"
+  "/root/repo/tests/test_plan.cpp" "tests/CMakeFiles/dgs_tests.dir/test_plan.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_plan.cpp.o.d"
+  "/root/repo/tests/test_plan_integration.cpp" "tests/CMakeFiles/dgs_tests.dir/test_plan_integration.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_plan_integration.cpp.o.d"
+  "/root/repo/tests/test_priority.cpp" "tests/CMakeFiles/dgs_tests.dir/test_priority.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_priority.cpp.o.d"
+  "/root/repo/tests/test_rain.cpp" "tests/CMakeFiles/dgs_tests.dir/test_rain.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_rain.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/dgs_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_retransmit.cpp" "tests/CMakeFiles/dgs_tests.dir/test_retransmit.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_retransmit.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/dgs_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_sgp4.cpp" "tests/CMakeFiles/dgs_tests.dir/test_sgp4.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_sgp4.cpp.o.d"
+  "/root/repo/tests/test_sgp4_property.cpp" "tests/CMakeFiles/dgs_tests.dir/test_sgp4_property.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_sgp4_property.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/dgs_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_slew.cpp" "tests/CMakeFiles/dgs_tests.dir/test_slew.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_slew.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/dgs_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_storage_doppler.cpp" "tests/CMakeFiles/dgs_tests.dir/test_storage_doppler.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_storage_doppler.cpp.o.d"
+  "/root/repo/tests/test_sun.cpp" "tests/CMakeFiles/dgs_tests.dir/test_sun.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_sun.cpp.o.d"
+  "/root/repo/tests/test_time.cpp" "tests/CMakeFiles/dgs_tests.dir/test_time.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_time.cpp.o.d"
+  "/root/repo/tests/test_tle.cpp" "tests/CMakeFiles/dgs_tests.dir/test_tle.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_tle.cpp.o.d"
+  "/root/repo/tests/test_ttc.cpp" "tests/CMakeFiles/dgs_tests.dir/test_ttc.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_ttc.cpp.o.d"
+  "/root/repo/tests/test_value.cpp" "tests/CMakeFiles/dgs_tests.dir/test_value.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_value.cpp.o.d"
+  "/root/repo/tests/test_visibility.cpp" "tests/CMakeFiles/dgs_tests.dir/test_visibility.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_visibility.cpp.o.d"
+  "/root/repo/tests/test_weather.cpp" "tests/CMakeFiles/dgs_tests.dir/test_weather.cpp.o" "gcc" "tests/CMakeFiles/dgs_tests.dir/test_weather.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dgs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/groundseg/CMakeFiles/dgs_groundseg.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/dgs_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/dgs_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/orbit/CMakeFiles/dgs_orbit.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dgs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/dgs_backend.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

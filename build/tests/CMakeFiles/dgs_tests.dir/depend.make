@@ -1,0 +1,2 @@
+# Empty dependencies file for dgs_tests.
+# This may be replaced when dependencies are built.
