@@ -47,8 +47,9 @@ void run_band(const char* band_name, double freq_hz,
     std::printf("  %-26s %10lld %9lld %11.2f%% %7.1f min %7.1f TB\n",
                 c.label, static_cast<long long>(r.assignments),
                 static_cast<long long>(r.failed_assignments),
-                100.0 * r.failed_assignments / std::max<std::int64_t>(
-                                                   1, r.assignments),
+                100.0 * static_cast<double>(r.failed_assignments) /
+                    static_cast<double>(
+                        std::max<std::int64_t>(1, r.assignments)),
                 r.latency_minutes.median(),
                 r.total_delivered_bytes / 1e12);
   }

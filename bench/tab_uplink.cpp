@@ -37,7 +37,8 @@ int main() {
   const core::SimulationResult r =
       core::Simulator(setup.sats, setup.dgs, &wx, day_sim()).run();
   const double slots_per_sat =
-      static_cast<double>(r.assignments) / setup.sats.size();
+      static_cast<double>(r.assignments) /
+      static_cast<double>(setup.sats.size());
 
   std::printf("\nControl-plane artifact sizes (from the scheduled day: "
               "%.0f slots/satellite/day):\n",

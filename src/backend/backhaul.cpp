@@ -1,29 +1,21 @@
 #include "src/backend/backhaul.h"
 
-#include <stdexcept>
+#include "src/util/check.h"
 
 namespace dgs::backend {
 
 double raw_iq_backhaul_bps(double symbol_rate_hz, double oversampling,
                            int bits_per_component) {
-  if (symbol_rate_hz <= 0.0) {
-    throw std::invalid_argument("raw_iq_backhaul: non-positive symbol rate");
-  }
-  if (oversampling < 1.0) {
-    throw std::invalid_argument("raw_iq_backhaul: oversampling < 1");
-  }
-  if (bits_per_component <= 0) {
-    throw std::invalid_argument("raw_iq_backhaul: non-positive sample bits");
-  }
+  DGS_ENSURE_GT(symbol_rate_hz, 0.0);
+  DGS_ENSURE_GE(oversampling, 1.0);
+  DGS_ENSURE_GT(bits_per_component, 0);
   // Complex baseband: 2 components per sample.
   return symbol_rate_hz * oversampling * 2.0 * bits_per_component;
 }
 
 double decoded_backhaul_bps(const link::ModCod& mc, double symbol_rate_hz,
                             double transport_overhead) {
-  if (transport_overhead < 0.0) {
-    throw std::invalid_argument("decoded_backhaul: negative overhead");
-  }
+  DGS_ENSURE_GE(transport_overhead, 0.0);
   return link::bitrate_bps(mc, symbol_rate_hz) * (1.0 + transport_overhead);
 }
 

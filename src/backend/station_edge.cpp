@@ -1,23 +1,21 @@
 #include "src/backend/station_edge.h"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "src/util/check.h"
 
 namespace dgs::backend {
 
 StationEdgeQueue::StationEdgeQueue(double backhaul_bps)
     : backhaul_bps_(backhaul_bps) {
-  if (backhaul_bps <= 0.0) {
-    throw std::invalid_argument("StationEdgeQueue: non-positive backhaul");
-  }
+  DGS_ENSURE_GT(backhaul_bps, 0.0);
 }
 
 void StationEdgeQueue::receive(double bytes, double priority,
                                const util::Epoch& capture,
                                const util::Epoch& ground_rx) {
-  if (bytes < 0.0 || priority < 0.0) {
-    throw std::invalid_argument("StationEdgeQueue::receive: negative input");
-  }
+  DGS_ENSURE(bytes >= 0.0 && priority >= 0.0,
+             "bytes=" << bytes << ", priority=" << priority);
   if (bytes == 0.0) return;
   EdgeItem item{capture, ground_rx, bytes, bytes, priority};
   // Strict priority, FIFO within a class; fast path appends at the back.
@@ -38,9 +36,7 @@ void StationEdgeQueue::receive(double bytes, double priority,
 
 double StationEdgeQueue::drain(double dt_seconds, const util::Epoch& now,
                                const CloudArrivalCallback& on_cloud_arrival) {
-  if (dt_seconds < 0.0) {
-    throw std::invalid_argument("StationEdgeQueue::drain: negative dt");
-  }
+  DGS_ENSURE_GE(dt_seconds, 0.0);
   double budget = backhaul_bps_ * dt_seconds / 8.0;
   double uploaded = 0.0;
   while (budget > 0.0 && !items_.empty()) {

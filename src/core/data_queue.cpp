@@ -1,14 +1,15 @@
 #include "src/core/data_queue.h"
 
 #include <algorithm>
-#include <stdexcept>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
 
 namespace dgs::core {
 
 void OnboardQueue::set_capacity(double bytes) {
-  if (bytes <= 0.0) {
-    throw std::invalid_argument("OnboardQueue::set_capacity: must be > 0");
-  }
+  DGS_ENSURE_GT(bytes, 0.0);
   capacity_bytes_ = bytes;
 }
 
@@ -31,12 +32,9 @@ void OnboardQueue::insert_sorted(DataChunk chunk) {
 
 void OnboardQueue::generate(double bytes, const util::Epoch& capture,
                             double priority) {
-  if (bytes < 0.0) {
-    throw std::invalid_argument("OnboardQueue::generate: negative bytes");
-  }
-  if (priority < 0.0) {
-    throw std::invalid_argument("OnboardQueue::generate: negative priority");
-  }
+  DGS_ENSURE_GE(bytes, 0.0);
+  DGS_ENSURE_GE(priority, 0.0);
+  offered_bytes_ += bytes;
   if (capacity_bytes_ > 0.0) {
     const double free_bytes = capacity_bytes_ - storage_bytes();
     if (bytes > free_bytes) {
@@ -52,9 +50,7 @@ void OnboardQueue::generate(double bytes, const util::Epoch& capture,
 double OnboardQueue::transmit(double budget_bytes, const util::Epoch& now,
                               const DeliveryCallback& on_delivered,
                               bool received) {
-  if (budget_bytes < 0.0) {
-    throw std::invalid_argument("OnboardQueue::transmit: negative budget");
-  }
+  DGS_ENSURE_GE(budget_bytes, 0.0);
   double sent = 0.0;
   double budget = budget_bytes;
   PendingBatch batch;
@@ -92,6 +88,14 @@ double OnboardQueue::acknowledge_all(const util::Epoch& now,
   double requeued = 0.0;
   for (PendingBatch& b : pending_) {
     if (b.received) {
+      // Acks are only ever issued for batches the ground really captured —
+      // a received batch must carry no retransmission pieces, and its ack
+      // delay cannot be negative (sent in the future).
+      DGS_CHECK(b.pieces.empty(),
+                "received batch holds " << b.pieces.size()
+                                        << " retransmission pieces");
+      DGS_CHECK_GE(now.seconds_since(b.sent), 0.0);
+      acked_bytes_ += b.bytes;
       if (on_ack) on_ack(now.seconds_since(b.sent), b.bytes);
     } else {
       // The collated report says the ground never captured this batch:
@@ -107,6 +111,22 @@ double OnboardQueue::acknowledge_all(const util::Epoch& now,
   pending_.clear();
   pending_bytes_ = 0.0;
   return requeued;
+}
+
+std::string OnboardQueue::audit_conservation() const {
+  // offered == dropped + queued + pending + acked, to within accumulated
+  // float dust.  The tolerance scales with lifetime volume: each transmit
+  // splits chunks and re-sums doubles, so error grows with traffic.
+  const double accounted =
+      dropped_bytes_ + queued_bytes_ + pending_bytes_ + acked_bytes_;
+  const double tolerance = 1e-6 * std::max(1.0, offered_bytes_);
+  if (std::abs(offered_bytes_ - accounted) <= tolerance) return {};
+  std::ostringstream err;
+  err << "byte conservation violated: offered=" << offered_bytes_
+      << " != dropped=" << dropped_bytes_ << " + queued=" << queued_bytes_
+      << " + pending_ack=" << pending_bytes_ << " + acked=" << acked_bytes_
+      << " (imbalance " << offered_bytes_ - accounted << ")";
+  return err.str();
 }
 
 }  // namespace dgs::core

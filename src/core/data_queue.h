@@ -7,6 +7,7 @@
 
 #include <deque>
 #include <functional>
+#include <string>
 
 #include "src/util/time.h"
 
@@ -74,6 +75,18 @@ class OnboardQueue {
   double storage_bytes() const { return queued_bytes_ + pending_bytes_; }
   /// Bytes lost at the sensor because storage was full.
   double dropped_bytes() const { return dropped_bytes_; }
+  /// Lifetime bytes the sensor attempted to capture (accepted + dropped).
+  double offered_bytes() const { return offered_bytes_; }
+  /// Lifetime bytes freed by a positive acknowledgement.
+  double acked_bytes() const { return acked_bytes_; }
+
+  /// Conservation audit over the queue's whole history: every offered byte
+  /// must be exactly one of dropped, still queued, awaiting ack, or freed
+  /// by an ack — nothing silently created or destroyed.  Returns an empty
+  /// string when the books balance (within float tolerance), else a
+  /// description of the imbalance.  The simulator runs this per step under
+  /// DGS_DCHECK.
+  std::string audit_conservation() const;
 
   /// Capture time of the chunk at the head of the service order; only
   /// valid when queued_bytes() > 0.
@@ -99,6 +112,8 @@ class OnboardQueue {
   double pending_bytes_ = 0.0;
   double capacity_bytes_ = 0.0;  ///< 0 == unlimited.
   double dropped_bytes_ = 0.0;
+  double offered_bytes_ = 0.0;  ///< Lifetime capture attempts.
+  double acked_bytes_ = 0.0;    ///< Lifetime positively-acked bytes.
 };
 
 }  // namespace dgs::core

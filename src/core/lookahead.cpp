@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <map>
-#include <stdexcept>
+
+#include "src/util/check.h"
 
 namespace dgs::core {
 
@@ -17,9 +18,8 @@ double PassBlock::capacity_bytes(double step_seconds) const {
 std::vector<PassBlock> find_pass_blocks(const VisibilityEngine& engine,
                                         const util::Epoch& start, int steps,
                                         double step_seconds) {
-  if (steps <= 0 || step_seconds <= 0.0) {
-    throw std::invalid_argument("find_pass_blocks: bad window");
-  }
+  DGS_ENSURE(steps > 0 && step_seconds > 0.0,
+             "steps=" << steps << ", step_seconds=" << step_seconds);
 
   std::vector<PassBlock> blocks;
   // Open block per (sat, station) pair, indexed into `blocks`.
@@ -59,9 +59,7 @@ HorizonPlan plan_horizon(const VisibilityEngine& engine,
                          const std::vector<OnboardQueue>& queues,
                          const ValueFunction& value, const util::Epoch& start,
                          int steps, double step_seconds) {
-  if (static_cast<int>(queues.size()) != engine.num_sats()) {
-    throw std::invalid_argument("plan_horizon: queue count mismatch");
-  }
+  DGS_ENSURE_EQ(static_cast<int>(queues.size()), engine.num_sats());
   std::vector<PassBlock> blocks =
       find_pass_blocks(engine, start, steps, step_seconds);
 
@@ -75,7 +73,8 @@ HorizonPlan plan_horizon(const VisibilityEngine& engine,
   for (int i = 0; i < static_cast<int>(blocks.size()); ++i) {
     const PassBlock& b = blocks[i];
     const double mid_s =
-        (b.first_step + b.steps.size() / 2.0) * step_seconds;
+        (b.first_step + static_cast<double>(b.steps.size()) / 2.0) *
+        step_seconds;
     const double v = value.edge_value(queues[b.sat], start.plus_seconds(mid_s),
                                       b.capacity_bytes(step_seconds));
     if (v <= 0.0) continue;

@@ -1,28 +1,21 @@
 #include "src/core/market.h"
 
-#include <stdexcept>
+#include "src/util/check.h"
 
 namespace dgs::core {
 
 BidMatrix::BidMatrix(std::vector<int> operator_of)
     : operator_of_(std::move(operator_of)) {
-  if (operator_of_.empty()) {
-    throw std::invalid_argument("BidMatrix: empty operator mapping");
-  }
+  DGS_ENSURE(!operator_of_.empty(), "empty operator mapping");
 }
 
 void BidMatrix::set_bid(int operator_id, int station, double multiplier) {
-  if (multiplier <= 0.0) {
-    throw std::invalid_argument("BidMatrix::set_bid: multiplier must be > 0");
-  }
+  DGS_ENSURE_GT(multiplier, 0.0);
   station_bid_[{operator_id, station}] = multiplier;
 }
 
 void BidMatrix::set_default_bid(int operator_id, double multiplier) {
-  if (multiplier <= 0.0) {
-    throw std::invalid_argument(
-        "BidMatrix::set_default_bid: multiplier must be > 0");
-  }
+  DGS_ENSURE_GT(multiplier, 0.0);
   default_bid_[operator_id] = multiplier;
 }
 

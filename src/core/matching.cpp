@@ -2,20 +2,21 @@
 
 #include <algorithm>
 #include <limits>
-#include <stdexcept>
+#include <sstream>
+
+#include "src/util/check.h"
 
 namespace dgs::core {
 namespace {
 
 void validate(const std::vector<Edge>& edges, int num_sats, int num_stations) {
-  if (num_sats < 0 || num_stations < 0) {
-    throw std::invalid_argument("matching: negative node count");
-  }
+  DGS_ENSURE(num_sats >= 0 && num_stations >= 0,
+             "sats=" << num_sats << " stations=" << num_stations);
   for (const Edge& e : edges) {
-    if (e.sat < 0 || e.sat >= num_sats || e.station < 0 ||
-        e.station >= num_stations) {
-      throw std::invalid_argument("matching: edge endpoint out of range");
-    }
+    DGS_ENSURE(e.sat >= 0 && e.sat < num_sats && e.station >= 0 &&
+                   e.station < num_stations,
+               "edge endpoint out of range: sat=" << e.sat << " station="
+                                                  << e.station);
   }
 }
 
@@ -247,9 +248,7 @@ void validate_capacities(const std::vector<Edge>& edges, int num_sats,
                          const std::vector<int>& capacities) {
   validate(edges, num_sats, static_cast<int>(capacities.size()));
   for (int c : capacities) {
-    if (c < 0) {
-      throw std::invalid_argument("b-matching: negative station capacity");
-    }
+    DGS_ENSURE(c >= 0, "station capacity=" << c);
   }
 }
 
@@ -380,6 +379,96 @@ bool is_stable_b_matching(const std::vector<Edge>& edges, const Matching& m,
   return true;
 }
 
+std::string validate_matching(const std::vector<Edge>& edges,
+                              const Matching& m, int num_sats,
+                              int num_stations, bool require_stable) {
+  std::ostringstream err;
+  std::vector<int> sat_of(num_sats, -1), gs_of(num_stations, -1);
+  for (int ei : m) {
+    if (ei < 0 || ei >= static_cast<int>(edges.size())) {
+      err << "edge index " << ei << " outside [0, " << edges.size() << ")";
+      return err.str();
+    }
+    const Edge& e = edges[ei];
+    if (e.sat < 0 || e.sat >= num_sats || e.station < 0 ||
+        e.station >= num_stations) {
+      err << "edge " << ei << " endpoint out of range: sat=" << e.sat
+          << " station=" << e.station;
+      return err.str();
+    }
+    if (e.weight <= 0.0) {
+      err << "edge " << ei << " selected with non-positive weight "
+          << e.weight;
+      return err.str();
+    }
+    if (sat_of[e.sat] != -1) {
+      err << "satellite " << e.sat << " double-booked (edges "
+          << sat_of[e.sat] << " and " << ei << ")";
+      return err.str();
+    }
+    if (gs_of[e.station] != -1) {
+      err << "station " << e.station << " double-booked (edges "
+          << gs_of[e.station] << " and " << ei << ")";
+      return err.str();
+    }
+    sat_of[e.sat] = ei;
+    gs_of[e.station] = ei;
+  }
+  if (require_stable && !is_stable(edges, m, num_sats, num_stations)) {
+    err << "matching is unstable: a satellite-station pair exists that both "
+           "prefer over their assignments";
+    return err.str();
+  }
+  return {};
+}
+
+std::string validate_b_matching(const std::vector<Edge>& edges,
+                                const Matching& m, int num_sats,
+                                const std::vector<int>& capacities,
+                                bool require_stable) {
+  const int num_stations = static_cast<int>(capacities.size());
+  std::ostringstream err;
+  std::vector<int> sat_of(num_sats, -1);
+  std::vector<int> gs_load(num_stations, 0);
+  for (int ei : m) {
+    if (ei < 0 || ei >= static_cast<int>(edges.size())) {
+      err << "edge index " << ei << " outside [0, " << edges.size() << ")";
+      return err.str();
+    }
+    const Edge& e = edges[ei];
+    if (e.sat < 0 || e.sat >= num_sats || e.station < 0 ||
+        e.station >= num_stations) {
+      err << "edge " << ei << " endpoint out of range: sat=" << e.sat
+          << " station=" << e.station;
+      return err.str();
+    }
+    if (e.weight <= 0.0) {
+      err << "edge " << ei << " selected with non-positive weight "
+          << e.weight;
+      return err.str();
+    }
+    if (sat_of[e.sat] != -1) {
+      err << "satellite " << e.sat << " double-booked (edges "
+          << sat_of[e.sat] << " and " << ei << ")";
+      return err.str();
+    }
+    sat_of[e.sat] = ei;
+    gs_load[e.station] += 1;
+    if (gs_load[e.station] > capacities[e.station]) {
+      err << "station " << e.station << " over capacity: holds "
+          << gs_load[e.station] << " links, capacity "
+          << capacities[e.station];
+      return err.str();
+    }
+  }
+  if (require_stable && !is_stable_b_matching(edges, m, num_sats, capacities)) {
+    err << "capacitated matching is unstable: a satellite and a station with "
+           "spare (or worse-used) capacity both prefer each other";
+    return err.str();
+  }
+  return {};
+}
+
 std::string_view matcher_name(MatcherKind kind) {
   switch (kind) {
     case MatcherKind::kStable:
@@ -402,7 +491,8 @@ Matching run_matcher(MatcherKind kind, const std::vector<Edge>& edges,
     case MatcherKind::kGreedy:
       return greedy_matching(edges, num_sats, num_stations);
   }
-  throw std::logic_error("run_matcher: unknown matcher");
+  DGS_CHECK(false, "run_matcher: unknown matcher kind "
+                       << static_cast<int>(kind));
 }
 
 }  // namespace dgs::core

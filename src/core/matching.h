@@ -16,6 +16,7 @@
 // optimality coincides with receiver optimality for aligned preferences).
 #pragma once
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -53,6 +54,24 @@ double matching_value(const std::vector<Edge>& edges, const Matching& m);
 /// (The stability property Gale-Shapley guarantees.)
 bool is_stable(const std::vector<Edge>& edges, const Matching& m,
                int num_sats, int num_stations);
+
+/// Full audit of a computed matching — the "Matching::validate()" contract
+/// the scheduler runs (under DGS_DCHECK) on every result.  Rejects edge
+/// indices out of range, non-positive selected weights, and double-booked
+/// satellites or stations; with `require_stable` additionally audits weak
+/// stability against the weight-derived Gale-Shapley preference order.
+/// Returns an empty string when valid, else a description of the first
+/// violation found.
+std::string validate_matching(const std::vector<Edge>& edges,
+                              const Matching& m, int num_sats,
+                              int num_stations, bool require_stable = true);
+
+/// Capacitated-market variant: stations may hold up to their capacity,
+/// satellites at most one link.
+std::string validate_b_matching(const std::vector<Edge>& edges,
+                                const Matching& m, int num_sats,
+                                const std::vector<int>& capacities,
+                                bool require_stable = true);
 
 enum class MatcherKind { kStable, kOptimal, kGreedy };
 std::string_view matcher_name(MatcherKind kind);

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/util/check.h"
 #include "src/util/crc32.h"
 
 namespace dgs::core {
@@ -114,9 +115,8 @@ std::size_t ack_wire_size(std::size_t range_count) {
 }
 
 std::vector<std::uint8_t> serialize(const DownlinkPlan& plan) {
-  if (plan.entries.size() > std::numeric_limits<std::uint16_t>::max()) {
-    throw std::invalid_argument("serialize: plan entry count exceeds u16");
-  }
+  DGS_ENSURE_LE(plan.entries.size(),
+                std::size_t{std::numeric_limits<std::uint16_t>::max()});
   Writer w(plan_wire_size(plan.entries.size()));
   w.put_bytes(kPlanMagic, 4);
   w.put(kVersion);
@@ -134,9 +134,8 @@ std::vector<std::uint8_t> serialize(const DownlinkPlan& plan) {
 }
 
 std::vector<std::uint8_t> serialize(const AckReport& report) {
-  if (report.ranges.size() > std::numeric_limits<std::uint16_t>::max()) {
-    throw std::invalid_argument("serialize: ack range count exceeds u16");
-  }
+  DGS_ENSURE_LE(report.ranges.size(),
+                std::size_t{std::numeric_limits<std::uint16_t>::max()});
   Writer w(ack_wire_size(report.ranges.size()));
   w.put_bytes(kAckMagic, 4);
   w.put(kVersion);
@@ -203,13 +202,9 @@ AckReport parse_ack_report(std::span<const std::uint8_t> bytes) {
 
 double upload_duration_s(std::size_t bytes, double rate_bps,
                          double handshake_s) {
-  if (rate_bps <= 0.0) {
-    throw std::invalid_argument("upload_duration: non-positive rate");
-  }
-  if (handshake_s < 0.0) {
-    throw std::invalid_argument("upload_duration: negative handshake");
-  }
-  return handshake_s + bytes * 8.0 / rate_bps;
+  DGS_ENSURE_GT(rate_bps, 0.0);
+  DGS_ENSURE_GE(handshake_s, 0.0);
+  return handshake_s + static_cast<double>(bytes) * 8.0 / rate_bps;
 }
 
 }  // namespace dgs::core

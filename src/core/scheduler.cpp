@@ -1,6 +1,6 @@
 #include "src/core/scheduler.h"
 
-#include <stdexcept>
+#include "src/util/check.h"
 
 namespace dgs::core {
 
@@ -8,21 +8,15 @@ Scheduler::Scheduler(const VisibilityEngine* engine,
                      const SchedulerConfig& config)
     : engine_(engine), config_(config),
       value_(make_value_function(config.value)) {
-  if (engine_ == nullptr) {
-    throw std::invalid_argument("Scheduler: null visibility engine");
-  }
-  if (config.quantum_seconds <= 0.0) {
-    throw std::invalid_argument("Scheduler: non-positive quantum");
-  }
+  DGS_ENSURE(engine_ != nullptr, "null visibility engine");
+  DGS_ENSURE_GT(config.quantum_seconds, 0.0);
 }
 
 std::vector<ContactEdge> Scheduler::schedule_instant(
     const util::Epoch& when, const std::vector<OnboardQueue>& queues,
     std::span<const double> forecast_lead_s,
     std::span<const char> station_down) const {
-  if (static_cast<int>(queues.size()) != engine_->num_sats()) {
-    throw std::invalid_argument("Scheduler: queue count != satellite count");
-  }
+  DGS_ENSURE_EQ(static_cast<int>(queues.size()), engine_->num_sats());
 
   std::vector<ContactEdge> contacts =
       engine_->contacts(when, forecast_lead_s, station_down);
@@ -87,6 +81,20 @@ std::vector<ContactEdge> Scheduler::schedule_instant(
       }
     }
   }
+
+  // Invariant audit: the selected matching must be physically valid (no
+  // double-booked satellite; stations within beam capacity) and — for the
+  // Gale-Shapley matcher — stable.  Optimal/greedy matchings are valid but
+  // intentionally not stable, so stability is only asserted for kStable.
+#ifdef DGS_ENABLE_DCHECKS
+  const bool audit_stability = config_.matcher == MatcherKind::kStable;
+  const std::string audit =
+      any_beams ? validate_b_matching(edges, m, engine_->num_sats(),
+                                      capacities, audit_stability)
+                : validate_matching(edges, m, engine_->num_sats(),
+                                    engine_->num_stations(), audit_stability);
+  DGS_CHECK(audit.empty(), audit);
+#endif
 
   std::vector<ContactEdge> out;
   out.reserve(m.size());

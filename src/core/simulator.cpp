@@ -2,9 +2,10 @@
 
 #include "src/backend/station_edge.h"
 #include "src/core/lookahead.h"
+#include "src/util/check.h"
 
 #include <cmath>
-#include <stdexcept>
+#include <string>
 
 namespace dgs::core {
 
@@ -14,27 +15,20 @@ Simulator::Simulator(std::vector<groundseg::SatelliteConfig> sats,
                      const SimulationOptions& opts)
     : sats_(std::move(sats)), stations_(std::move(stations)),
       actual_wx_(actual_weather), opts_(opts) {
-  if (sats_.empty() || stations_.empty()) {
-    throw std::invalid_argument("Simulator: need satellites and stations");
-  }
-  if (opts.duration_hours <= 0.0 || opts.step_seconds <= 0.0) {
-    throw std::invalid_argument("Simulator: non-positive horizon or step");
-  }
-  if (opts.lookahead_hours > 0.0 && !opts.outages.empty()) {
-    throw std::invalid_argument(
-        "Simulator: lookahead planning does not support outage injection");
-  }
-  if (opts.lookahead_hours < 0.0) {
-    throw std::invalid_argument("Simulator: negative lookahead");
-  }
+  DGS_ENSURE(!sats_.empty() && !stations_.empty(),
+             "sats=" << sats_.size() << " stations=" << stations_.size());
+  DGS_ENSURE_GT(opts.duration_hours, 0.0);
+  DGS_ENSURE_GT(opts.step_seconds, 0.0);
+  DGS_ENSURE(opts.lookahead_hours <= 0.0 || opts.outages.empty(),
+             "lookahead planning does not support outage injection");
+  DGS_ENSURE_GE(opts.lookahead_hours, 0.0);
   for (const StationOutage& o : opts.outages) {
-    if (o.station_index < 0 ||
-        o.station_index >= static_cast<int>(stations_.size())) {
-      throw std::invalid_argument("Simulator: outage station out of range");
-    }
-    if (o.end_hours < o.start_hours) {
-      throw std::invalid_argument("Simulator: outage ends before it starts");
-    }
+    DGS_ENSURE(o.station_index >= 0 &&
+                   o.station_index < static_cast<int>(stations_.size()),
+               "outage station=" << o.station_index);
+    DGS_ENSURE(o.end_hours >= o.start_hours,
+               "outage ends (" << o.end_hours << " h) before it starts ("
+                               << o.start_hours << " h)");
   }
 }
 
@@ -132,7 +126,8 @@ SimulationResult Simulator::run() {
   std::int64_t plan_origin = -1;
 
   for (std::int64_t step = 0; step < steps; ++step) {
-    const util::Epoch now = opts_.start.plus_seconds(step * dt);
+    const util::Epoch now =
+        opts_.start.plus_seconds(static_cast<double>(step) * dt);
 
     // 1. Imaging: continuous data generation, one chunk per step (two when
     // an urgent tier is configured).
@@ -171,7 +166,7 @@ SimulationResult Simulator::run() {
       std::vector<char> down;
       if (!opts_.outages.empty()) {
         down.assign(num_stations, 0);
-        const double hours = step * dt / 3600.0;
+        const double hours = static_cast<double>(step) * dt / 3600.0;
         for (const StationOutage& o : opts_.outages) {
           if (hours >= o.start_hours && hours < o.end_hours) {
             down.at(o.station_index) = 1;
@@ -262,10 +257,21 @@ SimulationResult Simulator::run() {
                    queues[s].storage_bytes());
     }
 
+    // 6b. Conservation audit: every byte a sensor offered must be exactly
+    // one of dropped / queued / awaiting ack / freed by an ack.  A silent
+    // leak here would corrupt every downstream backlog and latency figure.
+#ifdef DGS_ENABLE_DCHECKS
+    for (int s = 0; s < num_sats; ++s) {
+      const std::string audit = queues[s].audit_conservation();
+      DGS_CHECK(audit.empty(), "step " << step << ", sat " << s << ": "
+                                       << audit);
+    }
+#endif
+
     // 7. Timeseries capture.
     if (opts_.collect_timeseries) {
       StepRecord rec;
-      rec.hours = (step + 1) * dt / 3600.0;
+      rec.hours = static_cast<double>(step + 1) * dt / 3600.0;
       rec.delivered_bytes_cum = res.total_delivered_bytes;
       for (int s = 0; s < num_sats; ++s) {
         rec.backlog_bytes_total += queues[s].queued_bytes();
@@ -288,11 +294,48 @@ SimulationResult Simulator::run() {
   for (const backend::StationEdgeQueue& eq : edge_queues) {
     res.station_queued_bytes += eq.queued_bytes();
   }
+  // Whole-run conservation: the result's aggregate counters must agree with
+  // the queues' lifetime books.  Generated splits into delivered + dropped +
+  // still-queued + awaiting-ack, with failed transmissions (wasted) either
+  // re-queued already or still in limbo awaiting their collated report.
+#ifdef DGS_ENABLE_DCHECKS
+  {
+    double offered = 0.0, acked = 0.0, pending = 0.0, queued = 0.0,
+           dropped = 0.0;
+    for (int s = 0; s < num_sats; ++s) {
+      offered += queues[s].offered_bytes();
+      acked += queues[s].acked_bytes();
+      pending += queues[s].pending_ack_bytes();
+      queued += queues[s].queued_bytes();
+      dropped += queues[s].dropped_bytes();
+    }
+    const double tol = 1e-6 * std::max(1.0, offered);
+    DGS_CHECK(std::abs(res.total_generated_bytes - offered) <= tol,
+              "generated=" << res.total_generated_bytes
+                           << " != offered=" << offered);
+    DGS_CHECK(std::abs(res.total_generated_bytes -
+                       (dropped + queued + pending + acked)) <= tol,
+              "generated=" << res.total_generated_bytes << " vs dropped="
+                           << dropped << " + queued=" << queued
+                           << " + pending_ack=" << pending << " + acked="
+                           << acked);
+    // Sent bytes not yet returned by a report are exactly the pending set.
+    DGS_CHECK(std::abs((res.total_delivered_bytes +
+                        res.wasted_transmission_bytes - res.requeued_bytes) -
+                       (acked + pending)) <= tol,
+              "delivered=" << res.total_delivered_bytes << " + wasted="
+                           << res.wasted_transmission_bytes << " - requeued="
+                           << res.requeued_bytes << " vs acked=" << acked
+                           << " + pending_ack=" << pending);
+  }
+#endif
+
   std::int64_t busy_total = 0;
   for (std::int64_t b : station_busy) busy_total += b;
   res.steps = steps;
   res.mean_station_utilization =
-      steps > 0 ? static_cast<double>(busy_total) / (steps * num_stations)
+      steps > 0 ? static_cast<double>(busy_total) /
+                      static_cast<double>(steps * num_stations)
                 : 0.0;
   return res;
 }

@@ -1,7 +1,8 @@
 #include "src/core/value.h"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "src/util/check.h"
 
 namespace dgs::core {
 namespace {
@@ -32,9 +33,8 @@ double ThroughputValue::edge_value(const OnboardQueue& queue,
 }
 
 BlendedValue::BlendedValue(double alpha) : alpha_(alpha) {
-  if (alpha < 0.0 || alpha > 1.0) {
-    throw std::invalid_argument("BlendedValue: alpha outside [0,1]");
-  }
+  DGS_ENSURE(alpha >= 0.0 && alpha <= 1.0,
+             "alpha=" << alpha << " outside [0, 1]");
 }
 
 double BlendedValue::edge_value(const OnboardQueue& queue,
@@ -51,7 +51,7 @@ std::unique_ptr<ValueFunction> make_value_function(ValueKind kind) {
     case ValueKind::kThroughput:
       return std::make_unique<ThroughputValue>();
   }
-  throw std::logic_error("make_value_function: unknown kind");
+  DGS_CHECK(false, "unknown value kind " << static_cast<int>(kind));
 }
 
 }  // namespace dgs::core

@@ -1,9 +1,9 @@
 #include "src/core/visibility.h"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "src/orbit/frames.h"
+#include "src/util/check.h"
 
 namespace dgs::core {
 
@@ -46,15 +46,13 @@ bool VisibilityEngine::visible(int sat, int station,
 std::vector<ContactEdge> VisibilityEngine::contacts(
     const util::Epoch& when, std::span<const double> forecast_lead_s,
     std::span<const char> station_down) const {
-  if (!forecast_lead_s.empty() &&
-      forecast_lead_s.size() != props_.size()) {
-    throw std::invalid_argument(
-        "VisibilityEngine::contacts: forecast_lead_s size mismatch");
-  }
-  if (!station_down.empty() && station_down.size() != stations_->size()) {
-    throw std::invalid_argument(
-        "VisibilityEngine::contacts: station_down size mismatch");
-  }
+  DGS_ENSURE(forecast_lead_s.empty() ||
+                 forecast_lead_s.size() == props_.size(),
+             "forecast_lead_s size=" << forecast_lead_s.size()
+                                     << " sats=" << props_.size());
+  DGS_ENSURE(station_down.empty() || station_down.size() == stations_->size(),
+             "station_down size=" << station_down.size() << " stations="
+                                  << stations_->size());
 
   // Propagate every satellite once for this instant.
   std::vector<util::Vec3> sat_ecef(props_.size());

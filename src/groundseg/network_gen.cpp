@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <stdexcept>
 
 #include "src/orbit/kepler.h"
 #include "src/util/angles.h"
+#include "src/util/check.h"
 #include "src/util/constants.h"
 #include "src/util/rng.h"
 
@@ -54,12 +54,9 @@ const Region& sample_region(util::Rng& rng) {
 }  // namespace
 
 std::vector<GroundStation> generate_dgs_stations(const NetworkOptions& opts) {
-  if (opts.num_stations <= 0) {
-    throw std::invalid_argument("generate_dgs_stations: need >= 1 station");
-  }
-  if (opts.tx_fraction < 0.0 || opts.tx_fraction > 1.0) {
-    throw std::invalid_argument("generate_dgs_stations: bad tx_fraction");
-  }
+  DGS_ENSURE_GE(opts.num_stations, 1);
+  DGS_ENSURE(opts.tx_fraction >= 0.0 && opts.tx_fraction <= 1.0,
+             "tx_fraction=" << opts.tx_fraction << " outside [0, 1]");
   util::Rng rng(opts.seed);
   std::vector<GroundStation> stations;
   stations.reserve(opts.num_stations);
@@ -144,9 +141,7 @@ std::vector<GroundStation> baseline_stations(const BaselineOptions& opts) {
 
 std::vector<SatelliteConfig> generate_constellation(const NetworkOptions& opts,
                                                     const util::Epoch& epoch) {
-  if (opts.num_satellites <= 0) {
-    throw std::invalid_argument("generate_constellation: need >= 1 satellite");
-  }
+  DGS_ENSURE_GE(opts.num_satellites, 1);
   util::Rng rng(opts.seed + 0x5a7e111e);
   std::vector<SatelliteConfig> sats;
   sats.reserve(opts.num_satellites);
@@ -213,13 +208,13 @@ std::vector<SatelliteConfig> generate_constellation(const NetworkOptions& opts,
 
 std::vector<GroundStation> subsample_stations(
     const std::vector<GroundStation>& all, double fraction) {
-  if (fraction <= 0.0 || fraction > 1.0) {
-    throw std::invalid_argument("subsample_stations: fraction outside (0,1]");
-  }
+  DGS_ENSURE(fraction > 0.0 && fraction <= 1.0,
+             "fraction=" << fraction << " outside (0, 1]");
   if (fraction == 1.0) return all;
   const std::size_t want =
-      std::max<std::size_t>(1, static_cast<std::size_t>(
-                                   std::lround(all.size() * fraction)));
+      std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::lround(
+                 static_cast<double>(all.size()) * fraction)));
   std::vector<std::size_t> by_lat(all.size());
   std::iota(by_lat.begin(), by_lat.end(), 0);
   std::sort(by_lat.begin(), by_lat.end(), [&](std::size_t a, std::size_t b) {

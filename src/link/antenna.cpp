@@ -1,27 +1,23 @@
 #include "src/link/antenna.h"
 
 #include <cmath>
-#include <stdexcept>
 
+#include "src/util/check.h"
 #include "src/util/constants.h"
 
 namespace dgs::link {
 
 double dish_gain_dbi(double diameter_m, double freq_hz, double efficiency) {
-  if (diameter_m <= 0.0 || freq_hz <= 0.0) {
-    throw std::invalid_argument("dish_gain_dbi: non-positive diameter/freq");
-  }
-  if (efficiency <= 0.0 || efficiency > 1.0) {
-    throw std::invalid_argument("dish_gain_dbi: efficiency outside (0,1]");
-  }
+  DGS_ENSURE_GT(diameter_m, 0.0);
+  DGS_ENSURE_GT(freq_hz, 0.0);
+  DGS_ENSURE(efficiency > 0.0 && efficiency <= 1.0,
+             "efficiency=" << efficiency << " outside (0,1]");
   const double x = util::kPi * diameter_m * freq_hz / util::kSpeedOfLight;
   return 10.0 * std::log10(efficiency * x * x);
 }
 
 double system_noise_temp_k(const ReceiveSystem& rx, double atmos_loss_db) {
-  if (atmos_loss_db < 0.0) {
-    throw std::invalid_argument("system_noise_temp_k: negative loss");
-  }
+  DGS_ENSURE_GE(atmos_loss_db, 0.0);
   constexpr double kMediumTempK = 275.0;
   const double transmissivity = std::pow(10.0, -atmos_loss_db / 10.0);
   // Clear-sky contribution is attenuated by the medium; the medium emits.

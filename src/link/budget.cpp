@@ -1,24 +1,28 @@
 #include "src/link/budget.h"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "src/link/clouds.h"
 #include "src/link/fspl.h"
 #include "src/link/gases.h"
 #include "src/link/rain.h"
+#include "src/util/check.h"
 #include "src/util/constants.h"
 
 namespace dgs::link {
 
 LinkBudget evaluate_link(const RadioSpec& radio, const ReceiveSystem& rx,
                          const PathConditions& path) {
-  if (radio.channels < 1) {
-    throw std::invalid_argument("evaluate_link: channels must be >= 1");
-  }
-  if (path.range_km <= 0.0) {
-    throw std::invalid_argument("evaluate_link: non-positive range");
-  }
+  DGS_ENSURE_GE(radio.channels, 1);
+  DGS_ENSURE_GT(path.range_km, 0.0);
+  DGS_ENSURE(std::isfinite(path.range_km) &&
+                 std::isfinite(path.elevation_rad) &&
+                 std::isfinite(path.rain_rate_mm_h) &&
+                 std::isfinite(path.cloud_liquid_kg_m2),
+             "non-finite path conditions: range=" << path.range_km
+                 << " el=" << path.elevation_rad << " rain="
+                 << path.rain_rate_mm_h << " clw="
+                 << path.cloud_liquid_kg_m2);
 
   LinkBudget b;
   if (path.elevation_rad <= 0.0) return b;  // Below the horizon: no link.
@@ -40,10 +44,30 @@ LinkBudget evaluate_link(const RadioSpec& radio, const ReceiveSystem& rx,
                util::kBoltzmannDb - radio.implementation_loss_db;
   b.esn0_db = b.cn0_dbhz - 10.0 * std::log10(radio.symbol_rate_hz);
 
+  // Every dB term must be finite and every attenuation non-negative: a NaN
+  // here would silently poison edge weights and the whole schedule.
+  DGS_DCHECK(std::isfinite(b.fspl_db) && b.fspl_db > 0.0,
+             "fspl_db=" << b.fspl_db);
+  DGS_DCHECK(std::isfinite(b.rain_db) && b.rain_db >= 0.0,
+             "rain_db=" << b.rain_db);
+  DGS_DCHECK(std::isfinite(b.cloud_db) && b.cloud_db >= 0.0,
+             "cloud_db=" << b.cloud_db);
+  DGS_DCHECK(std::isfinite(b.gas_db) && b.gas_db >= 0.0,
+             "gas_db=" << b.gas_db);
+  DGS_DCHECK(std::isfinite(b.g_over_t_db), "g_over_t_db=" << b.g_over_t_db);
+  DGS_DCHECK(std::isfinite(b.cn0_dbhz), "cn0_dbhz=" << b.cn0_dbhz);
+  DGS_DCHECK(std::isfinite(b.esn0_db), "esn0_db=" << b.esn0_db);
+
   b.modcod = select_modcod(b.esn0_db, radio.modcod_margin_db);
   if (b.modcod != nullptr) {
     b.data_rate_bps =
         bitrate_bps(*b.modcod, radio.symbol_rate_hz) * radio.channels;
+    // The selected MODCOD honours the margin, and the resulting rate is a
+    // real positive bit rate.
+    DGS_DCHECK_LE(b.modcod->required_esn0_db + radio.modcod_margin_db,
+                  b.esn0_db);
+    DGS_DCHECK(std::isfinite(b.data_rate_bps) && b.data_rate_bps > 0.0,
+               "data_rate_bps=" << b.data_rate_bps);
   }
   return b;
 }

@@ -2,16 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "src/util/angles.h"
+#include "src/util/check.h"
 
 namespace dgs::link {
 
 WaterPermittivity water_permittivity(double freq_ghz, double temp_k) {
-  if (temp_k <= 0.0) {
-    throw std::invalid_argument("water_permittivity: non-positive temperature");
-  }
+  DGS_ENSURE_GT(temp_k, 0.0);
   const double theta = 300.0 / temp_k;
   const double eps0 = 77.66 + 103.3 * (theta - 1.0);
   const double eps1 = 0.0671 * eps0;
@@ -32,10 +30,8 @@ WaterPermittivity water_permittivity(double freq_ghz, double temp_k) {
 }
 
 double cloud_specific_attenuation_coeff(double freq_ghz, double temp_k) {
-  if (freq_ghz <= 0.0 || freq_ghz > 200.0) {
-    throw std::invalid_argument(
-        "cloud_specific_attenuation_coeff: frequency outside P.840 validity");
-  }
+  DGS_ENSURE(freq_ghz > 0.0 && freq_ghz <= 200.0,
+             "freq=" << freq_ghz << " GHz outside P.840 validity (0, 200]");
   const WaterPermittivity e = water_permittivity(freq_ghz, temp_k);
   const double eta = (2.0 + e.real) / e.imag;
   return 0.819 * freq_ghz / (e.imag * (1.0 + eta * eta));
@@ -43,12 +39,8 @@ double cloud_specific_attenuation_coeff(double freq_ghz, double temp_k) {
 
 double cloud_attenuation_db(double freq_ghz, double liquid_water_kg_m2,
                             double elevation_rad, double temp_k) {
-  if (liquid_water_kg_m2 < 0.0) {
-    throw std::invalid_argument("cloud_attenuation_db: negative water content");
-  }
-  if (elevation_rad <= 0.0) {
-    throw std::invalid_argument("cloud_attenuation_db: elevation must be > 0");
-  }
+  DGS_ENSURE_GE(liquid_water_kg_m2, 0.0);
+  DGS_ENSURE_GT(elevation_rad, 0.0);
   if (liquid_water_kg_m2 == 0.0) return 0.0;
   const double kl = cloud_specific_attenuation_coeff(freq_ghz, temp_k);
   const double el = std::max(elevation_rad, util::deg2rad(5.0));

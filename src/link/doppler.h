@@ -6,8 +6,7 @@
 // via LookAngles::range_rate_km_s.
 #pragma once
 
-#include <stdexcept>
-
+#include "src/util/check.h"
 #include "src/util/constants.h"
 
 namespace dgs::link {
@@ -16,18 +15,14 @@ namespace dgs::link {
 /// at `freq_hz` with line-of-sight `range_rate_km_s` (positive = opening).
 /// Approaching satellites (negative range rate) shift the carrier up.
 inline double doppler_shift_hz(double freq_hz, double range_rate_km_s) {
-  if (freq_hz <= 0.0) {
-    throw std::invalid_argument("doppler_shift_hz: non-positive frequency");
-  }
+  DGS_ENSURE_GT(freq_hz, 0.0);
   return -range_rate_km_s * 1000.0 / util::kSpeedOfLight * freq_hz;
 }
 
 /// Doppler rate [Hz/s] from a range acceleration [km/s^2]; sizing input
 /// for the receiver's carrier-tracking loop bandwidth.
 inline double doppler_rate_hz_s(double freq_hz, double range_accel_km_s2) {
-  if (freq_hz <= 0.0) {
-    throw std::invalid_argument("doppler_rate_hz_s: non-positive frequency");
-  }
+  DGS_ENSURE_GT(freq_hz, 0.0);
   return -range_accel_km_s2 * 1000.0 / util::kSpeedOfLight * freq_hz;
 }
 

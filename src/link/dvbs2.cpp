@@ -1,6 +1,8 @@
 #include "src/link/dvbs2.h"
 
-#include <stdexcept>
+#include <iterator>
+
+#include "src/util/check.h"
 
 namespace dgs::link {
 namespace {
@@ -40,12 +42,29 @@ constexpr ModCod kModCods[] = {
 
 }  // namespace
 
-std::span<const ModCod> dvbs2_modcods() { return kModCods; }
+std::span<const ModCod> dvbs2_modcods() {
+  // One-time table sanity audit: EN 302 307 ordering (ascending required
+  // Es/N0) and physically meaningful rates.  Index-based MODCOD round-trips
+  // (dvbs2_framing) and select_modcod both lean on these properties.
+  [[maybe_unused]] static const bool audited = [] {
+    for (std::size_t i = 0; i < std::size(kModCods); ++i) {
+      const ModCod& mc = kModCods[i];
+      DGS_CHECK(mc.code_rate > 0.0 && mc.code_rate < 1.0,
+                mc.name << ": code_rate=" << mc.code_rate);
+      DGS_CHECK(mc.spectral_efficiency > 0.0,
+                mc.name << ": spectral_efficiency="
+                        << mc.spectral_efficiency);
+      if (i > 0) {
+        DGS_CHECK_GE(mc.required_esn0_db, kModCods[i - 1].required_esn0_db);
+      }
+    }
+    return true;
+  }();
+  return kModCods;
+}
 
 const ModCod* select_modcod(double esn0_db, double margin_db) {
-  if (margin_db < 0.0) {
-    throw std::invalid_argument("select_modcod: negative margin");
-  }
+  DGS_ENSURE_GE(margin_db, 0.0);
   // The table is Es/N0-sorted but not strictly efficiency-sorted (some 8PSK
   // entries need more SNR than lower-order MODCODs with higher efficiency);
   // pick the max-efficiency entry among the feasible ones.
@@ -62,9 +81,7 @@ const ModCod* select_modcod(double esn0_db, double margin_db) {
 }
 
 double bitrate_bps(const ModCod& mc, double symbol_rate_hz) {
-  if (symbol_rate_hz <= 0.0) {
-    throw std::invalid_argument("bitrate_bps: non-positive symbol rate");
-  }
+  DGS_ENSURE_GT(symbol_rate_hz, 0.0);
   return mc.spectral_efficiency * symbol_rate_hz;
 }
 

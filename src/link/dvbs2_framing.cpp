@@ -1,7 +1,8 @@
 #include "src/link/dvbs2_framing.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "src/util/check.h"
 
 namespace dgs::link {
 namespace {
@@ -26,7 +27,8 @@ FecParams fec_params(double code_rate) {
       return FecParams{r.k_bch, r.k_ldpc};
     }
   }
-  throw std::invalid_argument("fec_params: not a DVB-S2 normal-frame rate");
+  DGS_ENSURE(false, "code_rate=" << code_rate
+                                 << " is not a DVB-S2 normal-frame rate");
 }
 
 int bits_per_symbol(Modulation mod) {
@@ -40,7 +42,7 @@ int bits_per_symbol(Modulation mod) {
     case Modulation::k32apsk:
       return 5;
   }
-  throw std::logic_error("bits_per_symbol: unknown modulation");
+  DGS_CHECK(false, "unknown modulation " << static_cast<int>(mod));
 }
 
 int plframe_payload_bits(const ModCod& mc) {
@@ -66,12 +68,8 @@ double derived_efficiency(const ModCod& mc, bool pilots) {
 
 FrameAccounting frame_accounting(const ModCod& mc, double payload_bytes,
                                  double symbol_rate_hz, bool pilots) {
-  if (payload_bytes < 0.0) {
-    throw std::invalid_argument("frame_accounting: negative payload");
-  }
-  if (symbol_rate_hz <= 0.0) {
-    throw std::invalid_argument("frame_accounting: non-positive symbol rate");
-  }
+  DGS_ENSURE_GE(payload_bytes, 0.0);
+  DGS_ENSURE_GT(symbol_rate_hz, 0.0);
   FrameAccounting acc;
   const double payload_bits = payload_bytes * 8.0;
   const int per_frame = plframe_payload_bits(mc);
@@ -93,14 +91,14 @@ std::uint8_t modcod_index(const ModCod& mc) {
       return static_cast<std::uint8_t>(i);
     }
   }
-  throw std::invalid_argument("modcod_index: not a table entry");
+  DGS_ENSURE(false, "modcod '" << mc.name << "' is not a table entry");
 }
 
 const ModCod& modcod_by_index(std::uint8_t index) {
   const auto table = dvbs2_modcods();
-  if (index >= table.size()) {
-    throw std::invalid_argument("modcod_by_index: out of range");
-  }
+  DGS_ENSURE(index < table.size(),
+             "index=" << static_cast<int>(index) << " vs table size "
+                      << table.size());
   return table[index];
 }
 

@@ -2,8 +2,8 @@
 #pragma once
 
 #include <cmath>
-#include <stdexcept>
 
+#include "src/util/check.h"
 #include "src/util/constants.h"
 
 namespace dgs::link {
@@ -11,9 +11,8 @@ namespace dgs::link {
 /// Free-space path loss in dB for slant range `distance_km` at `freq_hz`:
 /// L = (4*pi*d*f/c)^2, expressed in dB.
 inline double fspl_db(double distance_km, double freq_hz) {
-  if (distance_km <= 0.0 || freq_hz <= 0.0) {
-    throw std::invalid_argument("fspl_db: non-positive distance or frequency");
-  }
+  DGS_ENSURE_GT(distance_km, 0.0);
+  DGS_ENSURE_GT(freq_hz, 0.0);
   const double d_m = distance_km * 1000.0;
   return 20.0 * std::log10(4.0 * util::kPi * d_m * freq_hz /
                            util::kSpeedOfLight);

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "src/util/angles.h"
+#include "src/util/check.h"
 
 namespace dgs::link {
 namespace {
@@ -21,9 +21,7 @@ constexpr int kN = sizeof(kFreqs) / sizeof(kFreqs[0]);
 }  // namespace
 
 double gaseous_zenith_attenuation_db(double freq_ghz) {
-  if (freq_ghz <= 0.0) {
-    throw std::invalid_argument("gaseous attenuation: non-positive frequency");
-  }
+  DGS_ENSURE_GT(freq_ghz, 0.0);
   if (freq_ghz <= kFreqs[0]) return kZenithDb[0];
   if (freq_ghz >= kFreqs[kN - 1]) return kZenithDb[kN - 1];
   for (int i = 1; i < kN; ++i) {
@@ -36,9 +34,7 @@ double gaseous_zenith_attenuation_db(double freq_ghz) {
 }
 
 double gaseous_attenuation_db(double freq_ghz, double elevation_rad) {
-  if (elevation_rad <= 0.0) {
-    throw std::invalid_argument("gaseous attenuation: elevation must be > 0");
-  }
+  DGS_ENSURE_GT(elevation_rad, 0.0);
   const double el = std::max(elevation_rad, util::deg2rad(5.0));
   return gaseous_zenith_attenuation_db(freq_ghz) / std::sin(el);
 }

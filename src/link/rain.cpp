@@ -1,9 +1,9 @@
 #include "src/link/rain.h"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "src/util/angles.h"
+#include "src/util/check.h"
 #include "src/util/constants.h"
 
 namespace dgs::link {
@@ -57,10 +57,8 @@ double evaluate(const Regression& reg, double log10_f) {
 }  // namespace
 
 RainCoefficients rain_coefficients(double freq_ghz, Polarization pol) {
-  if (freq_ghz < 1.0 || freq_ghz > 1000.0) {
-    throw std::invalid_argument(
-        "rain_coefficients: frequency outside P.838 validity (1-1000 GHz)");
-  }
+  DGS_ENSURE(freq_ghz >= 1.0 && freq_ghz <= 1000.0,
+             "freq=" << freq_ghz << " GHz outside P.838 validity [1, 1000]");
   const double lf = std::log10(freq_ghz);
   const double kh = std::pow(10.0, evaluate(kKh, lf));
   const double kv = std::pow(10.0, evaluate(kKv, lf));
@@ -80,14 +78,12 @@ RainCoefficients rain_coefficients(double freq_ghz, Polarization pol) {
       return {k, alpha};
     }
   }
-  throw std::logic_error("rain_coefficients: unknown polarization");
+  DGS_CHECK(false, "unknown polarization " << static_cast<int>(pol));
 }
 
 double rain_specific_attenuation_db_km(double freq_ghz, double rain_mm_h,
                                        Polarization pol) {
-  if (rain_mm_h < 0.0) {
-    throw std::invalid_argument("rain rate must be non-negative");
-  }
+  DGS_ENSURE_GE(rain_mm_h, 0.0);
   if (rain_mm_h == 0.0) return 0.0;
   const RainCoefficients c = rain_coefficients(freq_ghz, pol);
   return c.k * std::pow(rain_mm_h, c.alpha);
@@ -104,9 +100,7 @@ double rain_attenuation_db(double freq_ghz, double rain_mm_h,
                            double elevation_rad, double latitude_rad,
                            double station_alt_km, Polarization pol) {
   if (rain_mm_h <= 0.0) return 0.0;
-  if (elevation_rad <= 0.0) {
-    throw std::invalid_argument("rain_attenuation_db: elevation must be > 0");
-  }
+  DGS_ENSURE_GT(elevation_rad, 0.0);
   const double h_r = rain_height_km(latitude_rad);
   const double dh = h_r - station_alt_km;
   if (dh <= 0.0) return 0.0;  // Station above the rain layer.

@@ -1,10 +1,10 @@
 #include "src/link/ttc.h"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "src/link/antenna.h"
 #include "src/link/fspl.h"
+#include "src/util/check.h"
 #include "src/util/constants.h"
 
 namespace dgs::link {
@@ -20,12 +20,8 @@ constexpr double kRates[] = {4e3, 16e3, 64e3, 256e3, 1024e3};
 
 double ttc_uplink_cn0_dbhz(const TtcUplinkSpec& gs,
                            const SatCommandReceiver& sat, double range_km) {
-  if (range_km <= 0.0) {
-    throw std::invalid_argument("ttc_uplink_cn0: non-positive range");
-  }
-  if (gs.tx_power_w <= 0.0) {
-    throw std::invalid_argument("ttc_uplink_cn0: non-positive power");
-  }
+  DGS_ENSURE_GT(range_km, 0.0);
+  DGS_ENSURE_GT(gs.tx_power_w, 0.0);
   const double eirp_dbw = 10.0 * std::log10(gs.tx_power_w) +
                           dish_gain_dbi(gs.dish_diameter_m, gs.frequency_hz,
                                         gs.aperture_efficiency) -
@@ -38,9 +34,7 @@ double ttc_uplink_cn0_dbhz(const TtcUplinkSpec& gs,
 }
 
 double ttc_select_rate_bps(double cn0_dbhz, double margin_db) {
-  if (margin_db < 0.0) {
-    throw std::invalid_argument("ttc_select_rate: negative margin");
-  }
+  DGS_ENSURE_GE(margin_db, 0.0);
   double best = 0.0;
   for (double rate : kRates) {
     const double ebn0 = cn0_dbhz - 10.0 * std::log10(rate);

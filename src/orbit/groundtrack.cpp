@@ -1,9 +1,9 @@
 #include "src/orbit/groundtrack.h"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "src/util/angles.h"
+#include "src/util/check.h"
 #include "src/util/constants.h"
 
 namespace dgs::orbit {
@@ -15,12 +15,9 @@ std::vector<GroundTrackPoint> ground_track(const Sgp4& sat,
                                            const util::Epoch& start,
                                            const util::Epoch& end,
                                            double step_seconds) {
-  if (end < start) {
-    throw std::invalid_argument("ground_track: end before start");
-  }
-  if (step_seconds <= 0.0) {
-    throw std::invalid_argument("ground_track: non-positive step");
-  }
+  DGS_ENSURE(!(end < start), "end precedes start by "
+                                 << start.seconds_since(end) << " s");
+  DGS_ENSURE_GT(step_seconds, 0.0);
   std::vector<GroundTrackPoint> track;
   for (util::Epoch t = start; !(end < t); t = t.plus_seconds(step_seconds)) {
     const TemeState st = sat.propagate_to(t);
@@ -38,9 +35,7 @@ std::vector<util::Epoch> target_visits(const Sgp4& sat, const Geodetic& target,
                                        const util::Epoch& start,
                                        const util::Epoch& end,
                                        double step_seconds) {
-  if (swath_half_width_km <= 0.0) {
-    throw std::invalid_argument("target_visits: non-positive swath");
-  }
+  DGS_ENSURE_GT(swath_half_width_km, 0.0);
   const double swath_angle = swath_half_width_km / kEarthRadiusKm;
   std::vector<util::Epoch> visits;
   bool in_view = false;
@@ -60,12 +55,8 @@ CoverageStats coverage(const std::vector<Sgp4>& sats,
                        double swath_half_width_km, const util::Epoch& start,
                        const util::Epoch& end, int lat_cells,
                        double step_seconds) {
-  if (lat_cells < 2) {
-    throw std::invalid_argument("coverage: need >= 2 latitude cells");
-  }
-  if (swath_half_width_km <= 0.0) {
-    throw std::invalid_argument("coverage: non-positive swath");
-  }
+  DGS_ENSURE_GE(lat_cells, 2);
+  DGS_ENSURE_GT(swath_half_width_km, 0.0);
   // Area-weighted grid: rows span latitude uniformly; the number of
   // longitude cells per row scales with cos(lat) so cells are near-equal
   // area.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/util/check.h"
 #include "src/util/constants.h"
 
 namespace dgs::orbit {
@@ -64,9 +65,7 @@ StateVector step_rk4(const StateVector& s, double h) {
 
 StateVector propagate_rk4_j2(const StateVector& initial, double dt_seconds,
                              double max_step_seconds) {
-  if (max_step_seconds <= 0.0) {
-    throw std::invalid_argument("propagate_rk4_j2: non-positive step");
-  }
+  DGS_ENSURE_GT(max_step_seconds, 0.0);
   StateVector s = initial;
   double remaining = dt_seconds;
   const double dir = remaining >= 0.0 ? 1.0 : -1.0;

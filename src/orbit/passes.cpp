@@ -1,7 +1,8 @@
 #include "src/orbit/passes.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "src/util/check.h"
 
 namespace dgs::orbit {
 
@@ -64,12 +65,9 @@ std::vector<Pass> predict_passes(const Sgp4& sat, const Geodetic& site,
                                  const util::Epoch& start,
                                  const util::Epoch& end,
                                  const PassPredictorOptions& opts) {
-  if (end < start) {
-    throw std::invalid_argument("predict_passes: end before start");
-  }
-  if (opts.coarse_step_seconds <= 0.0) {
-    throw std::invalid_argument("predict_passes: non-positive step");
-  }
+  DGS_ENSURE(!(end < start), "end precedes start by "
+                                 << start.seconds_since(end) << " s");
+  DGS_ENSURE_GT(opts.coarse_step_seconds, 0.0);
   std::vector<Pass> passes;
   const double mask = opts.min_elevation_rad;
   const double tol = opts.refine_tolerance_seconds;

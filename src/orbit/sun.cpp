@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "src/util/angles.h"
+#include "src/util/check.h"
 #include "src/util/constants.h"
 
 namespace dgs::orbit {
@@ -47,9 +47,7 @@ SunAngles sun_angles(const Geodetic& site, const util::Epoch& when) {
 bool sun_outage(const Geodetic& site, double look_azimuth_rad,
                 double look_elevation_rad, const util::Epoch& when,
                 double cone_rad) {
-  if (cone_rad <= 0.0) {
-    throw std::invalid_argument("sun_outage: cone must be > 0");
-  }
+  DGS_ENSURE_GT(cone_rad, 0.0);
   const SunAngles sun = sun_angles(site, when);
   if (sun.elevation_rad <= 0.0) return false;  // sun below the horizon
 

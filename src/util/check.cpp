@@ -1,0 +1,36 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dgs::util {
+namespace internal {
+namespace {
+
+std::string format_report(const char* kind, const char* file, int line,
+                          const char* expr, const std::string& context) {
+  std::string msg = std::string(kind) + " failed at " + file + ":" +
+                    std::to_string(line) + ": " + expr;
+  if (!context.empty()) msg += " (" + context + ")";
+  return msg;
+}
+
+}  // namespace
+
+void check_failed(const char* kind, const char* file, int line,
+                  const char* expr, const std::string& context) {
+  const std::string msg = format_report(kind, file, line, expr, context);
+  std::fprintf(stderr, "%s\n", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void ensure_failed(const char* file, int line, const char* expr,
+                   const std::string& context) {
+  throw std::invalid_argument(
+      format_report("DGS_ENSURE", file, line, expr, context));
+}
+
+}  // namespace internal
+}  // namespace dgs::util

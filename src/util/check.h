@@ -1,0 +1,164 @@
+// Runtime contract macros for the DGS codebase.
+//
+// Three families, one formatting path (file:line, failed expression, and an
+// optional streamed context carrying operand values):
+//
+//   * DGS_CHECK(cond, ctx...)  — internal invariant; always compiled in.
+//     Failure prints the formatted report to stderr and aborts.  Use for
+//     conditions that indicate a bug in *this* codebase (a double-booked
+//     station, non-conserved bytes), never for bad caller input.
+//   * DGS_DCHECK(cond, ctx...) — debug-build invariant; identical to
+//     DGS_CHECK when DGS_ENABLE_DCHECKS is defined (the default CMake
+//     configuration defines it; -DDGS_DCHECKS=OFF removes it for
+//     production-profile builds).  Use for audits too expensive for hot
+//     release paths, e.g. Matching stability or per-step conservation.
+//   * DGS_ENSURE(cond, ctx...) — caller-input precondition; always
+//     compiled in.  Failure throws std::invalid_argument with the same
+//     formatted report, so existing EXPECT_THROW(..., std::invalid_argument)
+//     call sites keep their contract.
+//
+// The optional context is a stream expression evaluated only on failure:
+//
+//   DGS_ENSURE(bytes >= 0.0, "bytes=" << bytes);
+//   DGS_CHECK(g >= 0 && g < num_stations, "station=" << g);
+//
+// Binary-comparison variants capture both operand values automatically:
+//
+//   DGS_CHECK_LE(queued, capacity);   // "... (3.5e9 vs 1e9)"
+//   DGS_ENSURE_GT(quantum_seconds, 0.0);
+//
+// Each operand is evaluated exactly once; the condition itself is evaluated
+// exactly once in the enabled macros and not at all in disabled DGS_DCHECKs.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace dgs::util {
+namespace internal {
+
+/// Accumulates the optional streamed context of a failed check.
+class CheckContext {
+ public:
+  template <typename T>
+  CheckContext& operator<<(T&& v) {
+    stream_ << std::forward<T>(v);
+    return *this;
+  }
+
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Renders "lhs vs rhs" for the _EQ/_NE/_LT/... operand capture.
+template <typename A, typename B>
+std::string format_operands(const A& lhs, const B& rhs) {
+  std::ostringstream os;
+  os << lhs << " vs " << rhs;
+  return os.str();
+}
+
+/// Prints "<kind> failed at file:line: expr [context]" to stderr, then
+/// std::abort()s.  Out of line so the macro expansion stays small.
+[[noreturn]] void check_failed(const char* kind, const char* file, int line,
+                               const char* expr, const std::string& context);
+
+/// Same report, thrown as std::invalid_argument (what() carries it).
+[[noreturn]] void ensure_failed(const char* file, int line, const char* expr,
+                                const std::string& context);
+
+}  // namespace internal
+}  // namespace dgs::util
+
+// --- Condition macros -------------------------------------------------------
+
+#define DGS_CHECK(cond, ...)                                            \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      ::dgs::util::internal::check_failed(                              \
+          "DGS_CHECK", __FILE__, __LINE__, #cond,                       \
+          (::dgs::util::internal::CheckContext{} __VA_OPT__(<<)         \
+               __VA_ARGS__)                                             \
+              .str());                                                  \
+    }                                                                   \
+  } while (0)
+
+#define DGS_ENSURE(cond, ...)                                           \
+  do {                                                                  \
+    if (!(cond)) [[unlikely]] {                                         \
+      ::dgs::util::internal::ensure_failed(                             \
+          __FILE__, __LINE__, #cond,                                    \
+          (::dgs::util::internal::CheckContext{} __VA_OPT__(<<)         \
+               __VA_ARGS__)                                             \
+              .str());                                                  \
+    }                                                                   \
+  } while (0)
+
+#ifdef DGS_ENABLE_DCHECKS
+#define DGS_DCHECK(cond, ...) DGS_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+// Disabled: the condition must still parse but is never evaluated.
+#define DGS_DCHECK(cond, ...) \
+  do {                        \
+    if (false) {              \
+      (void)(cond);           \
+    }                         \
+  } while (0)
+#endif
+
+// --- Binary-comparison variants (capture operand values) --------------------
+
+#define DGS_INTERNAL_CHECK_OP(handler, kind, op, a, b)                  \
+  do {                                                                  \
+    const auto& dgs_lhs_ = (a);                                         \
+    const auto& dgs_rhs_ = (b);                                         \
+    if (!(dgs_lhs_ op dgs_rhs_)) [[unlikely]] {                         \
+      ::dgs::util::internal::handler(                                   \
+          kind, __FILE__, __LINE__, #a " " #op " " #b,                  \
+          ::dgs::util::internal::format_operands(dgs_lhs_, dgs_rhs_));  \
+    }                                                                   \
+  } while (0)
+
+#define DGS_INTERNAL_ENSURE_OP(op, a, b)                                \
+  do {                                                                  \
+    const auto& dgs_lhs_ = (a);                                         \
+    const auto& dgs_rhs_ = (b);                                         \
+    if (!(dgs_lhs_ op dgs_rhs_)) [[unlikely]] {                         \
+      ::dgs::util::internal::ensure_failed(                             \
+          __FILE__, __LINE__, #a " " #op " " #b,                        \
+          ::dgs::util::internal::format_operands(dgs_lhs_, dgs_rhs_));  \
+    }                                                                   \
+  } while (0)
+
+#define DGS_CHECK_EQ(a, b) DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", ==, a, b)
+#define DGS_CHECK_NE(a, b) DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", !=, a, b)
+#define DGS_CHECK_LT(a, b) DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", <, a, b)
+#define DGS_CHECK_LE(a, b) DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", <=, a, b)
+#define DGS_CHECK_GT(a, b) DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", >, a, b)
+#define DGS_CHECK_GE(a, b) DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", >=, a, b)
+
+#define DGS_ENSURE_EQ(a, b) DGS_INTERNAL_ENSURE_OP(==, a, b)
+#define DGS_ENSURE_NE(a, b) DGS_INTERNAL_ENSURE_OP(!=, a, b)
+#define DGS_ENSURE_LT(a, b) DGS_INTERNAL_ENSURE_OP(<, a, b)
+#define DGS_ENSURE_LE(a, b) DGS_INTERNAL_ENSURE_OP(<=, a, b)
+#define DGS_ENSURE_GT(a, b) DGS_INTERNAL_ENSURE_OP(>, a, b)
+#define DGS_ENSURE_GE(a, b) DGS_INTERNAL_ENSURE_OP(>=, a, b)
+
+#ifdef DGS_ENABLE_DCHECKS
+#define DGS_DCHECK_EQ(a, b) DGS_CHECK_EQ(a, b)
+#define DGS_DCHECK_NE(a, b) DGS_CHECK_NE(a, b)
+#define DGS_DCHECK_LT(a, b) DGS_CHECK_LT(a, b)
+#define DGS_DCHECK_LE(a, b) DGS_CHECK_LE(a, b)
+#define DGS_DCHECK_GT(a, b) DGS_CHECK_GT(a, b)
+#define DGS_DCHECK_GE(a, b) DGS_CHECK_GE(a, b)
+#else
+#define DGS_DCHECK_EQ(a, b) DGS_DCHECK((a) == (b))
+#define DGS_DCHECK_NE(a, b) DGS_DCHECK((a) != (b))
+#define DGS_DCHECK_LT(a, b) DGS_DCHECK((a) < (b))
+#define DGS_DCHECK_LE(a, b) DGS_DCHECK((a) <= (b))
+#define DGS_DCHECK_GT(a, b) DGS_DCHECK((a) > (b))
+#define DGS_DCHECK_GE(a, b) DGS_DCHECK((a) >= (b))
+#endif

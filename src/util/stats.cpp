@@ -4,21 +4,20 @@
 #include <cmath>
 #include <cstdio>
 #include <numeric>
-#include <stdexcept>
+
+#include "src/util/check.h"
 
 namespace dgs::util {
 
 double percentile(std::span<const double> sorted_samples, double pct) {
-  if (sorted_samples.empty()) {
-    throw std::invalid_argument("percentile() of empty sample set");
-  }
-  if (pct < 0.0 || pct > 100.0) {
-    throw std::invalid_argument("percentile() pct out of [0,100]");
-  }
-  const double rank = pct / 100.0 * (sorted_samples.size() - 1);
+  DGS_ENSURE(!sorted_samples.empty(), "percentile of empty sample set");
+  DGS_ENSURE(pct >= 0.0 && pct <= 100.0,
+             "pct=" << pct << " outside [0, 100]");
+  const double rank =
+      pct / 100.0 * static_cast<double>(sorted_samples.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
   const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
-  const double frac = rank - lo;
+  const double frac = rank - static_cast<double>(lo);
   return sorted_samples[lo] * (1.0 - frac) + sorted_samples[hi] * frac;
 }
 
@@ -44,9 +43,9 @@ double SampleSet::min() const { return sorted().front(); }
 double SampleSet::max() const { return sorted().back(); }
 
 double SampleSet::mean() const {
-  if (samples_.empty()) throw std::invalid_argument("mean() of empty set");
+  DGS_ENSURE(!samples_.empty(), "mean of empty sample set");
   return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
-         samples_.size();
+         static_cast<double>(samples_.size());
 }
 
 double SampleSet::percentile(double pct) const {
@@ -57,11 +56,12 @@ double SampleSet::cdf(double x) const {
   const auto& s = sorted();
   if (s.empty()) return 0.0;
   const auto it = std::upper_bound(s.begin(), s.end(), x);
-  return static_cast<double>(it - s.begin()) / s.size();
+  return static_cast<double>(it - s.begin()) /
+         static_cast<double>(s.size());
 }
 
 std::vector<std::pair<double, double>> SampleSet::cdf_curve(int points) const {
-  if (points < 2) throw std::invalid_argument("cdf_curve() needs >= 2 points");
+  DGS_ENSURE_GE(points, 2);
   std::vector<std::pair<double, double>> curve;
   if (empty()) return curve;
   const double lo = min(), hi = max();

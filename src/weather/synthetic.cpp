@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
 #include "src/util/angles.h"
+#include "src/util/check.h"
 #include "src/util/constants.h"
 #include "src/util/rng.h"
 #include "src/weather/climatology.h"
@@ -29,12 +29,8 @@ SyntheticWeatherProvider::SyntheticWeatherProvider(
     const SyntheticWeatherOptions& opts)
     : start_(start), horizon_s_(horizon_hours * 3600.0), opts_(opts),
       seed_(seed) {
-  if (horizon_hours <= 0.0) {
-    throw std::invalid_argument("SyntheticWeatherProvider: bad horizon");
-  }
-  if (opts.mean_active_storms < 0) {
-    throw std::invalid_argument("SyntheticWeatherProvider: negative storms");
-  }
+  DGS_ENSURE_GT(horizon_hours, 0.0);
+  DGS_ENSURE_GE(opts.mean_active_storms, 0);
   util::Rng rng(seed);
 
   // Storms whose lifetime overlaps the horizon: steady-state population times
@@ -132,9 +128,7 @@ WeatherSample SyntheticWeatherProvider::forecast(double latitude_rad,
                                                  double longitude_rad,
                                                  const util::Epoch& when,
                                                  double lead_seconds) const {
-  if (lead_seconds < 0.0) {
-    throw std::invalid_argument("forecast: negative lead time");
-  }
+  DGS_ENSURE_GE(lead_seconds, 0.0);
   // A forecast error is modelled as evaluating the true field at a point
   // displaced by an error that grows with lead time.  The displacement
   // direction is a deterministic function of (seed, forecast valid-hour),
@@ -143,7 +137,8 @@ WeatherSample SyntheticWeatherProvider::forecast(double latitude_rad,
   const double err_km = opts_.forecast_drift_km_per_hour * lead_h;
   const std::uint64_t key =
       mix64(seed_ ^ static_cast<std::uint64_t>(when.jd() * 24.0));
-  const double angle = (key % 62832) / 10000.0;  // [0, 2*pi)
+  const double angle =
+      static_cast<double>(key % 62832) / 10000.0;  // [0, 2*pi)
   const double dlat = err_km * std::sin(angle) / kEarthRadiusKm;
   const double coslat = std::max(0.2, std::cos(latitude_rad));
   const double dlon = err_km * std::cos(angle) / (kEarthRadiusKm * coslat);

@@ -138,7 +138,7 @@ TEST(Matching, GreedyEqualsStableForAlignedPreferences) {
     auto edges = random_graph(rng, sats, stations, 0.5);
     // Perturb to make all weights distinct.
     for (std::size_t i = 0; i < edges.size(); ++i) {
-      edges[i].weight += i * 1e-7;
+      edges[i].weight += static_cast<double>(i) * 1e-7;
     }
     const double w_stable =
         matching_value(edges, stable_matching(edges, sats, stations));

@@ -39,8 +39,11 @@ TEST(StationGen, FootprintMatchesSatnogsShape) {
     if (lat > 36.0 && lat < 69.0 && lon > -10.0 && lon < 40.0) ++europe_ish;
   }
   // SatNOGS is strongly northern-hemisphere and Europe-heavy.
-  EXPECT_GT(north, static_cast<int>(stations.size() * 0.6));
-  EXPECT_GT(europe_ish, static_cast<int>(stations.size() * 0.3));
+  const auto share = [&](double f) {
+    return static_cast<int>(static_cast<double>(stations.size()) * f);
+  };
+  EXPECT_GT(north, share(0.6));
+  EXPECT_GT(europe_ish, share(0.3));
 }
 
 TEST(StationGen, TxFractionRespected) {
@@ -77,7 +80,8 @@ TEST(StationGen, ConstraintBitmapsApplied) {
   std::size_t denied = 0;
   for (const auto& gs : stations) denied += gs.constraints.denied_count();
   const double frac =
-      static_cast<double>(denied) / (stations.size() * opts.num_satellites);
+      static_cast<double>(denied) /
+      static_cast<double>(stations.size() * opts.num_satellites);
   EXPECT_NEAR(frac, 0.2, 0.03);
 }
 
@@ -129,8 +133,9 @@ TEST(ConstellationGen, OrbitsAreEoTypical) {
   }
   // The LEO population mix: roughly 45% sun-synchronous, 25% ISS-orbit
   // rideshares (see generate_constellation).
-  EXPECT_NEAR(static_cast<double>(sso) / sats.size(), 0.45, 0.12);
-  EXPECT_NEAR(static_cast<double>(iss_like) / sats.size(), 0.25, 0.10);
+  const double n = static_cast<double>(sats.size());
+  EXPECT_NEAR(static_cast<double>(sso) / n, 0.45, 0.12);
+  EXPECT_NEAR(static_cast<double>(iss_like) / n, 0.25, 0.10);
 }
 
 TEST(ConstellationGen, TlesAreParseableAndPropagable) {
