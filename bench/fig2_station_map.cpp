@@ -17,7 +17,8 @@ int main() {
   using namespace dgs::bench;
   using util::rad2deg;
 
-  std::printf("=== Fig. 2: DGS station footprint (synthetic SatNOGS-like) ===\n\n");
+  std::printf(
+      "=== Fig. 2: DGS station footprint (synthetic SatNOGS-like) ===\n\n");
   groundseg::NetworkOptions opts;
   const auto stations = groundseg::generate_dgs_stations(opts);
 

@@ -12,7 +12,8 @@ int main() {
   using namespace dgs;
   using namespace dgs::bench;
 
-  std::printf("=== Fig. 3a: Data backlog CDF (24 h, 259 sats, 100 GB/day) ===\n");
+  std::printf(
+      "=== Fig. 3a: Data backlog CDF (24 h, 259 sats, 100 GB/day) ===\n");
   const Setup setup = make_paper_setup();
   weather::SyntheticWeatherProvider wx(kWeatherSeed, kEpoch, 25.0);
 

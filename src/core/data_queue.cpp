@@ -25,8 +25,9 @@ void OnboardQueue::insert_sorted(DataChunk chunk) {
     return;
   }
   const auto it =
-      std::find_if(chunks_.begin(), chunks_.end(),
-                   [&](const DataChunk& c) { return belongs_before(chunk, c); });
+      std::find_if(chunks_.begin(), chunks_.end(), [&](const DataChunk& c) {
+        return belongs_before(chunk, c);
+      });
   chunks_.insert(it, std::move(chunk));
 }
 

@@ -9,6 +9,8 @@ std::size_t DownlinkConstraints::denied_count() const {
       std::count(bits_.begin(), bits_.end(), false));
 }
 
-void GroundStation::refresh_ecef() { ecef_ = orbit::geodetic_to_ecef(location); }
+void GroundStation::refresh_ecef() {
+  ecef_ = orbit::geodetic_to_ecef(location);
+}
 
 }  // namespace dgs::groundseg

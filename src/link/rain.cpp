@@ -117,7 +117,8 @@ double rain_attenuation_db(double freq_ghz, double rain_mm_h,
                 std::sin(el));
   }
 
-  const double gamma = rain_specific_attenuation_db_km(freq_ghz, rain_mm_h, pol);
+  const double gamma =
+      rain_specific_attenuation_db_km(freq_ghz, rain_mm_h, pol);
   const double lg = slant_km * std::cos(el);  // horizontal projection
   const double l0 = 35.0 * std::exp(-0.015 * std::min(rain_mm_h, 100.0));
   const double reduction = 1.0 / (1.0 + lg / l0);

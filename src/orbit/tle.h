@@ -21,7 +21,8 @@ struct Tle {
   char classification = 'U';     ///< 'U' unclassified.
   std::string intl_designator;   ///< International designator (cols 10-17).
   util::Epoch epoch;             ///< Epoch of the element set (UTC).
-  double ndot_over_2 = 0.0;      ///< First time derivative of mean motion / 2 [rev/day^2].
+  double ndot_over_2 = 0.0;      ///< First time derivative of mean motion
+                                 ///< / 2 [rev/day^2].
   double nddot_over_6 = 0.0;     ///< Second derivative / 6 [rev/day^3].
   double bstar = 0.0;            ///< B* drag term [1/earth-radii].
   int element_set_number = 0;    ///< Element set number.
@@ -33,7 +34,8 @@ struct Tle {
   double mean_motion_revs_per_day = 0.0;  ///< Mean motion [rev/day].
   int rev_number = 0;            ///< Revolution number at epoch.
 
-  std::string name;              ///< Optional satellite name (from a 3-line set).
+  std::string name;              ///< Optional satellite name (from a
+                                 ///< 3-line set).
 
   /// Orbital period implied by the mean motion [minutes].
   double period_minutes() const { return 1440.0 / mean_motion_revs_per_day; }

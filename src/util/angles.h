@@ -33,7 +33,8 @@ inline double great_circle_angle(double lat1, double lon1, double lat2,
                                  double lon2) {
   const double sdlat = std::sin((lat2 - lat1) / 2.0);
   const double sdlon = std::sin((lon2 - lon1) / 2.0);
-  const double h = sdlat * sdlat + std::cos(lat1) * std::cos(lat2) * sdlon * sdlon;
+  const double h =
+      sdlat * sdlat + std::cos(lat1) * std::cos(lat2) * sdlon * sdlon;
   return 2.0 * std::asin(std::min(1.0, std::sqrt(h)));
 }
 

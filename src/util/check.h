@@ -133,12 +133,18 @@ std::string format_operands(const A& lhs, const B& rhs) {
     }                                                                   \
   } while (0)
 
-#define DGS_CHECK_EQ(a, b) DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", ==, a, b)
-#define DGS_CHECK_NE(a, b) DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", !=, a, b)
-#define DGS_CHECK_LT(a, b) DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", <, a, b)
-#define DGS_CHECK_LE(a, b) DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", <=, a, b)
-#define DGS_CHECK_GT(a, b) DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", >, a, b)
-#define DGS_CHECK_GE(a, b) DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", >=, a, b)
+#define DGS_CHECK_EQ(a, b) \
+  DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", ==, a, b)
+#define DGS_CHECK_NE(a, b) \
+  DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", !=, a, b)
+#define DGS_CHECK_LT(a, b) \
+  DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", <, a, b)
+#define DGS_CHECK_LE(a, b) \
+  DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", <=, a, b)
+#define DGS_CHECK_GT(a, b) \
+  DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", >, a, b)
+#define DGS_CHECK_GE(a, b) \
+  DGS_INTERNAL_CHECK_OP(check_failed, "DGS_CHECK", >=, a, b)
 
 #define DGS_ENSURE_EQ(a, b) DGS_INTERNAL_ENSURE_OP(==, a, b)
 #define DGS_ENSURE_NE(a, b) DGS_INTERNAL_ENSURE_OP(!=, a, b)

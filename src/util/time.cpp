@@ -12,7 +12,8 @@ double julian_date(const DateTime& dt) {
   // Vallado, "Fundamentals of Astrodynamics", algorithm 14 (valid 1900-2099).
   const double jd =
       367.0 * dt.year -
-      std::floor((7.0 * (dt.year + std::floor((dt.month + 9.0) / 12.0))) / 4.0) +
+      std::floor((7.0 * (dt.year + std::floor((dt.month + 9.0) / 12.0))) /
+                 4.0) +
       std::floor(275.0 * dt.month / 9.0) + dt.day + 1721013.5;
   const double day_frac =
       (dt.second + dt.minute * 60.0 + dt.hour * 3600.0) / kSecondsPerDay;

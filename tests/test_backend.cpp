@@ -63,8 +63,9 @@ TEST(StationEdge, UrgentUploadsFirst) {
   q.receive(5e6, 8.0, kT0.plus_seconds(60),
             kT0.plus_seconds(60));                      // urgent, later
   std::vector<double> order;
-  q.drain(10.0, kT0.plus_seconds(70),
-          [&](double, const EdgeItem& item) { order.push_back(item.priority); });
+  q.drain(10.0, kT0.plus_seconds(70), [&](double, const EdgeItem& item) {
+    order.push_back(item.priority);
+  });
   ASSERT_GE(order.size(), 1u);
   EXPECT_DOUBLE_EQ(order[0], 8.0);  // urgent beat the earlier bulk item
 }

@@ -13,7 +13,8 @@ namespace {
 using util::deg2rad;
 
 TEST(WaterPermittivity, StaticLimitMatchesDebyeModel) {
-  // At f -> 0 and 0 C (theta = 300/273.15), eps' -> eps0 = 77.66 + 103.3*(theta-1).
+  // At f -> 0 and 0 C (theta = 300/273.15), eps' -> eps0 = 77.66 +
+  // 103.3*(theta-1).
   const double theta = 300.0 / 273.15;
   const double eps0 = 77.66 + 103.3 * (theta - 1.0);
   const WaterPermittivity e = water_permittivity(0.001, 273.15);

@@ -19,8 +19,9 @@ TEST(PriorityQueueOrder, UrgentJumpsAheadOfBulk) {
   q.generate(100.0, kT0);                          // bulk, old
   q.generate(100.0, kT0.plus_seconds(600), 8.0);   // urgent, new
   std::vector<double> priorities;
-  q.transmit(100.0, kT0.plus_seconds(1200),
-             [&](double, const DataChunk& c) { priorities.push_back(c.priority); });
+  q.transmit(100.0, kT0.plus_seconds(1200), [&](double, const DataChunk& c) {
+    priorities.push_back(c.priority);
+  });
   ASSERT_EQ(priorities.size(), 1u);
   EXPECT_DOUBLE_EQ(priorities[0], 8.0);  // urgent went first despite age
 }

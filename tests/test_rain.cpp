@@ -80,7 +80,8 @@ TEST(RainHeight, LatitudeClimatology) {
   EXPECT_NEAR(rain_height_km(deg2rad(45.0)), 5.0 - 0.075 * 22.0, 1e-9);
   EXPECT_GE(rain_height_km(deg2rad(89.0)), 0.0);          // never negative
   // Symmetric in hemisphere.
-  EXPECT_DOUBLE_EQ(rain_height_km(deg2rad(-45.0)), rain_height_km(deg2rad(45.0)));
+  EXPECT_DOUBLE_EQ(rain_height_km(deg2rad(-45.0)),
+                   rain_height_km(deg2rad(45.0)));
 }
 
 TEST(RainAttenuation, PaperCitedMagnitudes) {
