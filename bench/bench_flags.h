@@ -1,0 +1,39 @@
+// Shared command-line handling for the micro benches.
+//
+// Google Benchmark owns the `--benchmark_*` namespace; DGS-specific knobs
+// are consumed here *before* benchmark::Initialize sees (and rejects)
+// them.  Currently: `--threads=N` / `--threads N` selects the ThreadPool
+// lane count the benchmarked pipeline runs with (1 = serial, the default;
+// 0 = hardware concurrency), so speedup curves are measurable by sweeping
+// the flag.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dgs::bench {
+
+/// Extracts `--threads` from argv (compacting it away so Benchmark's own
+/// parser never sees it) and returns the requested lane count, or
+/// `default_threads` when absent.
+inline int consume_threads_flag(int* argc, char** argv,
+                                int default_threads = 1) {
+  int threads = default_threads;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < *argc) {
+      threads = std::atoi(argv[i + 1]);
+      ++i;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return threads;
+}
+
+}  // namespace dgs::bench

@@ -1,14 +1,23 @@
 // E7 — matching micro-benchmarks: Gale-Shapley convergence cost vs graph
 // size (the paper quotes O(K^2), K = max(N, M)), compared with the
 // Hungarian optimal matcher (O(K^3)) and greedy (O(E log E)).
+//
+// `--threads=N` applies to BM_ScheduleInstantPaperScale, which runs the
+// full contact-graph + weighting + matching pipeline on an N-lane
+// ThreadPool; the pure matcher kernels are inherently sequential and
+// ignore the flag.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_flags.h"
+#include "src/core/dgs.h"
 #include "src/core/matching.h"
 #include "src/util/rng.h"
 
 namespace {
 
 using dgs::core::Edge;
+
+int g_threads = 1;  // set by --threads in main()
 
 std::vector<Edge> make_graph(int sats, int stations, double density,
                              std::uint64_t seed) {
@@ -73,6 +82,43 @@ void BM_OptimalMatchingPaperScale(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimalMatchingPaperScale);
 
+// The matcher in context: one full schedule_instant (SGP4 propagation,
+// visibility sweep, link budgets, edge weighting, stable matching) at
+// paper scale, on the `--threads` pool.
+void BM_ScheduleInstantPaperScale(benchmark::State& state) {
+  using namespace dgs;
+  const util::Epoch epoch(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+  static const auto sats =
+      groundseg::generate_constellation(groundseg::NetworkOptions{}, epoch);
+  static const auto stations =
+      groundseg::generate_dgs_stations(groundseg::NetworkOptions{});
+  static weather::SyntheticWeatherProvider wx(7, epoch, 25.0);
+  static core::VisibilityEngine engine(sats, stations, &wx);
+  static util::ThreadPool pool(
+      util::ParallelConfig{.num_threads = g_threads, .chunk_size = 8});
+  engine.set_thread_pool(&pool);
+  static std::vector<core::OnboardQueue> queues = [&epoch] {
+    std::vector<core::OnboardQueue> qs(sats.size());
+    for (auto& q : qs) q.generate(20e9, epoch.plus_seconds(-3600));
+    return qs;
+  }();
+  core::Scheduler scheduler(&engine, core::SchedulerConfig{});
+  double minute = 0.0;
+  for (auto _ : state) {
+    minute += 1.0;
+    benchmark::DoNotOptimize(scheduler.schedule_instant(
+        epoch.plus_seconds(minute * 60.0), queues));
+  }
+}
+BENCHMARK(BM_ScheduleInstantPaperScale);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  g_threads = dgs::bench::consume_threads_flag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,8 +3,14 @@
 // simulated hour.  These are the numbers that say whether the backend
 // scheduler could run in real time (it must plan faster than the
 // constellation flies).
+//
+// `--threads=N` runs the pipeline on an N-lane ThreadPool (1 = serial,
+// 0 = hardware concurrency); results are bit-identical at any setting, so
+// sweeping the flag measures pure speedup.  CI's bench-smoke lane gates on
+// the serial numbers (bench/baseline.json).
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_flags.h"
 #include "src/core/dgs.h"
 #include "src/core/lookahead.h"
 
@@ -14,6 +20,8 @@ using namespace dgs;
 
 const util::Epoch kEpoch(util::DateTime{2020, 11, 4, 0, 0, 0.0});
 
+int g_threads = 1;  // set by --threads in main()
+
 struct PaperScale {
   PaperScale()
       : sats(groundseg::generate_constellation(groundseg::NetworkOptions{},
@@ -21,13 +29,17 @@ struct PaperScale {
         stations(groundseg::generate_dgs_stations(
             groundseg::NetworkOptions{})),
         wx(7, kEpoch, 25.0), engine(sats, stations, &wx),
+        pool(util::ParallelConfig{.num_threads = g_threads,
+                                  .chunk_size = 8}),
         queues(sats.size()) {
+    engine.set_thread_pool(&pool);
     for (auto& q : queues) q.generate(20e9, kEpoch.plus_seconds(-3600));
   }
   std::vector<groundseg::SatelliteConfig> sats;
   std::vector<groundseg::GroundStation> stations;
   weather::SyntheticWeatherProvider wx;
   core::VisibilityEngine engine;
+  util::ThreadPool pool;
   std::vector<core::OnboardQueue> queues;
 };
 
@@ -69,11 +81,28 @@ void BM_PlanThreeHourHorizon(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanThreeHourHorizon)->Unit(benchmark::kMillisecond);
 
+// Same sweep with the step-geometry cache enabled: after the first
+// iteration every epoch is a cache hit, isolating the non-geometry cost
+// (weather + budgets + block allocation) of a planning pass.
+void BM_PlanThreeHourHorizonCached(benchmark::State& state) {
+  PaperScale& ps = fixture();
+  ps.engine.enable_geometry_cache(kEpoch, 60.0, 192);
+  core::LatencyValue phi;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::plan_horizon(ps.engine, ps.queues, phi, kEpoch, 180, 60.0));
+  }
+  ps.engine.enable_geometry_cache(kEpoch, 60.0, 1);  // drop the memory
+}
+BENCHMARK(BM_PlanThreeHourHorizonCached)->Unit(benchmark::kMillisecond);
+
 void BM_SimulateOneHourPaperScale(benchmark::State& state) {
   PaperScale& ps = fixture();
   core::SimulationOptions opts;
   opts.start = kEpoch;
   opts.duration_hours = 1.0;
+  opts.parallel.num_threads = g_threads;
+  opts.parallel.chunk_size = 8;
   for (auto _ : state) {
     core::Simulator sim(ps.sats, ps.stations, &ps.wx, opts);
     benchmark::DoNotOptimize(sim.run());
@@ -83,4 +112,11 @@ BENCHMARK(BM_SimulateOneHourPaperScale)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  g_threads = dgs::bench::consume_threads_flag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

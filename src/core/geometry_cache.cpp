@@ -1,0 +1,42 @@
+#include "src/core/geometry_cache.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace dgs::core {
+
+GeometryCache::GeometryCache(const util::Epoch& base, double step_seconds,
+                             int capacity_steps)
+    : base_(base), step_seconds_(step_seconds),
+      capacity_(static_cast<std::size_t>(capacity_steps)) {
+  DGS_ENSURE_GT(step_seconds, 0.0);
+  DGS_ENSURE_GT(capacity_steps, 0);
+}
+
+std::optional<std::int64_t> GeometryCache::step_key(
+    const util::Epoch& when) const {
+  const double steps = when.seconds_since(base_) / step_seconds_;
+  const double rounded = std::round(steps);
+  // Epoch arithmetic is exact to well under a millisecond over day-scale
+  // horizons; anything further off the grid is a genuinely off-grid query.
+  if (std::abs(steps - rounded) * step_seconds_ > 1e-4) return std::nullopt;
+  return static_cast<std::int64_t>(rounded);
+}
+
+const StepGeometry* GeometryCache::find(std::int64_t key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+StepGeometry& GeometryCache::emplace(std::int64_t key) {
+  while (entries_.size() >= capacity_) entries_.erase(entries_.begin());
+  return entries_[key];
+}
+
+}  // namespace dgs::core

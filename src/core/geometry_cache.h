@@ -1,0 +1,85 @@
+// Memoized per-step propagation and visibility geometry.
+//
+// The simulator and the look-ahead planner both query the contact graph on
+// the same fixed time grid (one query per scheduling quantum — and, with
+// look-ahead replanning or repeated planning sweeps, the same epoch many
+// times).  Everything weather-independent about such a query is a pure
+// function of (satellite set, station set, epoch): the SGP4 state + ECEF
+// position of every satellite, and per station the satellites above its
+// elevation mask with their elevation/range.  This cache stores that
+// geometry keyed by the integer step index on the grid, so an epoch is
+// propagated at most once per horizon instead of up to `lookahead_steps`
+// times.
+//
+// Invalidation rules (DESIGN.md §9): entries are immutable once computed —
+// the satellite and station sets a VisibilityEngine is built over never
+// change, so a cached step can only become useless, never wrong.  Capacity
+// is bounded; when full, the oldest step is evicted (the simulation clock
+// only moves forward).  Off-grid epochs bypass the cache entirely.
+//
+// Thread-safety: find/emplace are called only from the thread driving the
+// simulation; worker threads fill the (pre-sized) vectors of the entry they
+// were handed, writing disjoint indices.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/util/time.h"
+#include "src/util/vec3.h"
+
+namespace dgs::core {
+
+/// One satellite above a station's elevation mask at a step, with the
+/// topocentric geometry the link budget needs.
+struct VisibleSat {
+  int sat = 0;
+  double elevation_rad = 0.0;
+  double range_km = 0.0;
+};
+
+/// Weather-independent geometry of one scheduling step.
+struct StepGeometry {
+  std::vector<util::Vec3> sat_ecef;  ///< Per satellite, index-aligned.
+  /// Per station: satellites above the mask (owner constraints applied),
+  /// in ascending satellite order.
+  std::vector<std::vector<VisibleSat>> per_station;
+};
+
+class GeometryCache {
+ public:
+  /// Steps are `step_seconds` apart starting at `base`; at most
+  /// `capacity_steps` entries are retained (≥ the look-ahead window keeps
+  /// a whole planning horizon resident).
+  GeometryCache(const util::Epoch& base, double step_seconds,
+                int capacity_steps);
+
+  /// Step index of `when` if it lies on the grid (sub-millisecond
+  /// tolerance); std::nullopt for off-grid epochs, which must not be
+  /// cached under a rounded key.
+  std::optional<std::int64_t> step_key(const util::Epoch& when) const;
+
+  /// The cached geometry for a step, or nullptr.  Counts hits/misses.
+  const StepGeometry* find(std::int64_t key);
+
+  /// Inserts an empty entry for `key` (evicting the oldest step past
+  /// capacity) and returns it for the caller to fill in place.
+  StepGeometry& emplace(std::int64_t key);
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  util::Epoch base_;
+  double step_seconds_;
+  std::size_t capacity_;
+  /// Ordered by step: eviction removes the oldest entry first.
+  std::map<std::int64_t, StepGeometry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dgs::core

@@ -64,6 +64,27 @@ HorizonPlan plan_horizon(const VisibilityEngine& engine,
       find_pass_blocks(engine, start, steps, step_seconds);
 
   // Score blocks against the queue snapshot at the block's mid-time.
+  // Per-block values are computed in parallel (pure const reads of the
+  // queues); the filtered list is then built serially in block order, so
+  // the ranking is identical at any thread count.
+  std::vector<double> block_value(blocks.size());
+  const auto score = [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      const PassBlock& b = blocks[static_cast<std::size_t>(i)];
+      const double mid_s =
+          (b.first_step + static_cast<double>(b.steps.size()) / 2.0) *
+          step_seconds;
+      block_value[static_cast<std::size_t>(i)] =
+          value.edge_value(queues[b.sat], start.plus_seconds(mid_s),
+                           b.capacity_bytes(step_seconds));
+    }
+  };
+  if (util::ThreadPool* pool = engine.thread_pool(); pool != nullptr) {
+    pool->parallel_for(static_cast<std::int64_t>(blocks.size()), score);
+  } else {
+    score(0, static_cast<std::int64_t>(blocks.size()));
+  }
+
   struct Scored {
     int block_index;
     double density;  ///< value per step
@@ -71,13 +92,9 @@ HorizonPlan plan_horizon(const VisibilityEngine& engine,
   std::vector<Scored> scored;
   scored.reserve(blocks.size());
   for (int i = 0; i < static_cast<int>(blocks.size()); ++i) {
-    const PassBlock& b = blocks[i];
-    const double mid_s =
-        (b.first_step + static_cast<double>(b.steps.size()) / 2.0) *
-        step_seconds;
-    const double v = value.edge_value(queues[b.sat], start.plus_seconds(mid_s),
-                                      b.capacity_bytes(step_seconds));
+    const double v = block_value[static_cast<std::size_t>(i)];
     if (v <= 0.0) continue;
+    const PassBlock& b = blocks[i];
     scored.push_back(Scored{i, v / static_cast<double>(b.steps.size())});
   }
   std::sort(scored.begin(), scored.end(), [&](const Scored& a,

@@ -22,16 +22,27 @@ std::vector<ContactEdge> Scheduler::schedule_instant(
       engine_->contacts(when, forecast_lead_s, station_down);
 
   // Weight edges by the value of the data each could move this quantum.
-  std::vector<Edge> edges;
-  edges.reserve(contacts.size());
-  for (ContactEdge& c : contacts) {
-    const double link_bytes =
-        c.predicted_rate_bps * config_.quantum_seconds / 8.0;
-    c.weight = value_->edge_value(queues[c.sat], when, link_bytes);
-    if (config_.edge_value_modifier) {
-      c.weight = config_.edge_value_modifier(c.sat, c.station, c.weight);
+  // Per-index writes keep the parallel path bit-identical to serial; a
+  // user-supplied edge_value_modifier may be stateful (e.g. bidding), so
+  // its presence forces the serial path.
+  std::vector<Edge> edges(contacts.size());
+  const auto weigh = [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      ContactEdge& c = contacts[static_cast<std::size_t>(i)];
+      const double link_bytes =
+          c.predicted_rate_bps * config_.quantum_seconds / 8.0;
+      c.weight = value_->edge_value(queues[c.sat], when, link_bytes);
+      if (config_.edge_value_modifier) {
+        c.weight = config_.edge_value_modifier(c.sat, c.station, c.weight);
+      }
+      edges[static_cast<std::size_t>(i)] = Edge{c.sat, c.station, c.weight};
     }
-    edges.push_back(Edge{c.sat, c.station, c.weight});
+  };
+  util::ThreadPool* pool = engine_->thread_pool();
+  if (pool != nullptr && !config_.edge_value_modifier) {
+    pool->parallel_for(static_cast<std::int64_t>(contacts.size()), weigh);
+  } else {
+    weigh(0, static_cast<std::int64_t>(contacts.size()));
   }
 
   // Beamforming stations (beam_count > 1) turn the problem into a

@@ -73,6 +73,12 @@ SimulationResult Simulator::run() {
   const weather::WeatherProvider* forecast_wx =
       opts_.weather_aware ? actual_wx_ : nullptr;
   VisibilityEngine engine(sats_, stations_, forecast_wx);
+
+  // Parallel hot loops + step-geometry memoization.  Both preserve
+  // bit-identical results; the cache is sized to hold a whole look-ahead
+  // window so a planning sweep propagates each epoch exactly once.
+  util::ThreadPool pool(opts_.parallel);
+  engine.set_thread_pool(&pool);
   SchedulerConfig sched_cfg;
   sched_cfg.matcher = opts_.matcher;
   sched_cfg.value = opts_.value;
@@ -122,6 +128,9 @@ SimulationResult Simulator::run() {
           ? std::max(1, static_cast<int>(
                             std::llround(opts_.lookahead_hours * 3600.0 / dt)))
           : 0;
+  engine.enable_geometry_cache(
+      opts_.start, dt, plan_window_steps > 0 ? plan_window_steps : 4);
+
   HorizonPlan plan;
   std::int64_t plan_origin = -1;
 

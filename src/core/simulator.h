@@ -13,6 +13,7 @@
 
 #include "src/core/scheduler.h"
 #include "src/util/stats.h"
+#include "src/util/thread_pool.h"
 
 namespace dgs::core {
 
@@ -70,6 +71,11 @@ struct SimulationOptions {
   /// Record the per-step timeseries (SimulationResult::timeseries) for
   /// report export; off by default to keep result objects small.
   bool collect_timeseries = false;
+  /// Parallel execution of the propagation / visibility / link-budget hot
+  /// loops.  The default (num_threads = 1) runs serially, preserving
+  /// today's behaviour exactly; any thread count produces a bit-identical
+  /// SimulationResult (see DESIGN.md §9).
+  util::ParallelConfig parallel;
 };
 
 /// One simulation step's aggregate state (collect_timeseries).

@@ -28,6 +28,13 @@ VisibilityEngine::VisibilityEngine(
   }
 }
 
+void VisibilityEngine::enable_geometry_cache(const util::Epoch& base,
+                                             double step_seconds,
+                                             int capacity_steps) {
+  cache_ =
+      std::make_unique<GeometryCache>(base, step_seconds, capacity_steps);
+}
+
 util::Vec3 VisibilityEngine::satellite_ecef(int sat,
                                             const util::Epoch& when) const {
   const orbit::TemeState st = props_.at(sat).propagate_to(when);
@@ -43,6 +50,66 @@ bool VisibilityEngine::visible(int sat, int station,
   return el >= (*stations_)[station].min_elevation_rad;
 }
 
+void VisibilityEngine::compute_step_geometry(const util::Epoch& when,
+                                             StepGeometry& out) const {
+  const auto num_sats = static_cast<std::int64_t>(props_.size());
+  const auto num_stations = static_cast<std::int64_t>(stations_->size());
+  out.sat_ecef.resize(props_.size());
+  out.per_station.resize(stations_->size());
+
+  // Propagate every satellite once for this instant (SGP4 + TEME->ECEF);
+  // per-index writes keep the result thread-count independent.
+  const auto propagate = [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t s = begin; s < end; ++s) {
+      out.sat_ecef[static_cast<std::size_t>(s)] =
+          satellite_ecef(static_cast<int>(s), when);
+    }
+  };
+  // Sweep each station's elevation mask over all satellites.  Stations
+  // are independent; each writes only its own visibility list, in
+  // ascending satellite order — exactly the serial sweep's order.
+  const auto sweep = [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t g = begin; g < end; ++g) {
+      const groundseg::GroundStation& gs =
+          (*stations_)[static_cast<std::size_t>(g)];
+      const StationGeom& geom = geom_[static_cast<std::size_t>(g)];
+      std::vector<VisibleSat>& vis =
+          out.per_station[static_cast<std::size_t>(g)];
+      vis.clear();
+      for (std::size_t s = 0; s < props_.size(); ++s) {
+        if (!gs.constraints.allows(s)) continue;
+        const util::Vec3 rho = out.sat_ecef[s] - geom.ecef;
+        const double range = rho.norm();
+        const double el = std::asin(rho.dot(geom.up) / range);
+        if (el < gs.min_elevation_rad) continue;
+        vis.push_back(VisibleSat{static_cast<int>(s), el, range});
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(num_sats, propagate);
+    pool_->parallel_for(num_stations, sweep);
+  } else {
+    propagate(0, num_sats);
+    sweep(0, num_stations);
+  }
+}
+
+const StepGeometry* VisibilityEngine::step_geometry(const util::Epoch& when,
+                                                    StepGeometry& local)
+    const {
+  if (cache_ != nullptr) {
+    if (const std::optional<std::int64_t> key = cache_->step_key(when)) {
+      if (const StepGeometry* hit = cache_->find(*key)) return hit;
+      StepGeometry& slot = cache_->emplace(*key);
+      compute_step_geometry(when, slot);
+      return &slot;
+    }
+  }
+  compute_step_geometry(when, local);
+  return &local;
+}
+
 std::vector<ContactEdge> VisibilityEngine::contacts(
     const util::Epoch& when, std::span<const double> forecast_lead_s,
     std::span<const char> station_down) const {
@@ -54,72 +121,85 @@ std::vector<ContactEdge> VisibilityEngine::contacts(
              "station_down size=" << station_down.size() << " stations="
                                   << stations_->size());
 
-  // Propagate every satellite once for this instant.
-  std::vector<util::Vec3> sat_ecef(props_.size());
-  for (std::size_t s = 0; s < props_.size(); ++s) {
-    sat_ecef[s] = satellite_ecef(static_cast<int>(s), when);
+  StepGeometry local;
+  const StepGeometry* geo = step_geometry(when, local);
+
+  // Weather sampling and link budgets depend on the forecast lead and the
+  // outage mask, so they are evaluated per call (never cached).  Each
+  // station produces its own edge list; concatenating them in station
+  // order reproduces the serial station-major, satellite-minor order.
+  std::vector<std::vector<ContactEdge>> per_station(stations_->size());
+  const auto budgets = [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t gi = begin; gi < end; ++gi) {
+      const auto g = static_cast<std::size_t>(gi);
+      if (!station_down.empty() && station_down[g]) continue;
+      const groundseg::GroundStation& gs = (*stations_)[g];
+
+      // Zero-lead forecast is shared by all satellites at this station;
+      // cache.
+      std::optional<weather::WeatherSample> station_wx;
+
+      for (const VisibleSat& v : geo->per_station[g]) {
+        const auto s = static_cast<std::size_t>(v.sat);
+        weather::WeatherSample wx;  // defaults to clear sky
+        if (wx_ != nullptr) {
+          const double lead =
+              forecast_lead_s.empty() ? 0.0 : forecast_lead_s[s];
+          if (lead <= 0.0) {
+            if (!station_wx) {
+              station_wx = wx_->actual(gs.location.latitude_rad,
+                                       gs.location.longitude_rad, when);
+            }
+            wx = *station_wx;
+          } else {
+            wx = wx_->forecast(gs.location.latitude_rad,
+                               gs.location.longitude_rad, when, lead);
+          }
+        }
+
+        link::PathConditions path;
+        path.range_km = v.range_km;
+        path.elevation_rad = v.elevation_rad;
+        path.site_latitude_rad = gs.location.latitude_rad;
+        path.site_altitude_km = gs.location.altitude_km;
+        path.rain_rate_mm_h = wx.rain_rate_mm_h;
+        path.cloud_liquid_kg_m2 = wx.cloud_liquid_kg_m2;
+
+        // Beamforming stations split aperture power across their beams;
+        // model the conservative full-split penalty by scaling the
+        // aperture efficiency down by the beam count.
+        link::ReceiveSystem rx = gs.receiver;
+        if (gs.beam_count > 1) {
+          rx.aperture_efficiency /= gs.beam_count;
+        }
+        const link::LinkBudget b =
+            link::evaluate_link((*sats_)[s].radio, rx, path);
+        if (!b.closes()) continue;
+
+        ContactEdge e;
+        e.sat = v.sat;
+        e.station = static_cast<int>(g);
+        e.elevation_rad = v.elevation_rad;
+        e.range_km = v.range_km;
+        e.predicted_rate_bps = b.data_rate_bps;
+        e.modcod = b.modcod;
+        per_station[g].push_back(e);
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(static_cast<std::int64_t>(stations_->size()),
+                        budgets);
+  } else {
+    budgets(0, static_cast<std::int64_t>(stations_->size()));
   }
 
+  std::size_t total = 0;
+  for (const std::vector<ContactEdge>& v : per_station) total += v.size();
   std::vector<ContactEdge> edges;
-  for (std::size_t g = 0; g < stations_->size(); ++g) {
-    if (!station_down.empty() && station_down[g]) continue;
-    const groundseg::GroundStation& gs = (*stations_)[g];
-    const StationGeom& geom = geom_[g];
-
-    // Zero-lead forecast is shared by all satellites at this station; cache.
-    std::optional<weather::WeatherSample> station_wx;
-
-    for (std::size_t s = 0; s < props_.size(); ++s) {
-      if (!gs.constraints.allows(s)) continue;
-      const util::Vec3 rho = sat_ecef[s] - geom.ecef;
-      const double range = rho.norm();
-      const double el = std::asin(rho.dot(geom.up) / range);
-      if (el < gs.min_elevation_rad) continue;
-
-      weather::WeatherSample wx;  // defaults to clear sky
-      if (wx_ != nullptr) {
-        const double lead =
-            forecast_lead_s.empty() ? 0.0 : forecast_lead_s[s];
-        if (lead <= 0.0) {
-          if (!station_wx) {
-            station_wx = wx_->actual(gs.location.latitude_rad,
-                                     gs.location.longitude_rad, when);
-          }
-          wx = *station_wx;
-        } else {
-          wx = wx_->forecast(gs.location.latitude_rad,
-                             gs.location.longitude_rad, when, lead);
-        }
-      }
-
-      link::PathConditions path;
-      path.range_km = range;
-      path.elevation_rad = el;
-      path.site_latitude_rad = gs.location.latitude_rad;
-      path.site_altitude_km = gs.location.altitude_km;
-      path.rain_rate_mm_h = wx.rain_rate_mm_h;
-      path.cloud_liquid_kg_m2 = wx.cloud_liquid_kg_m2;
-
-      // Beamforming stations split aperture power across their beams;
-      // model the conservative full-split penalty by scaling the
-      // aperture efficiency down by the beam count.
-      link::ReceiveSystem rx = gs.receiver;
-      if (gs.beam_count > 1) {
-        rx.aperture_efficiency /= gs.beam_count;
-      }
-      const link::LinkBudget b =
-          link::evaluate_link((*sats_)[s].radio, rx, path);
-      if (!b.closes()) continue;
-
-      ContactEdge e;
-      e.sat = static_cast<int>(s);
-      e.station = static_cast<int>(g);
-      e.elevation_rad = el;
-      e.range_km = range;
-      e.predicted_rate_bps = b.data_rate_bps;
-      e.modcod = b.modcod;
-      edges.push_back(e);
-    }
+  edges.reserve(total);
+  for (const std::vector<ContactEdge>& v : per_station) {
+    edges.insert(edges.end(), v.begin(), v.end());
   }
   return edges;
 }

@@ -5,15 +5,25 @@
 // tests visibility against every station's elevation mask and owner
 // constraints, and evaluates the predictive link budget (§3.2) with
 // forecast weather to produce the weighted bipartite contact graph.
+//
+// Two optional accelerators, both preserving bit-identical output:
+//   * a ThreadPool (set_thread_pool) parallelizes the per-satellite
+//     propagation and the per-station visibility + link-budget sweep;
+//   * a GeometryCache (enable_geometry_cache) memoizes the weather-
+//     independent geometry of on-grid epochs, so repeated queries of the
+//     same step (look-ahead planning, replanning) propagate only once.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "src/core/geometry_cache.h"
 #include "src/groundseg/network_gen.h"
 #include "src/link/budget.h"
 #include "src/orbit/sgp4.h"
+#include "src/util/thread_pool.h"
 #include "src/weather/provider.h"
 
 namespace dgs::core {
@@ -41,7 +51,8 @@ class VisibilityEngine {
   /// how stale its uploaded plan is (seconds); empty means zero lead
   /// (a perfectly fresh plan).  `station_down` optionally marks stations
   /// currently unavailable (failure injection); empty means all up.
-  /// Edges that cannot close are omitted.
+  /// Edges that cannot close are omitted.  Output (values and order) is
+  /// independent of the thread pool and cache configuration.
   std::vector<ContactEdge> contacts(
       const util::Epoch& when, std::span<const double> forecast_lead_s = {},
       std::span<const char> station_down = {}) const;
@@ -51,6 +62,17 @@ class VisibilityEngine {
 
   /// ECEF position of a satellite at `when` (propagation + rotation).
   util::Vec3 satellite_ecef(int sat, const util::Epoch& when) const;
+
+  /// Borrowed pool parallelizing contacts(); nullptr (default) = serial.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* thread_pool() const { return pool_; }
+
+  /// Memoize step geometry on the grid `base + k * step_seconds`, keeping
+  /// the most recent `capacity_steps` steps.  Replaces any prior cache.
+  void enable_geometry_cache(const util::Epoch& base, double step_seconds,
+                             int capacity_steps);
+  /// The active cache (for tests/telemetry); nullptr when disabled.
+  const GeometryCache* geometry_cache() const { return cache_.get(); }
 
   int num_sats() const { return static_cast<int>(props_.size()); }
   int num_stations() const { return static_cast<int>(stations_->size()); }
@@ -67,11 +89,25 @@ class VisibilityEngine {
     util::Vec3 up;  ///< Geodetic normal (unit).
   };
 
+  /// Fills `out` with the weather-independent geometry of `when`:
+  /// propagates every satellite and sweeps every station's mask.
+  /// Parallelized over satellites, then stations, when a pool is set.
+  void compute_step_geometry(const util::Epoch& when,
+                             StepGeometry& out) const;
+
+  /// Geometry for `when`, served from the cache when possible.  The
+  /// returned pointer is `local` or a cache entry; valid until the next
+  /// cache mutation.
+  const StepGeometry* step_geometry(const util::Epoch& when,
+                                    StepGeometry& local) const;
+
   const std::vector<groundseg::SatelliteConfig>* sats_;
   const std::vector<groundseg::GroundStation>* stations_;
   const weather::WeatherProvider* wx_;  ///< May be null (clear-sky planning).
   std::vector<orbit::Sgp4> props_;
   std::vector<StationGeom> geom_;
+  util::ThreadPool* pool_ = nullptr;              ///< Borrowed; may be null.
+  mutable std::unique_ptr<GeometryCache> cache_;  ///< Memoization only.
 };
 
 }  // namespace dgs::core

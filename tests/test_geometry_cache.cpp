@@ -1,0 +1,115 @@
+// GeometryCache semantics: grid mapping, hit/miss accounting, bounded
+// capacity with oldest-first eviction, and — through VisibilityEngine —
+// identical contact graphs with the cache on, off, hit, or missed.
+#include "src/core/geometry_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/visibility.h"
+#include "src/groundseg/network_gen.h"
+#include "src/weather/synthetic.h"
+
+namespace {
+
+using namespace dgs;
+
+const util::Epoch kT0(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+
+TEST(GeometryCache, StepKeyMapsGridEpochsOnly) {
+  core::GeometryCache cache(kT0, 60.0, 8);
+  EXPECT_EQ(cache.step_key(kT0), 0);
+  EXPECT_EQ(cache.step_key(kT0.plus_seconds(60.0)), 1);
+  EXPECT_EQ(cache.step_key(kT0.plus_seconds(50.0 * 60.0)), 50);
+  EXPECT_EQ(cache.step_key(kT0.plus_seconds(-120.0)), -2);
+  EXPECT_FALSE(cache.step_key(kT0.plus_seconds(30.0)).has_value());
+  EXPECT_FALSE(cache.step_key(kT0.plus_seconds(60.5)).has_value());
+}
+
+TEST(GeometryCache, EvictsOldestBeyondCapacity) {
+  core::GeometryCache cache(kT0, 60.0, 3);
+  for (std::int64_t k = 0; k < 5; ++k) cache.emplace(k);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.find(0), nullptr);  // evicted
+  EXPECT_EQ(cache.find(1), nullptr);  // evicted
+  EXPECT_NE(cache.find(4), nullptr);  // newest retained
+}
+
+TEST(GeometryCache, CountsHitsAndMisses) {
+  core::GeometryCache cache(kT0, 60.0, 4);
+  EXPECT_EQ(cache.find(7), nullptr);
+  cache.emplace(7);
+  EXPECT_NE(cache.find(7), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+struct EngineFixture : public ::testing::Test {
+  EngineFixture() {
+    groundseg::NetworkOptions net;
+    net.num_satellites = 8;
+    net.num_stations = 10;
+    net.seed = 5;
+    sats = groundseg::generate_constellation(net, kT0);
+    stations = groundseg::generate_dgs_stations(net);
+  }
+  std::vector<groundseg::SatelliteConfig> sats;
+  std::vector<groundseg::GroundStation> stations;
+  weather::SyntheticWeatherProvider wx{13, kT0, 4.0};
+};
+
+void expect_same_edges(const std::vector<core::ContactEdge>& a,
+                       const std::vector<core::ContactEdge>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sat, b[i].sat);
+    EXPECT_EQ(a[i].station, b[i].station);
+    EXPECT_EQ(a[i].elevation_rad, b[i].elevation_rad);
+    EXPECT_EQ(a[i].range_km, b[i].range_km);
+    EXPECT_EQ(a[i].predicted_rate_bps, b[i].predicted_rate_bps);
+    EXPECT_EQ(a[i].modcod, b[i].modcod);
+  }
+}
+
+TEST_F(EngineFixture, CachedContactsIdenticalToUncached) {
+  core::VisibilityEngine plain(sats, stations, &wx);
+  core::VisibilityEngine cached(sats, stations, &wx);
+  cached.enable_geometry_cache(kT0, 60.0, 16);
+
+  for (int k = 0; k < 10; ++k) {
+    const util::Epoch t = kT0.plus_seconds(k * 60.0);
+    expect_same_edges(plain.contacts(t), cached.contacts(t));
+  }
+  // Re-query the same steps: all hits, identical output.
+  const std::uint64_t misses_before = cached.geometry_cache()->misses();
+  for (int k = 0; k < 10; ++k) {
+    const util::Epoch t = kT0.plus_seconds(k * 60.0);
+    expect_same_edges(plain.contacts(t), cached.contacts(t));
+  }
+  EXPECT_EQ(cached.geometry_cache()->misses(), misses_before);
+  EXPECT_GE(cached.geometry_cache()->hits(), 10u);
+}
+
+TEST_F(EngineFixture, OffGridQueriesBypassTheCache) {
+  core::VisibilityEngine plain(sats, stations, &wx);
+  core::VisibilityEngine cached(sats, stations, &wx);
+  cached.enable_geometry_cache(kT0, 60.0, 16);
+  const util::Epoch t = kT0.plus_seconds(90.0);  // between grid steps
+  expect_same_edges(plain.contacts(t), cached.contacts(t));
+  EXPECT_EQ(cached.geometry_cache()->size(), 0u);
+}
+
+TEST_F(EngineFixture, ThreadedContactsIdenticalToSerial) {
+  core::VisibilityEngine serial(sats, stations, &wx);
+  core::VisibilityEngine threaded(sats, stations, &wx);
+  util::ThreadPool pool(
+      util::ParallelConfig{.num_threads = 4, .chunk_size = 2});
+  threaded.set_thread_pool(&pool);
+  threaded.enable_geometry_cache(kT0, 60.0, 8);
+  std::vector<double> leads(sats.size(), 1800.0);  // stale-plan forecasts
+  for (int k = 0; k < 6; ++k) {
+    const util::Epoch t = kT0.plus_seconds(k * 60.0);
+    expect_same_edges(serial.contacts(t, leads), threaded.contacts(t, leads));
+  }
+}
+
+}  // namespace
