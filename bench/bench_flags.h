@@ -10,6 +10,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 namespace dgs::bench {
 
@@ -34,6 +35,29 @@ inline int consume_threads_flag(int* argc, char** argv,
   }
   *argc = out;
   return threads;
+}
+
+/// Extracts `--trace-out=FILE` / `--trace-out FILE` (again before
+/// Benchmark's parser rejects it).  Returns the path, or "" when absent;
+/// the caller enables span tracing and writes the Chrome-trace JSON there
+/// after the run.
+inline std::string consume_trace_out_flag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      path = argv[i] + 12;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < *argc) {
+      path = argv[i + 1];
+      ++i;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return path;
 }
 
 }  // namespace dgs::bench

@@ -10,9 +10,13 @@
 // the serial numbers (bench/baseline.json).
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <string>
+
 #include "bench/bench_flags.h"
 #include "src/core/dgs.h"
 #include "src/core/lookahead.h"
+#include "src/obs/trace.h"
 
 namespace {
 
@@ -114,9 +118,18 @@ BENCHMARK(BM_SimulateOneHourPaperScale)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   g_threads = dgs::bench::consume_threads_flag(&argc, argv);
+  // `--trace-out=FILE` turns span tracing on for the whole run and dumps
+  // the Chrome-trace JSON afterwards (CI uploads it as an artifact).
+  const std::string trace_out =
+      dgs::bench::consume_trace_out_flag(&argc, argv);
+  if (!trace_out.empty()) dgs::obs::set_trace_enabled(true);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    dgs::obs::write_chrome_trace(out);
+  }
   benchmark::Shutdown();
   return 0;
 }

@@ -18,6 +18,9 @@
 #include "src/core/dgs.h"
 #include "src/core/report.h"
 #include "src/groundseg/io.h"
+#include "src/obs/events.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace {
 
@@ -134,7 +137,9 @@ int cmd_simulate(int argc, char** argv) {
   if (argc < 4) {
     std::fprintf(stderr,
                  "usage: dgs_cli simulate <tle-file> <stations-csv> "
-                 "[hours] [--json <file>] [--csv <file>]\n");
+                 "[hours] [--json <file>] [--csv <file>]\n"
+                 "       [--metrics-out <file>] [--trace-out <file>] "
+                 "[--events-out <file>]\n");
     return 2;
   }
   const auto catalog = groundseg::load_tle_file(argv[2]);
@@ -155,11 +160,18 @@ int cmd_simulate(int argc, char** argv) {
   core::SimulationOptions opts;
   opts.start = now_epoch();
   std::string json_path, csv_path;
+  std::string metrics_path, trace_path, events_path;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--events-out") == 0 && i + 1 < argc) {
+      events_path = argv[++i];
     } else {
       opts.duration_hours = std::atof(argv[i]);
     }
@@ -169,11 +181,41 @@ int cmd_simulate(int argc, char** argv) {
     return 2;
   }
   opts.collect_timeseries = !csv_path.empty();
+
+  // Observability sinks (DESIGN.md §10): Prometheus text exposition,
+  // Chrome-trace JSON, and the JSONL event log.
+  obs::Registry registry;
+  if (!metrics_path.empty()) opts.metrics = &registry;
+  std::ofstream events_out;
+  obs::EventLog event_log;
+  if (!events_path.empty()) {
+    events_out.open(events_path);
+    event_log = obs::EventLog(&events_out);
+    opts.events = &event_log;
+  }
+  if (!trace_path.empty()) obs::set_trace_enabled(true);
+
   weather::SyntheticWeatherProvider wx(42, opts.start,
                                        opts.duration_hours + 1.0);
   const core::SimulationResult r =
       core::Simulator(sats, stations, &wx, opts).run();
 
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    registry.write_prometheus(out);
+    std::printf("wrote %zu metric series to %s\n", registry.series_count(),
+                metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    obs::write_chrome_trace(out);
+    std::printf("wrote %zu trace spans to %s\n", obs::trace_span_count(),
+                trace_path.c_str());
+  }
+  if (!events_path.empty()) {
+    events_out.close();
+    std::printf("wrote event log to %s\n", events_path.c_str());
+  }
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     core::write_summary_json(out, r);

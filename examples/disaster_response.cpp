@@ -63,7 +63,8 @@ int main() {
   std::printf("  baseline %5.0f min  (%.1fx slower)\n",
               base_run.urgent_latency_minutes.percentile(90.0),
               base_run.urgent_latency_minutes.percentile(90.0) /
-                  std::max(1.0, dgs_run.urgent_latency_minutes.percentile(90.0)));
+                  std::max(1.0,
+                           dgs_run.urgent_latency_minutes.percentile(90.0)));
   std::printf("\nThe paper's point (Sec. 1, Sec. 3): for floods and forest "
               "fires the data must arrive in tens of minutes, which only "
               "the geographically distributed design achieves.\n");

@@ -7,11 +7,24 @@
 namespace dgs::core {
 
 GeometryCache::GeometryCache(const util::Epoch& base, double step_seconds,
-                             int capacity_steps)
+                             int capacity_steps, obs::Registry* metrics)
     : base_(base), step_seconds_(step_seconds),
       capacity_(static_cast<std::size_t>(capacity_steps)) {
   DGS_ENSURE_GT(step_seconds, 0.0);
   DGS_ENSURE_GT(capacity_steps, 0);
+  if (metrics != nullptr) {
+    hits_ = metrics->counter("dgs_geometry_cache_hits_total",
+                             "Step-geometry cache lookups served from the "
+                             "cache");
+    misses_ = metrics->counter("dgs_geometry_cache_misses_total",
+                               "Step-geometry cache lookups that had to "
+                               "propagate");
+  } else {
+    own_hits_ = std::make_unique<obs::Counter>();
+    own_misses_ = std::make_unique<obs::Counter>();
+    hits_ = own_hits_.get();
+    misses_ = own_misses_.get();
+  }
 }
 
 std::optional<std::int64_t> GeometryCache::step_key(
@@ -27,10 +40,10 @@ std::optional<std::int64_t> GeometryCache::step_key(
 const StepGeometry* GeometryCache::find(std::int64_t key) {
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
-    ++misses_;
+    misses_->inc();
     return nullptr;
   }
-  ++hits_;
+  hits_->inc();
   return &it->second;
 }
 

@@ -24,9 +24,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/util/time.h"
 #include "src/util/vec3.h"
 
@@ -52,9 +54,13 @@ class GeometryCache {
  public:
   /// Steps are `step_seconds` apart starting at `base`; at most
   /// `capacity_steps` entries are retained (≥ the look-ahead window keeps
-  /// a whole planning horizon resident).
+  /// a whole planning horizon resident).  When `metrics` is non-null, the
+  /// hit/miss counters live in that registry
+  /// (`dgs_geometry_cache_{hits,misses}_total`); otherwise the cache owns
+  /// private counters.  Either way there is a single source of truth —
+  /// hits()/misses() read whatever counter backs the cache.
   GeometryCache(const util::Epoch& base, double step_seconds,
-                int capacity_steps);
+                int capacity_steps, obs::Registry* metrics = nullptr);
 
   /// Step index of `when` if it lies on the grid (sub-millisecond
   /// tolerance); std::nullopt for off-grid epochs, which must not be
@@ -69,8 +75,12 @@ class GeometryCache {
   StepGeometry& emplace(std::int64_t key);
 
   std::size_t size() const { return entries_.size(); }
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
+  std::uint64_t hits() const {
+    return static_cast<std::uint64_t>(hits_->value());
+  }
+  std::uint64_t misses() const {
+    return static_cast<std::uint64_t>(misses_->value());
+  }
 
  private:
   util::Epoch base_;
@@ -78,8 +88,11 @@ class GeometryCache {
   std::size_t capacity_;
   /// Ordered by step: eviction removes the oldest entry first.
   std::map<std::int64_t, StepGeometry> entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
+  /// Backing for the standalone (no-registry) case.
+  std::unique_ptr<obs::Counter> own_hits_;
+  std::unique_ptr<obs::Counter> own_misses_;
+  obs::Counter* hits_;    ///< Registry-owned or own_hits_.
+  obs::Counter* misses_;  ///< Registry-owned or own_misses_.
 };
 
 }  // namespace dgs::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace dgs::core {
@@ -20,6 +21,7 @@ std::vector<PassBlock> find_pass_blocks(const VisibilityEngine& engine,
                                         double step_seconds) {
   DGS_ENSURE(steps > 0 && step_seconds > 0.0,
              "steps=" << steps << ", step_seconds=" << step_seconds);
+  DGS_TRACE_SPAN("plan.blocks");
 
   std::vector<PassBlock> blocks;
   // Open block per (sat, station) pair, indexed into `blocks`.
@@ -60,6 +62,7 @@ HorizonPlan plan_horizon(const VisibilityEngine& engine,
                          const ValueFunction& value, const util::Epoch& start,
                          int steps, double step_seconds) {
   DGS_ENSURE_EQ(static_cast<int>(queues.size()), engine.num_sats());
+  DGS_TRACE_SPAN("plan.horizon");
   std::vector<PassBlock> blocks =
       find_pass_blocks(engine, start, steps, step_seconds);
 

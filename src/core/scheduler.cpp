@@ -1,5 +1,6 @@
 #include "src/core/scheduler.h"
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace dgs::core {
@@ -10,6 +11,13 @@ Scheduler::Scheduler(const VisibilityEngine* engine,
       value_(make_value_function(config.value)) {
   DGS_ENSURE(engine_ != nullptr, "null visibility engine");
   DGS_ENSURE_GT(config.quantum_seconds, 0.0);
+  if (obs::Registry* metrics = engine_->metrics(); metrics != nullptr) {
+    instants_ = metrics->counter("dgs_sched_instants_total",
+                                 "schedule_instant invocations");
+    matched_edges_ = metrics->counter(
+        "dgs_sched_matched_edges_total",
+        "Assignments selected by the matcher across all instants");
+  }
 }
 
 std::vector<ContactEdge> Scheduler::schedule_instant(
@@ -17,6 +25,8 @@ std::vector<ContactEdge> Scheduler::schedule_instant(
     std::span<const double> forecast_lead_s,
     std::span<const char> station_down) const {
   DGS_ENSURE_EQ(static_cast<int>(queues.size()), engine_->num_sats());
+  DGS_TRACE_SPAN("sched.instant");
+  if (instants_ != nullptr) instants_->inc();
 
   std::vector<ContactEdge> contacts =
       engine_->contacts(when, forecast_lead_s, station_down);
@@ -54,6 +64,7 @@ std::vector<ContactEdge> Scheduler::schedule_instant(
     any_beams |= capacities[g] > 1;
   }
 
+  DGS_TRACE_SPAN("sched.match");
   Matching m;
   if (!any_beams) {
     m = run_matcher(config_.matcher, edges, engine_->num_sats(),
@@ -110,6 +121,9 @@ std::vector<ContactEdge> Scheduler::schedule_instant(
   std::vector<ContactEdge> out;
   out.reserve(m.size());
   for (int ei : m) out.push_back(contacts[ei]);
+  if (matched_edges_ != nullptr) {
+    matched_edges_->inc(static_cast<double>(m.size()));
+  }
   return out;
 }
 

@@ -26,7 +26,10 @@ struct SchedulerConfig {
 
 class Scheduler {
  public:
-  /// The engine is borrowed and must outlive the scheduler.
+  /// The engine is borrowed and must outlive the scheduler.  If the engine
+  /// carries a metrics registry (VisibilityEngine::set_metrics, called
+  /// before this constructor), the scheduler registers its own counters
+  /// there and updates them on every schedule_instant call.
   Scheduler(const VisibilityEngine* engine, const SchedulerConfig& config);
 
   /// Computes the downlink assignments for instant `when`.
@@ -47,6 +50,9 @@ class Scheduler {
   const VisibilityEngine* engine_;
   SchedulerConfig config_;
   std::unique_ptr<ValueFunction> value_;
+  /// Registry handles (null when the engine has no registry).
+  obs::Counter* instants_ = nullptr;
+  obs::Counter* matched_edges_ = nullptr;
 };
 
 }  // namespace dgs::core

@@ -2,10 +2,14 @@
 
 #include "src/backend/station_edge.h"
 #include "src/core/lookahead.h"
+#include "src/obs/trace.h"
+#include "src/util/angles.h"
 #include "src/util/check.h"
 
 #include <cmath>
+#include <map>
 #include <string>
+#include <utility>
 
 namespace dgs::core {
 
@@ -79,6 +83,9 @@ SimulationResult Simulator::run() {
   // window so a planning sweep propagates each epoch exactly once.
   util::ThreadPool pool(opts_.parallel);
   engine.set_thread_pool(&pool);
+  // Must precede Scheduler construction and enable_geometry_cache: both
+  // register their counters against the engine's registry at setup time.
+  engine.set_metrics(opts_.metrics);
   SchedulerConfig sched_cfg;
   sched_cfg.matcher = opts_.matcher;
   sched_cfg.value = opts_.value;
@@ -88,6 +95,93 @@ SimulationResult Simulator::run() {
 
   SimulationResult res;
   res.per_satellite.resize(num_sats);
+
+  // Sim-level metrics.  All updates below happen on the driver thread:
+  // byte quantities are non-integer doubles, which the shard-fold
+  // determinism contract (DESIGN.md §10) keeps out of parallel regions.
+  // Each counter mirrors the matching SimulationResult field add-for-add,
+  // so the two stay bit-identical.
+  obs::Registry* const metrics = opts_.metrics;
+  struct {
+    obs::Counter* generated_bytes = nullptr;
+    obs::Counter* delivered_bytes = nullptr;
+    obs::Counter* dropped_bytes = nullptr;
+    obs::Counter* wasted_bytes = nullptr;
+    obs::Counter* requeued_bytes = nullptr;
+    obs::Counter* assignments = nullptr;
+    obs::Counter* failed_assignments = nullptr;
+    obs::Counter* slew_events = nullptr;
+    obs::Counter* steps = nullptr;
+    obs::Counter* ack_batches = nullptr;
+    obs::Counter* plan_uploads = nullptr;
+    obs::Counter* backhaul_received = nullptr;
+    obs::Counter* backhaul_uploaded = nullptr;
+    obs::Gauge* backlog_bytes = nullptr;
+    obs::Gauge* pending_ack_bytes = nullptr;
+    obs::Gauge* station_queued_bytes = nullptr;
+    obs::Histogram* latency_minutes = nullptr;
+  } om;
+  if (metrics != nullptr) {
+    om.generated_bytes = metrics->counter(
+        "dgs_sim_generated_bytes_total", "Bytes captured at the sensors");
+    om.delivered_bytes = metrics->counter(
+        "dgs_sim_delivered_bytes_total", "Bytes captured by the ground");
+    om.dropped_bytes = metrics->counter(
+        "dgs_sim_dropped_bytes_total", "Bytes lost to full recorders");
+    om.wasted_bytes = metrics->counter(
+        "dgs_sim_wasted_bytes_total",
+        "Bytes transmitted into failed (mis-predicted MODCOD) slots");
+    om.requeued_bytes = metrics->counter(
+        "dgs_sim_requeued_bytes_total",
+        "Bytes re-queued for retransmission after a collated report");
+    om.assignments = metrics->counter(
+        "dgs_sim_assignments_total", "Scheduled (sat, station) slots");
+    om.failed_assignments = metrics->counter(
+        "dgs_sim_failed_assignments_total",
+        "Slots whose scheduled MODCOD did not close");
+    om.slew_events = metrics->counter(
+        "dgs_sim_slew_events_total",
+        "Station retargets to a new satellite (slew model on)");
+    om.steps = metrics->counter("dgs_sim_steps_total",
+                                "Simulation steps executed");
+    om.ack_batches = metrics->counter(
+        "dgs_sim_ack_batches_total",
+        "Delivery batches acknowledged via collated reports");
+    om.plan_uploads = metrics->counter(
+        "dgs_sim_plan_uploads_total",
+        "Fresh plans uploaded at transmit-capable contacts");
+    om.backhaul_received = metrics->counter(
+        "dgs_backhaul_received_bytes_total",
+        "Bytes queued at station edges from the downlink");
+    om.backhaul_uploaded = metrics->counter(
+        "dgs_backhaul_uploaded_bytes_total",
+        "Bytes uploaded from station edges to the cloud");
+    om.backlog_bytes = metrics->gauge(
+        "dgs_sim_backlog_bytes", "Bytes queued on board across satellites");
+    om.pending_ack_bytes = metrics->gauge(
+        "dgs_sim_pending_ack_bytes",
+        "Bytes delivered but not yet acknowledged");
+    om.station_queued_bytes = metrics->gauge(
+        "dgs_backhaul_queued_bytes",
+        "Bytes still queued at station edges (not yet in the cloud)");
+    om.latency_minutes = metrics->histogram(
+        "dgs_sim_latency_minutes", "Capture-to-ground latency per chunk",
+        {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
+  }
+
+  // Event-log state: the shared step clock (also stamps the timeseries)
+  // plus per-(sat, station) contact lifecycle tracking.
+  obs::EventLog* const events = opts_.events;
+  const obs::StepClock clock(opts_.start, dt);
+  struct OpenContact {
+    const link::ModCod* modcod = nullptr;
+    int held_steps = 0;
+    std::int64_t last_step = -1;
+  };
+  std::map<std::pair<int, int>, OpenContact> open_contacts;
+  std::vector<char> prev_down(num_stations, 0);
+  std::uint64_t cache_hits_prev = 0;
+  std::uint64_t cache_misses_prev = 0;
 
   std::vector<OnboardQueue> queues(num_sats);
   for (int s = 0; s < num_sats; ++s) {
@@ -106,6 +200,9 @@ SimulationResult Simulator::run() {
       queues[s].generate(opts_.initial_backlog_bytes, captured);
       res.per_satellite[s].generated_bytes += opts_.initial_backlog_bytes;
       res.total_generated_bytes += opts_.initial_backlog_bytes;
+      if (om.generated_bytes != nullptr) {
+        om.generated_bytes->inc(opts_.initial_backlog_bytes);
+      }
     }
   }
 
@@ -120,6 +217,9 @@ SimulationResult Simulator::run() {
   if (opts_.station_backhaul_bps > 0.0) {
     edge_queues.assign(num_stations,
                        backend::StationEdgeQueue(opts_.station_backhaul_bps));
+    for (backend::StationEdgeQueue& eq : edge_queues) {
+      eq.set_metrics(om.backhaul_received, om.backhaul_uploaded);
+    }
   }
 
   // Look-ahead planning state (opts_.lookahead_hours > 0).
@@ -135,21 +235,29 @@ SimulationResult Simulator::run() {
   std::int64_t plan_origin = -1;
 
   for (std::int64_t step = 0; step < steps; ++step) {
-    const util::Epoch now =
-        opts_.start.plus_seconds(static_cast<double>(step) * dt);
+    DGS_TRACE_SPAN("sim.step");
+    // StepClock is the single timestamp source: step_start drives the
+    // physics, end_hours stamps both the timeseries record and every event
+    // this step emits, so the two artifacts join without drift.
+    const util::Epoch now = clock.step_start(step);
+    if (events != nullptr) events->begin_step(step, clock.end_hours(step));
 
     // 1. Imaging: continuous data generation, one chunk per step (two when
     // an urgent tier is configured).
-    for (int s = 0; s < num_sats; ++s) {
-      const double bytes =
-          sats_[s].data_generation_bytes_per_day * dt / 86400.0;
-      const double urgent = bytes * opts_.urgent_fraction;
-      if (urgent > 0.0) {
-        queues[s].generate(urgent, now, opts_.urgent_priority);
+    {
+      DGS_TRACE_SPAN("sim.generate");
+      for (int s = 0; s < num_sats; ++s) {
+        const double bytes =
+            sats_[s].data_generation_bytes_per_day * dt / 86400.0;
+        const double urgent = bytes * opts_.urgent_fraction;
+        if (urgent > 0.0) {
+          queues[s].generate(urgent, now, opts_.urgent_priority);
+        }
+        queues[s].generate(bytes - urgent, now);
+        res.per_satellite[s].generated_bytes += bytes;
+        res.total_generated_bytes += bytes;
+        if (om.generated_bytes != nullptr) om.generated_bytes->inc(bytes);
       }
-      queues[s].generate(bytes - urgent, now);
-      res.per_satellite[s].generated_bytes += bytes;
-      res.total_generated_bytes += bytes;
     }
 
     // 2. Plan staleness per satellite.
@@ -162,83 +270,162 @@ SimulationResult Simulator::run() {
     // 3. Schedule this instant: either per-instant matching (with failure
     // injection applied) or the pre-computed look-ahead horizon plan.
     std::vector<ContactEdge> assigned;
-    if (plan_window_steps > 0) {
-      if (plan_origin < 0 || step - plan_origin >= plan_window_steps) {
-        const int window = static_cast<int>(
-            std::min<std::int64_t>(plan_window_steps, steps - step));
-        plan = plan_horizon(engine, queues, scheduler.value_function(), now,
-                            window, dt);
-        plan_origin = step;
-      }
-      assigned = plan.per_step[step - plan_origin];
-    } else {
-      std::vector<char> down;
-      if (!opts_.outages.empty()) {
-        down.assign(num_stations, 0);
-        const double hours = static_cast<double>(step) * dt / 3600.0;
-        for (const StationOutage& o : opts_.outages) {
-          if (hours >= o.start_hours && hours < o.end_hours) {
-            down.at(o.station_index) = 1;
+    {
+      DGS_TRACE_SPAN("sim.schedule");
+      if (plan_window_steps > 0) {
+        if (plan_origin < 0 || step - plan_origin >= plan_window_steps) {
+          const int window = static_cast<int>(
+              std::min<std::int64_t>(plan_window_steps, steps - step));
+          plan = plan_horizon(engine, queues, scheduler.value_function(),
+                              now, window, dt);
+          plan_origin = step;
+        }
+        assigned = plan.per_step[step - plan_origin];
+      } else {
+        std::vector<char> down;
+        if (!opts_.outages.empty()) {
+          down.assign(num_stations, 0);
+          const double hours = static_cast<double>(step) * dt / 3600.0;
+          for (const StationOutage& o : opts_.outages) {
+            if (hours >= o.start_hours && hours < o.end_hours) {
+              down.at(o.station_index) = 1;
+            }
+          }
+          if (events != nullptr) {
+            for (int g = 0; g < num_stations; ++g) {
+              if (down[g] != 0 && prev_down[g] == 0) events->outage_begin(g);
+              if (down[g] == 0 && prev_down[g] != 0) events->outage_end(g);
+            }
+            prev_down.assign(down.begin(), down.end());
           }
         }
+        assigned = scheduler.schedule_instant(now, queues, leads, down);
       }
-      assigned = scheduler.schedule_instant(now, queues, leads, down);
     }
 
     // 4. Execute the assignments against actual weather.  The satellite
     // always transmits at the scheduled MODCOD and rate (receive-only
     // stations cannot renegotiate); whether the ground captures it depends
     // on the actual Es/N0.
-    for (const ContactEdge& e : assigned) {
-      res.assignments += 1;
-      res.total_matched_value += e.weight;
-      station_busy[e.station] += 1;
+    double step_edge_received = 0.0;
+    {
+      DGS_TRACE_SPAN("sim.execute");
+      for (const ContactEdge& e : assigned) {
+        res.assignments += 1;
+        res.total_matched_value += e.weight;
+        station_busy[e.station] += 1;
+        if (om.assignments != nullptr) om.assignments->inc();
 
-      const bool received = realized_rate_bps(e, now) > 0.0;
-      // Retargeting the dish costs slew/re-lock time out of the quantum.
-      double effective_dt = dt;
-      if (opts_.slew_seconds > 0.0 && prev_served[e.station] != e.sat) {
-        effective_dt = std::max(0.0, dt - opts_.slew_seconds);
-        res.slew_events += 1;
-      }
-      const double link_bytes = e.predicted_rate_bps * effective_dt / 8.0;
-      const double sent = queues[e.sat].transmit(
-          link_bytes, now,
-          [&](double latency_s, const DataChunk& chunk) {
-            res.latency_minutes.add(latency_s / 60.0);
-            if (chunk.priority > 1.0) {
-              res.urgent_latency_minutes.add(latency_s / 60.0);
-            } else {
-              res.bulk_latency_minutes.add(latency_s / 60.0);
-            }
-            if (!edge_queues.empty()) {
-              edge_queues[e.station].receive(chunk.total_bytes,
-                                             chunk.priority, chunk.capture,
-                                             now);
-            }
-          },
-          received);
-      if (received) {
-        res.assigned_capacity_bytes += link_bytes;
-        res.per_satellite[e.sat].delivered_bytes += sent;
-        res.total_delivered_bytes += sent;
-      } else {
-        res.failed_assignments += 1;
-        res.wasted_transmission_bytes += sent;
-      }
+        // Contact lifecycle: a pair entering the assigned set opens a
+        // contact; a MODCOD change mid-pass is a reselection.
+        if (events != nullptr) {
+          const auto key = std::make_pair(e.sat, e.station);
+          auto [it, inserted] = open_contacts.try_emplace(key);
+          OpenContact& oc = it->second;
+          const std::string_view name =
+              e.modcod != nullptr ? e.modcod->name : "none";
+          if (inserted) {
+            events->contact_open(e.sat, e.station, name,
+                                 e.predicted_rate_bps,
+                                 util::rad2deg(e.elevation_rad));
+          } else if (oc.modcod != e.modcod) {
+            events->modcod_selected(e.sat, e.station, name,
+                                    e.predicted_rate_bps);
+          }
+          oc.modcod = e.modcod;
+          oc.held_steps += 1;
+          oc.last_step = step;
+        }
 
-      // Transmit-capable contact: collated report (acks + missing pieces)
-      // and a fresh plan upload.  The S-band TT&C uplink is independent
-      // of the X-band downlink outcome, so this happens even if the data
-      // transfer failed.
-      if (stations_[e.station].tx_capable) {
-        res.requeued_bytes += queues[e.sat].acknowledge_all(
-            now, [&](double delay_s, double bytes) {
-              (void)bytes;
-              res.ack_delay_minutes.add(delay_s / 60.0);
-            });
-        last_plan[e.sat] = now;
-        res.per_satellite[e.sat].tx_contacts += 1;
+        const bool received = realized_rate_bps(e, now) > 0.0;
+        // Retargeting the dish costs slew/re-lock time out of the quantum.
+        double effective_dt = dt;
+        if (opts_.slew_seconds > 0.0 && prev_served[e.station] != e.sat) {
+          effective_dt = std::max(0.0, dt - opts_.slew_seconds);
+          res.slew_events += 1;
+          if (om.slew_events != nullptr) om.slew_events->inc();
+        }
+        const double link_bytes = e.predicted_rate_bps * effective_dt / 8.0;
+        const double sent = queues[e.sat].transmit(
+            link_bytes, now,
+            [&](double latency_s, const DataChunk& chunk) {
+              res.latency_minutes.add(latency_s / 60.0);
+              if (om.latency_minutes != nullptr) {
+                om.latency_minutes->observe(latency_s / 60.0);
+              }
+              if (chunk.priority > 1.0) {
+                res.urgent_latency_minutes.add(latency_s / 60.0);
+              } else {
+                res.bulk_latency_minutes.add(latency_s / 60.0);
+              }
+              if (!edge_queues.empty()) {
+                edge_queues[e.station].receive(chunk.total_bytes,
+                                               chunk.priority, chunk.capture,
+                                               now);
+                step_edge_received += chunk.total_bytes;
+              }
+            },
+            received);
+        if (received) {
+          res.assigned_capacity_bytes += link_bytes;
+          res.per_satellite[e.sat].delivered_bytes += sent;
+          res.total_delivered_bytes += sent;
+          if (om.delivered_bytes != nullptr) om.delivered_bytes->inc(sent);
+        } else {
+          res.failed_assignments += 1;
+          res.wasted_transmission_bytes += sent;
+          if (om.failed_assignments != nullptr) {
+            om.failed_assignments->inc();
+          }
+          if (om.wasted_bytes != nullptr) om.wasted_bytes->inc(sent);
+        }
+        if (events != nullptr) {
+          events->bytes_moved(e.sat, e.station, sent, received);
+        }
+
+        // Transmit-capable contact: collated report (acks + missing pieces)
+        // and a fresh plan upload.  The S-band TT&C uplink is independent
+        // of the X-band downlink outcome, so this happens even if the data
+        // transfer failed.
+        if (stations_[e.station].tx_capable) {
+          double acked_bytes = 0.0;
+          int ack_batches = 0;
+          const double requeued = queues[e.sat].acknowledge_all(
+              now, [&](double delay_s, double bytes) {
+                res.ack_delay_minutes.add(delay_s / 60.0);
+                acked_bytes += bytes;
+                ack_batches += 1;
+              });
+          res.requeued_bytes += requeued;
+          if (om.requeued_bytes != nullptr) {
+            om.requeued_bytes->inc(requeued);
+          }
+          if (om.ack_batches != nullptr && ack_batches > 0) {
+            om.ack_batches->inc(ack_batches);
+          }
+          if (om.plan_uploads != nullptr) om.plan_uploads->inc();
+          if (events != nullptr) {
+            events->ack_relayed(e.sat, e.station, acked_bytes, requeued,
+                                ack_batches);
+            events->plan_uploaded(e.sat, e.station,
+                                  now.seconds_since(last_plan[e.sat]));
+          }
+          last_plan[e.sat] = now;
+          res.per_satellite[e.sat].tx_contacts += 1;
+        }
+      }
+    }
+
+    // Contacts absent from this step's assigned set have ended.
+    if (events != nullptr) {
+      for (auto it = open_contacts.begin(); it != open_contacts.end();) {
+        if (it->second.last_step != step) {
+          events->contact_close(it->first.first, it->first.second,
+                                it->second.held_steps);
+          it = open_contacts.erase(it);
+        } else {
+          ++it;
+        }
       }
     }
 
@@ -250,12 +437,22 @@ SimulationResult Simulator::run() {
 
     // 5. Station backhaul: edge queues upload toward the cloud.
     if (!edge_queues.empty()) {
+      DGS_TRACE_SPAN("sim.backhaul");
       const util::Epoch upload_t = now.plus_seconds(dt);
+      double step_uploaded = 0.0;
       for (backend::StationEdgeQueue& eq : edge_queues) {
-        eq.drain(dt, upload_t,
-                 [&](double latency_s, const backend::EdgeItem&) {
-                   res.cloud_latency_minutes.add(latency_s / 60.0);
-                 });
+        step_uploaded +=
+            eq.drain(dt, upload_t,
+                     [&](double latency_s, const backend::EdgeItem&) {
+                       res.cloud_latency_minutes.add(latency_s / 60.0);
+                     });
+      }
+      if (events != nullptr) {
+        double queued = 0.0;
+        for (const backend::StationEdgeQueue& eq : edge_queues) {
+          queued += eq.queued_bytes();
+        }
+        events->backhaul_step(step_edge_received, step_uploaded, queued);
       }
     }
 
@@ -277,10 +474,45 @@ SimulationResult Simulator::run() {
     }
 #endif
 
-    // 7. Timeseries capture.
+    // 6c. Geometry-cache deltas accrued during this step.
+    if (events != nullptr) {
+      if (const GeometryCache* gc = engine.geometry_cache(); gc != nullptr) {
+        const std::uint64_t h = gc->hits();
+        const std::uint64_t m = gc->misses();
+        if (h > cache_hits_prev) {
+          events->cache_hit(static_cast<std::int64_t>(h - cache_hits_prev));
+        }
+        if (m > cache_misses_prev) {
+          events->cache_miss(
+              static_cast<std::int64_t>(m - cache_misses_prev));
+        }
+        cache_hits_prev = h;
+        cache_misses_prev = m;
+      }
+    }
+
+    // 6d. Step-end gauges.
+    if (metrics != nullptr) {
+      double backlog = 0.0;
+      double pending = 0.0;
+      for (int s = 0; s < num_sats; ++s) {
+        backlog += queues[s].queued_bytes();
+        pending += queues[s].pending_ack_bytes();
+      }
+      om.backlog_bytes->set(backlog);
+      om.pending_ack_bytes->set(pending);
+      double station_queued = 0.0;
+      for (const backend::StationEdgeQueue& eq : edge_queues) {
+        station_queued += eq.queued_bytes();
+      }
+      om.station_queued_bytes->set(station_queued);
+      om.steps->inc();
+    }
+
+    // 7. Timeseries capture (same StepClock as the event log).
     if (opts_.collect_timeseries) {
       StepRecord rec;
-      rec.hours = static_cast<double>(step + 1) * dt / 3600.0;
+      rec.hours = clock.end_hours(step);
       rec.delivered_bytes_cum = res.total_delivered_bytes;
       for (int s = 0; s < num_sats; ++s) {
         rec.backlog_bytes_total += queues[s].queued_bytes();
@@ -288,6 +520,13 @@ SimulationResult Simulator::run() {
       rec.active_links = static_cast<int>(assigned.size());
       rec.failed_cum = res.failed_assignments;
       res.timeseries.push_back(rec);
+    }
+  }
+
+  // Contacts still open at horizon end close at the final step's stamp.
+  if (events != nullptr) {
+    for (const auto& [key, oc] : open_contacts) {
+      events->contact_close(key.first, key.second, oc.held_steps);
     }
   }
 
@@ -299,6 +538,7 @@ SimulationResult Simulator::run() {
     o.dropped_bytes = queues[s].dropped_bytes();
     res.total_dropped_bytes += o.dropped_bytes;
     res.backlog_gb.add(o.backlog_bytes / 1e9);
+    if (om.dropped_bytes != nullptr) om.dropped_bytes->inc(o.dropped_bytes);
   }
   for (const backend::StationEdgeQueue& eq : edge_queues) {
     res.station_queued_bytes += eq.queued_bytes();

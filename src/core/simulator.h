@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "src/core/scheduler.h"
+#include "src/obs/events.h"
+#include "src/obs/metrics.h"
 #include "src/util/stats.h"
 #include "src/util/thread_pool.h"
 
@@ -76,6 +78,13 @@ struct SimulationOptions {
   /// today's behaviour exactly; any thread count produces a bit-identical
   /// SimulationResult (see DESIGN.md §9).
   util::ParallelConfig parallel;
+  /// Observability sinks (DESIGN.md §10); both are borrowed and must
+  /// outlive the run.  Null (the default) disables that sink entirely.
+  /// Metric folds and the event log are deterministic for any thread
+  /// count; trace spans (a timing artifact) are enabled separately via
+  /// obs::set_trace_enabled.
+  obs::Registry* metrics = nullptr;
+  obs::EventLog* events = nullptr;
 };
 
 /// One simulation step's aggregate state (collect_timeseries).

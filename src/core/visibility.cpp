@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/obs/trace.h"
 #include "src/orbit/frames.h"
 #include "src/util/check.h"
 
@@ -28,11 +29,30 @@ VisibilityEngine::VisibilityEngine(
   }
 }
 
+void VisibilityEngine::set_metrics(obs::Registry* registry) {
+  metrics_ = registry;
+  if (registry == nullptr) {
+    propagations_ = nullptr;
+    link_budgets_ = nullptr;
+    contact_edges_ = nullptr;
+    return;
+  }
+  propagations_ = registry->counter(
+      "dgs_vis_propagations_total",
+      "Satellite propagations (SGP4 + TEME->ECEF) computed");
+  link_budgets_ = registry->counter(
+      "dgs_vis_link_budgets_total",
+      "Predictive link budgets evaluated over visible pairs");
+  contact_edges_ = registry->counter(
+      "dgs_vis_contact_edges_total",
+      "Contact-graph edges produced (budget closed)");
+}
+
 void VisibilityEngine::enable_geometry_cache(const util::Epoch& base,
                                              double step_seconds,
                                              int capacity_steps) {
-  cache_ =
-      std::make_unique<GeometryCache>(base, step_seconds, capacity_steps);
+  cache_ = std::make_unique<GeometryCache>(base, step_seconds, capacity_steps,
+                                           metrics_);
 }
 
 util::Vec3 VisibilityEngine::satellite_ecef(int sat,
@@ -52,6 +72,7 @@ bool VisibilityEngine::visible(int sat, int station,
 
 void VisibilityEngine::compute_step_geometry(const util::Epoch& when,
                                              StepGeometry& out) const {
+  DGS_TRACE_SPAN("vis.geometry");
   const auto num_sats = static_cast<std::int64_t>(props_.size());
   const auto num_stations = static_cast<std::int64_t>(stations_->size());
   out.sat_ecef.resize(props_.size());
@@ -63,6 +84,9 @@ void VisibilityEngine::compute_step_geometry(const util::Epoch& when,
     for (std::int64_t s = begin; s < end; ++s) {
       out.sat_ecef[static_cast<std::size_t>(s)] =
           satellite_ecef(static_cast<int>(s), when);
+    }
+    if (propagations_ != nullptr) {
+      propagations_->inc(static_cast<double>(end - begin));
     }
   };
   // Sweep each station's elevation mask over all satellites.  Stations
@@ -120,6 +144,7 @@ std::vector<ContactEdge> VisibilityEngine::contacts(
   DGS_ENSURE(station_down.empty() || station_down.size() == stations_->size(),
              "station_down size=" << station_down.size() << " stations="
                                   << stations_->size());
+  DGS_TRACE_SPAN("vis.contacts");
 
   StepGeometry local;
   const StepGeometry* geo = step_geometry(when, local);
@@ -130,6 +155,8 @@ std::vector<ContactEdge> VisibilityEngine::contacts(
   // order reproduces the serial station-major, satellite-minor order.
   std::vector<std::vector<ContactEdge>> per_station(stations_->size());
   const auto budgets = [&](std::int64_t begin, std::int64_t end) {
+    std::int64_t budgets_evaluated = 0;
+    std::int64_t edges_produced = 0;
     for (std::int64_t gi = begin; gi < end; ++gi) {
       const auto g = static_cast<std::size_t>(gi);
       if (!station_down.empty() && station_down[g]) continue;
@@ -174,7 +201,9 @@ std::vector<ContactEdge> VisibilityEngine::contacts(
         }
         const link::LinkBudget b =
             link::evaluate_link((*sats_)[s].radio, rx, path);
+        ++budgets_evaluated;
         if (!b.closes()) continue;
+        ++edges_produced;
 
         ContactEdge e;
         e.sat = v.sat;
@@ -185,6 +214,14 @@ std::vector<ContactEdge> VisibilityEngine::contacts(
         e.modcod = b.modcod;
         per_station[g].push_back(e);
       }
+    }
+    // One whole-chunk integer add per counter: lock-free, and exact for
+    // any shard assignment (DESIGN.md §10 determinism rules).
+    if (link_budgets_ != nullptr && budgets_evaluated > 0) {
+      link_budgets_->inc(static_cast<double>(budgets_evaluated));
+    }
+    if (contact_edges_ != nullptr && edges_produced > 0) {
+      contact_edges_->inc(static_cast<double>(edges_produced));
     }
   };
   if (pool_ != nullptr) {

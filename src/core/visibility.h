@@ -22,6 +22,7 @@
 #include "src/core/geometry_cache.h"
 #include "src/groundseg/network_gen.h"
 #include "src/link/budget.h"
+#include "src/obs/metrics.h"
 #include "src/orbit/sgp4.h"
 #include "src/util/thread_pool.h"
 #include "src/weather/provider.h"
@@ -67,6 +68,13 @@ class VisibilityEngine {
   void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
   util::ThreadPool* thread_pool() const { return pool_; }
 
+  /// Borrowed metrics registry; nullptr (default) disables instrumentation.
+  /// Registers the engine's counters (propagations, link budgets, contact
+  /// edges) and is handed to any cache enabled afterwards, so call this
+  /// before enable_geometry_cache.
+  void set_metrics(obs::Registry* registry);
+  obs::Registry* metrics() const { return metrics_; }
+
   /// Memoize step geometry on the grid `base + k * step_seconds`, keeping
   /// the most recent `capacity_steps` steps.  Replaces any prior cache.
   void enable_geometry_cache(const util::Epoch& base, double step_seconds,
@@ -108,6 +116,13 @@ class VisibilityEngine {
   std::vector<StationGeom> geom_;
   util::ThreadPool* pool_ = nullptr;              ///< Borrowed; may be null.
   mutable std::unique_ptr<GeometryCache> cache_;  ///< Memoization only.
+  obs::Registry* metrics_ = nullptr;              ///< Borrowed; may be null.
+  /// Cached registry handles (null when metrics_ is null).  Incremented
+  /// from worker threads in whole-chunk integer steps, which the shard
+  /// fold sums deterministically (DESIGN.md §10).
+  obs::Counter* propagations_ = nullptr;
+  obs::Counter* link_budgets_ = nullptr;
+  obs::Counter* contact_edges_ = nullptr;
 };
 
 }  // namespace dgs::core

@@ -1,0 +1,173 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "src/util/check.h"
+
+namespace dgs::obs {
+
+namespace internal {
+
+int this_thread_shard() {
+  static std::atomic<int> next{0};
+  thread_local const int slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+}  // namespace internal
+
+namespace {
+
+/// Shortest round-trip-exact rendering of a sample value ("17" stays "17",
+/// byte totals keep every bit).
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer the compact form when it round-trips (it always does for the
+  // small integers most counters hold).
+  char compact[64];
+  std::snprintf(compact, sizeof(compact), "%g", v);
+  double back = 0.0;
+  std::sscanf(compact, "%lf", &back);
+  return back == v ? compact : buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  DGS_ENSURE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    DGS_ENSURE(bounds_[i - 1] < bounds_[i],
+               "bounds must ascend: " << bounds_[i - 1] << " then "
+                                      << bounds_[i]);
+  }
+  for (Shard& s : shards_) {
+    s.cells = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::observe(double v) {
+  // Lower-bound search over the (short) bound list; the overflow cell is
+  // the implicit +Inf bucket.
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  Shard& s = shards_[static_cast<std::size_t>(internal::this_thread_shard())];
+  s.cells[b].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::cumulative_bucket(std::size_t i) const {
+  DGS_ENSURE_LT(i, bounds_.size());
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) {
+    for (std::size_t b = 0; b <= i; ++b) {
+      n += s.cells[b].load(std::memory_order_relaxed);
+    }
+  }
+  return n;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) {
+    for (const std::atomic<std::uint64_t>& c : s.cells) {
+      n += c.load(std::memory_order_relaxed);
+    }
+  }
+  return n;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const Shard& s : shards_) {
+    total += s.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Registry::Entry& Registry::entry_for(const std::string& name, Kind kind,
+                                     const std::string& help) {
+  DGS_ENSURE(!name.empty(), "metric name must be non-empty");
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    DGS_ENSURE(it->second.kind == kind,
+               "metric '" << name << "' re-registered as a different type");
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  e.help = help;
+  return entries_.emplace(name, std::move(e)).first->second;
+}
+
+Counter* Registry::counter(const std::string& name, const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry_for(name, Kind::kCounter, help);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return e.counter.get();
+}
+
+Gauge* Registry::gauge(const std::string& name, const std::string& help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry_for(name, Kind::kGauge, help);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return e.gauge.get();
+}
+
+Histogram* Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               std::vector<double> upper_bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry_for(name, Kind::kHistogram, help);
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return e.histogram.get();
+}
+
+void Registry::write_prometheus(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, e] : entries_) {
+    out << "# HELP " << name << ' ' << e.help << '\n';
+    switch (e.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        out << name << ' ' << format_value(e.counter->value()) << '\n';
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << ' ' << format_value(e.gauge->value()) << '\n';
+        break;
+      case Kind::kHistogram: {
+        out << "# TYPE " << name << " histogram\n";
+        const Histogram& h = *e.histogram;
+        for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
+          out << name << "_bucket{le=\""
+              << format_value(h.upper_bounds()[i]) << "\"} "
+              << h.cumulative_bucket(i) << '\n';
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+        out << name << "_sum " << format_value(h.sum()) << '\n';
+        out << name << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+std::size_t Registry::series_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [name, e] : entries_) {
+    (void)name;
+    n += e.kind == Kind::kHistogram
+             ? e.histogram->upper_bounds().size() + 3  // buckets+Inf+sum+cnt
+             : 1;
+  }
+  return n;
+}
+
+}  // namespace dgs::obs

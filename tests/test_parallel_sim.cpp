@@ -10,6 +10,8 @@
 #include "src/core/report.h"
 #include "src/core/simulator.h"
 #include "src/groundseg/network_gen.h"
+#include "src/obs/events.h"
+#include "src/obs/metrics.h"
 #include "src/weather/synthetic.h"
 
 namespace {
@@ -18,7 +20,9 @@ using namespace dgs;
 
 const util::Epoch kT0(util::DateTime{2020, 11, 4, 0, 0, 0.0});
 
-core::SimulationResult run_sim(int num_threads, double lookahead_hours) {
+core::SimulationResult run_sim(int num_threads, double lookahead_hours,
+                               obs::Registry* metrics = nullptr,
+                               obs::EventLog* events = nullptr) {
   groundseg::NetworkOptions net;
   net.num_satellites = 10;
   net.num_stations = 12;
@@ -39,6 +43,8 @@ core::SimulationResult run_sim(int num_threads, double lookahead_hours) {
   opts.collect_timeseries = true;
   opts.parallel.num_threads = num_threads;
   opts.parallel.chunk_size = 4;
+  opts.metrics = metrics;
+  opts.events = events;
 
   core::Simulator sim(sats, stations, &wx, opts);
   return sim.run();
@@ -124,6 +130,34 @@ TEST(ParallelSimulator, LookaheadPlannerDeterministicAcrossThreads) {
   const core::SimulationResult parallel = run_sim(4, 2.0);
   EXPECT_GT(serial.total_delivered_bytes, 0.0);
   expect_identical(serial, parallel);
+}
+
+TEST(ParallelSimulator, ObservabilityIsByteIdenticalAcrossThreads) {
+  // DESIGN.md §10: the metrics fold and the event log are part of the
+  // deterministic artifact.  A threaded run must scrape the identical
+  // Prometheus text and emit the identical JSONL, byte for byte.
+  obs::Registry serial_reg;
+  std::ostringstream serial_events;
+  obs::EventLog serial_log(&serial_events);
+  const core::SimulationResult serial =
+      run_sim(1, 0.0, &serial_reg, &serial_log);
+
+  obs::Registry parallel_reg;
+  std::ostringstream parallel_events;
+  obs::EventLog parallel_log(&parallel_events);
+  const core::SimulationResult parallel =
+      run_sim(4, 0.0, &parallel_reg, &parallel_log);
+
+  expect_identical(serial, parallel);
+
+  std::ostringstream serial_prom, parallel_prom;
+  serial_reg.write_prometheus(serial_prom);
+  parallel_reg.write_prometheus(parallel_prom);
+  EXPECT_GT(serial_reg.series_count(), 0u);
+  EXPECT_EQ(serial_prom.str(), parallel_prom.str());
+
+  EXPECT_FALSE(serial_events.str().empty());
+  EXPECT_EQ(serial_events.str(), parallel_events.str());
 }
 
 }  // namespace

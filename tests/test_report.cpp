@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/core/report.h"
+#include "tests/json_lite.h"
 
 namespace dgs::core {
 namespace {
@@ -83,6 +84,45 @@ TEST(Report, JsonHasStableKeysAndBalancedBraces) {
   // Empty sample sets serialize as null, not a crash.
   EXPECT_NE(json.find("\"urgent_latency_minutes\": null"),
             std::string::npos);
+}
+
+TEST(Report, SummaryJsonParses) {
+  // Both with populated and with empty (null-serialized) sample sets.
+  for (const bool timeseries : {false, true}) {
+    const SimulationResult r = run_small(timeseries);
+    std::stringstream ss;
+    write_summary_json(ss, r);
+    EXPECT_TRUE(dgs::testing::json_valid(ss.str())) << ss.str();
+  }
+  std::stringstream empty;
+  write_summary_json(empty, SimulationResult{});
+  EXPECT_TRUE(dgs::testing::json_valid(empty.str())) << empty.str();
+}
+
+TEST(Report, SummaryJsonKeysAreStable) {
+  std::stringstream ss;
+  write_summary_json(ss, run_small(false));
+  const std::string json = ss.str();
+  for (const char* key :
+       {"latency_minutes", "urgent_latency_minutes", "backlog_gb",
+        "ack_delay_minutes", "cloud_latency_minutes", "total_generated_tb",
+        "total_delivered_tb", "total_dropped_tb", "delivered_fraction",
+        "assignments", "failed_assignments", "wasted_transmission_tb",
+        "requeued_tb", "slew_events", "mean_station_utilization", "steps"}) {
+    EXPECT_NE(json.find("\"" + std::string(key) + "\":"),
+              std::string::npos)
+        << key;
+  }
+}
+
+TEST(Report, CsvHeaderIsStable) {
+  std::stringstream ss;
+  write_timeseries_csv(ss, run_small(true));
+  std::string header;
+  ASSERT_TRUE(std::getline(ss, header));
+  EXPECT_EQ(header,
+            "hours,delivered_tb_cum,backlog_gb_total,active_links,"
+            "failed_links_cum");
 }
 
 }  // namespace
