@@ -9,6 +9,7 @@
 // and CSV formats, so real catalogs (Celestrak exports, SatNOGS dumps)
 // drop in directly.
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -139,7 +140,9 @@ int cmd_simulate(int argc, char** argv) {
                  "usage: dgs_cli simulate <tle-file> <stations-csv> "
                  "[hours] [--json <file>] [--csv <file>]\n"
                  "       [--metrics-out <file>] [--trace-out <file>] "
-                 "[--events-out <file>]\n");
+                 "[--events-out <file>]\n"
+                 "       [--fault-profile <%s>] [--fault-seed <n>]\n",
+                 faults::profile_names());
     return 2;
   }
   const auto catalog = groundseg::load_tle_file(argv[2]);
@@ -161,6 +164,8 @@ int cmd_simulate(int argc, char** argv) {
   opts.start = now_epoch();
   std::string json_path, csv_path;
   std::string metrics_path, trace_path, events_path;
+  std::string fault_profile = "none";
+  std::uint64_t fault_seed = 1;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
@@ -172,15 +177,30 @@ int cmd_simulate(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--events-out") == 0 && i + 1 < argc) {
       events_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-profile") == 0 &&
+               i + 1 < argc) {
+      fault_profile = argv[++i];
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
+      fault_seed = std::strtoull(argv[++i], nullptr, 10);
     } else {
       opts.duration_hours = std::atof(argv[i]);
     }
   }
-  if (opts.duration_hours <= 0.0) {
-    std::fprintf(stderr, "error: hours must be positive\n");
+  opts.collect_timeseries = !csv_path.empty();
+  opts.faults = faults::make_profile(fault_profile, fault_seed,
+                                     static_cast<int>(stations.size()));
+  // The brownout channels need a modelled backhaul to degrade.
+  if (opts.faults.has_backhaul_faults()) {
+    opts.station_backhaul_bps = 50e6;
+  }
+
+  // One documented validation entry point: every option constraint is
+  // checked here, with the offending field named in the error.
+  if (const auto err = opts.validate(static_cast<int>(stations.size()))) {
+    std::fprintf(stderr, "error: SimulationOptions.%s: %s\n",
+                 err->field.c_str(), err->message.c_str());
     return 2;
   }
-  opts.collect_timeseries = !csv_path.empty();
 
   // Observability sinks (DESIGN.md §10): Prometheus text exposition,
   // Chrome-trace JSON, and the JSONL event log.
@@ -238,6 +258,17 @@ int cmd_simulate(int argc, char** argv) {
   if (!r.ack_delay_minutes.empty()) {
     std::printf("ack delay: %s\n",
                 util::summary_row(r.ack_delay_minutes, "min").c_str());
+  }
+  if (!opts.faults.empty()) {
+    std::printf("faults (%s, seed %llu): %.2f GB lost to outages, "
+                "%lld ack retries, %lld replans, %lld plan-upload "
+                "failures\n",
+                fault_profile.c_str(),
+                static_cast<unsigned long long>(fault_seed),
+                r.outage_lost_bytes / 1e9,
+                static_cast<long long>(r.ack_retries),
+                static_cast<long long>(r.replans),
+                static_cast<long long>(r.plan_upload_failures));
   }
   return 0;
 }

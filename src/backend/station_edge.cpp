@@ -36,9 +36,11 @@ void StationEdgeQueue::receive(double bytes, double priority,
 }
 
 double StationEdgeQueue::drain(double dt_seconds, const util::Epoch& now,
-                               const CloudArrivalCallback& on_cloud_arrival) {
+                               const CloudArrivalCallback& on_cloud_arrival,
+                               double rate_multiplier) {
   DGS_ENSURE_GE(dt_seconds, 0.0);
-  double budget = backhaul_bps_ * dt_seconds / 8.0;
+  DGS_ENSURE_GE(rate_multiplier, 0.0);
+  double budget = backhaul_bps_ * rate_multiplier * dt_seconds / 8.0;
   double uploaded = 0.0;
   while (budget > 0.0 && !items_.empty()) {
     EdgeItem& item = items_.front();

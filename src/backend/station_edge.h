@@ -40,9 +40,12 @@ class StationEdgeQueue {
                const util::Epoch& ground_rx);
 
   /// Uploads for `dt_seconds` ending at `now`; completed items fire
-  /// `on_cloud_arrival`.  Returns bytes uploaded.
+  /// `on_cloud_arrival`.  `rate_multiplier` scales the backhaul rate for
+  /// this quantum (fault injection, DESIGN.md §11): 1 = nominal, 0 = hard
+  /// blackout (data keeps queueing).  Returns bytes uploaded.
   double drain(double dt_seconds, const util::Epoch& now,
-               const CloudArrivalCallback& on_cloud_arrival);
+               const CloudArrivalCallback& on_cloud_arrival,
+               double rate_multiplier = 1.0);
 
   double queued_bytes() const { return queued_bytes_; }
   double backhaul_bps() const { return backhaul_bps_; }

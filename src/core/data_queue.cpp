@@ -50,12 +50,14 @@ void OnboardQueue::generate(double bytes, const util::Epoch& capture,
 
 double OnboardQueue::transmit(double budget_bytes, const util::Epoch& now,
                               const DeliveryCallback& on_delivered,
-                              bool received) {
+                              bool received, double report_delay_s) {
   DGS_ENSURE_GE(budget_bytes, 0.0);
+  DGS_ENSURE_GE(report_delay_s, 0.0);
   double sent = 0.0;
   double budget = budget_bytes;
   PendingBatch batch;
   batch.sent = now;
+  batch.report_ready = now.plus_seconds(report_delay_s);
   batch.received = received;
   while (budget > 0.0 && !chunks_.empty()) {
     DataChunk& c = chunks_.front();
@@ -87,7 +89,17 @@ double OnboardQueue::transmit(double budget_bytes, const util::Epoch& now,
 double OnboardQueue::acknowledge_all(const util::Epoch& now,
                                      const AckCallback& on_ack) {
   double requeued = 0.0;
+  std::deque<PendingBatch> still_in_flight;
+  double still_in_flight_bytes = 0.0;
   for (PendingBatch& b : pending_) {
+    // A batch whose report the Internet has not yet relayed (ack-relay
+    // faults) is invisible to this contact's collation; it keeps
+    // occupying storage until a contact after report_ready.
+    if (now.seconds_since(b.report_ready) < 0.0) {
+      still_in_flight_bytes += b.bytes;
+      still_in_flight.push_back(std::move(b));
+      continue;
+    }
     if (b.received) {
       // Acks are only ever issued for batches the ground really captured —
       // a received batch must carry no retransmission pieces, and its ack
@@ -109,8 +121,8 @@ double OnboardQueue::acknowledge_all(const util::Epoch& now,
       }
     }
   }
-  pending_.clear();
-  pending_bytes_ = 0.0;
+  pending_ = std::move(still_in_flight);
+  pending_bytes_ = still_in_flight_bytes;
   return requeued;
 }
 

@@ -60,13 +60,19 @@ class OnboardQueue {
   ///     transmit-capable contact the collated report marks them missing
   ///     and they are re-queued with their original capture times —
   ///     the paper's "missing pieces" loop (§3).
+  /// `report_delay_s` >= 0 delays when the station's report about this
+  /// batch reaches the operator (ack-relay Internet faults, DESIGN.md
+  /// §11): acknowledge_all ignores the batch until `now + report_delay_s`.
   /// Returns bytes actually sent (min of budget and queue).
   double transmit(double budget_bytes, const util::Epoch& now,
-                  const DeliveryCallback& on_delivered, bool received = true);
+                  const DeliveryCallback& on_delivered, bool received = true,
+                  double report_delay_s = 0.0);
 
   /// Processes the collated report at a transmit-capable contact: batches
   /// the ground received are freed (firing `on_ack` per batch); batches it
-  /// missed are re-queued for retransmission.  Returns re-queued bytes.
+  /// missed are re-queued for retransmission.  Batches whose report is
+  /// still in flight (report_delay_s on transmit) stay pending for a
+  /// later contact.  Returns re-queued bytes.
   double acknowledge_all(const util::Epoch& now, const AckCallback& on_ack);
 
   double queued_bytes() const { return queued_bytes_; }
@@ -99,6 +105,7 @@ class OnboardQueue {
  private:
   struct PendingBatch {
     util::Epoch sent;
+    util::Epoch report_ready;        ///< Report available from here on.
     double bytes = 0.0;
     bool received = true;            ///< Ground captured the transmission.
     std::deque<DataChunk> pieces;    ///< For re-queue when !received.

@@ -25,6 +25,8 @@
 #include "src/core/simulator.h"      // IWYU pragma: export
 #include "src/core/value.h"          // IWYU pragma: export
 #include "src/core/visibility.h"     // IWYU pragma: export
+#include "src/faults/fault_plan.h"   // IWYU pragma: export
+#include "src/faults/profiles.h"     // IWYU pragma: export
 #include "src/groundseg/io.h"        // IWYU pragma: export
 #include "src/groundseg/network_gen.h"  // IWYU pragma: export
 #include "src/link/budget.h"         // IWYU pragma: export

@@ -16,9 +16,9 @@ double PassBlock::capacity_bytes(double step_seconds) const {
   return bytes;
 }
 
-std::vector<PassBlock> find_pass_blocks(const VisibilityEngine& engine,
-                                        const util::Epoch& start, int steps,
-                                        double step_seconds) {
+std::vector<PassBlock> find_pass_blocks(
+    const VisibilityEngine& engine, const util::Epoch& start, int steps,
+    double step_seconds, std::span<const char> station_down) {
   DGS_ENSURE(steps > 0 && step_seconds > 0.0,
              "steps=" << steps << ", step_seconds=" << step_seconds);
   DGS_TRACE_SPAN("plan.blocks");
@@ -33,7 +33,8 @@ std::vector<PassBlock> find_pass_blocks(const VisibilityEngine& engine,
   for (int k = 0; k < steps; ++k) {
     const util::Epoch t = start.plus_seconds(k * step_seconds);
     std::fill(leads.begin(), leads.end(), k * step_seconds);
-    const std::vector<ContactEdge> edges = engine.contacts(t, leads);
+    const std::vector<ContactEdge> edges =
+        engine.contacts(t, leads, station_down);
 
     std::map<std::pair<int, int>, int> still_open;
     for (const ContactEdge& e : edges) {
@@ -60,11 +61,12 @@ std::vector<PassBlock> find_pass_blocks(const VisibilityEngine& engine,
 HorizonPlan plan_horizon(const VisibilityEngine& engine,
                          const std::vector<OnboardQueue>& queues,
                          const ValueFunction& value, const util::Epoch& start,
-                         int steps, double step_seconds) {
+                         int steps, double step_seconds,
+                         std::span<const char> station_down) {
   DGS_ENSURE_EQ(static_cast<int>(queues.size()), engine.num_sats());
   DGS_TRACE_SPAN("plan.horizon");
   std::vector<PassBlock> blocks =
-      find_pass_blocks(engine, start, steps, step_seconds);
+      find_pass_blocks(engine, start, steps, step_seconds, station_down);
 
   // Score blocks against the queue snapshot at the block's mid-time.
   // Per-block values are computed in parallel (pure const reads of the

@@ -11,6 +11,7 @@
 // re-matched every quantum.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "src/core/value.h"
@@ -36,9 +37,11 @@ struct PassBlock {
 /// Sweeps [start, start + steps*dt) and fuses edges into pass blocks.
 /// Forecast lead grows with the step offset: planning further into the
 /// window uses older information, exactly as a real uploaded plan would.
-std::vector<PassBlock> find_pass_blocks(const VisibilityEngine& engine,
-                                        const util::Epoch& start, int steps,
-                                        double step_seconds);
+/// `station_down` (empty or num_stations) excludes faulted stations from
+/// every swept instant — the planner schedules around known outages.
+std::vector<PassBlock> find_pass_blocks(
+    const VisibilityEngine& engine, const util::Epoch& start, int steps,
+    double step_seconds, std::span<const char> station_down = {});
 
 /// One planned horizon: per window step, the edges to execute.
 struct HorizonPlan {
@@ -52,6 +55,7 @@ struct HorizonPlan {
 HorizonPlan plan_horizon(const VisibilityEngine& engine,
                          const std::vector<OnboardQueue>& queues,
                          const ValueFunction& value, const util::Epoch& start,
-                         int steps, double step_seconds);
+                         int steps, double step_seconds,
+                         std::span<const char> station_down = {});
 
 }  // namespace dgs::core

@@ -44,7 +44,7 @@ void write_summary_json(std::ostream& out, const SimulationResult& result) {
   json_percentiles(out, "ack_delay_minutes", result.ack_delay_minutes);
   json_percentiles(out, "cloud_latency_minutes",
                    result.cloud_latency_minutes);
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "  \"total_generated_tb\": %.6f,\n"
@@ -56,6 +56,10 @@ void write_summary_json(std::ostream& out, const SimulationResult& result) {
       "  \"wasted_transmission_tb\": %.6f,\n"
       "  \"requeued_tb\": %.6f,\n"
       "  \"slew_events\": %lld,\n"
+      "  \"outage_lost_tb\": %.6f,\n"
+      "  \"ack_retries\": %lld,\n"
+      "  \"replans\": %lld,\n"
+      "  \"plan_upload_failures\": %lld,\n"
       "  \"mean_station_utilization\": %.6f,\n"
       "  \"steps\": %lld\n",
       result.total_generated_bytes / 1e12,
@@ -65,6 +69,10 @@ void write_summary_json(std::ostream& out, const SimulationResult& result) {
       static_cast<long long>(result.failed_assignments),
       result.wasted_transmission_bytes / 1e12, result.requeued_bytes / 1e12,
       static_cast<long long>(result.slew_events),
+      result.outage_lost_bytes / 1e12,
+      static_cast<long long>(result.ack_retries),
+      static_cast<long long>(result.replans),
+      static_cast<long long>(result.plan_upload_failures),
       result.mean_station_utilization,
       static_cast<long long>(result.steps));
   out << buf << "}\n";

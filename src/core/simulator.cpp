@@ -8,10 +8,189 @@
 
 #include <cmath>
 #include <map>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 namespace dgs::core {
+
+namespace {
+
+/// Builds the structured error for one violated constraint.
+std::optional<OptionsError> err(std::string field, std::string message) {
+  return OptionsError{std::move(field), std::move(message)};
+}
+
+std::string num(double v) {
+  std::ostringstream s;
+  s << v;
+  return s.str();
+}
+
+/// Shared checks for a scheduled outage window (native plan entries and
+/// the deprecated StationOutage shim alike).
+std::optional<OptionsError> check_window(const std::string& field,
+                                         int station_index,
+                                         double start_hours,
+                                         double end_hours,
+                                         int num_stations) {
+  if (num_stations >= 0 &&
+      (station_index < 0 || station_index >= num_stations)) {
+    return err(field + ".station_index",
+               "station index " + num(station_index) +
+                   " out of range [0, " + num(num_stations) + ")");
+  }
+  if (end_hours < start_hours) {
+    return err(field + ".end_hours",
+               "window ends (" + num(end_hours) +
+                   " h) before it starts (" + num(start_hours) + " h)");
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<OptionsError> SimulationOptions::validate(
+    int num_stations) const {
+  if (!(duration_hours > 0.0)) {
+    return err("duration_hours",
+               "must be > 0 (got " + num(duration_hours) + ")");
+  }
+  if (!(step_seconds > 0.0)) {
+    return err("step_seconds",
+               "must be > 0 (got " + num(step_seconds) + ")");
+  }
+  if (lookahead_hours < 0.0) {
+    return err("lookahead_hours",
+               "must be >= 0 (got " + num(lookahead_hours) + ")");
+  }
+  if (urgent_fraction < 0.0 || urgent_fraction > 1.0) {
+    return err("urgent_fraction",
+               "must be in [0, 1] (got " + num(urgent_fraction) + ")");
+  }
+  if (urgent_fraction > 0.0 && !(urgent_priority > 0.0)) {
+    return err("urgent_priority",
+               "must be > 0 (got " + num(urgent_priority) + ")");
+  }
+  if (initial_backlog_bytes < 0.0) {
+    return err("initial_backlog_bytes",
+               "must be >= 0 (got " + num(initial_backlog_bytes) + ")");
+  }
+  if (station_backhaul_bps < 0.0) {
+    return err("station_backhaul_bps",
+               "must be >= 0 (got " + num(station_backhaul_bps) + ")");
+  }
+  if (slew_seconds < 0.0) {
+    return err("slew_seconds",
+               "must be >= 0 (got " + num(slew_seconds) + ")");
+  }
+  if (parallel.num_threads < 0) {
+    return err("parallel.num_threads",
+               "must be >= 0 (got " + num(parallel.num_threads) + ")");
+  }
+  if (parallel.chunk_size <= 0) {
+    return err("parallel.chunk_size",
+               "must be > 0 (got " + num(parallel.chunk_size) + ")");
+  }
+
+  for (std::size_t i = 0; i < outages.size(); ++i) {
+    const StationOutage& o = outages[i];
+    if (auto e = check_window("outages[" + num(static_cast<double>(i)) +
+                                  "]",
+                              o.station_index, o.start_hours, o.end_hours,
+                              num_stations)) {
+      return e;
+    }
+  }
+  for (std::size_t i = 0; i < faults.outages.size(); ++i) {
+    const faults::OutageWindow& o = faults.outages[i];
+    if (auto e = check_window(
+            "faults.outages[" + num(static_cast<double>(i)) + "]",
+            o.station_index, o.start_hours, o.end_hours, num_stations)) {
+      return e;
+    }
+  }
+
+  const faults::StationChurn& churn = faults.churn;
+  if (churn.mtbf_hours < 0.0) {
+    return err("faults.churn.mtbf_hours",
+               "must be >= 0 (got " + num(churn.mtbf_hours) + ")");
+  }
+  if (churn.mtbf_hours > 0.0 && !(churn.mttr_hours > 0.0)) {
+    return err("faults.churn.mttr_hours",
+               "must be > 0 when churn is enabled (got " +
+                   num(churn.mttr_hours) + ")");
+  }
+  if (churn.station_fraction < 0.0 || churn.station_fraction > 1.0) {
+    return err("faults.churn.station_fraction",
+               "must be in [0, 1] (got " + num(churn.station_fraction) +
+                   ")");
+  }
+
+  if (!faults.backhaul.empty() && !(station_backhaul_bps > 0.0)) {
+    return err("faults.backhaul",
+               "backhaul degradation requires station_backhaul_bps > 0 "
+               "(no edge queues are modelled otherwise)");
+  }
+  for (std::size_t i = 0; i < faults.backhaul.size(); ++i) {
+    const faults::BackhaulFault& f = faults.backhaul[i];
+    const std::string field =
+        "faults.backhaul[" + num(static_cast<double>(i)) + "]";
+    if (auto e = check_window(field, f.station_index, f.start_hours,
+                              f.end_hours, num_stations)) {
+      return e;
+    }
+    if (f.rate_multiplier < 0.0 || f.rate_multiplier > 1.0) {
+      return err(field + ".rate_multiplier",
+                 "must be in [0, 1] (got " + num(f.rate_multiplier) + ")");
+    }
+  }
+
+  const faults::AckRelayFaults& ack = faults.ack_relay;
+  if (ack.loss_probability < 0.0 || ack.loss_probability >= 1.0) {
+    return err("faults.ack_relay.loss_probability",
+               "must be in [0, 1) (got " + num(ack.loss_probability) +
+                   ")");
+  }
+  if (ack.loss_probability > 0.0) {
+    if (!(ack.initial_backoff_s > 0.0)) {
+      return err("faults.ack_relay.initial_backoff_s",
+                 "must be > 0 (got " + num(ack.initial_backoff_s) + ")");
+    }
+    if (ack.backoff_multiplier < 1.0) {
+      return err("faults.ack_relay.backoff_multiplier",
+                 "must be >= 1 (got " + num(ack.backoff_multiplier) + ")");
+    }
+    if (ack.max_backoff_s < ack.initial_backoff_s) {
+      return err("faults.ack_relay.max_backoff_s",
+                 "must be >= initial_backoff_s (got " +
+                     num(ack.max_backoff_s) + ")");
+    }
+    if (ack.max_attempts < 1) {
+      return err("faults.ack_relay.max_attempts",
+                 "must be >= 1 (got " + num(ack.max_attempts) + ")");
+    }
+  }
+
+  const double pu = faults.plan_upload.failure_probability;
+  if (pu < 0.0 || pu >= 1.0) {
+    return err("faults.plan_upload.failure_probability",
+               "must be in [0, 1) (got " + num(pu) + ")");
+  }
+  return std::nullopt;
+}
+
+faults::FaultPlan SimulationOptions::resolved_faults() const {
+  faults::FaultPlan plan = faults;
+  for (const StationOutage& o : outages) {
+    plan.outages.push_back(faults::OutageWindow{
+        o.station_index, o.start_hours, o.end_hours});
+  }
+  return plan;
+}
 
 Simulator::Simulator(std::vector<groundseg::SatelliteConfig> sats,
                      std::vector<groundseg::GroundStation> stations,
@@ -21,18 +200,9 @@ Simulator::Simulator(std::vector<groundseg::SatelliteConfig> sats,
       actual_wx_(actual_weather), opts_(opts) {
   DGS_ENSURE(!sats_.empty() && !stations_.empty(),
              "sats=" << sats_.size() << " stations=" << stations_.size());
-  DGS_ENSURE_GT(opts.duration_hours, 0.0);
-  DGS_ENSURE_GT(opts.step_seconds, 0.0);
-  DGS_ENSURE(opts.lookahead_hours <= 0.0 || opts.outages.empty(),
-             "lookahead planning does not support outage injection");
-  DGS_ENSURE_GE(opts.lookahead_hours, 0.0);
-  for (const StationOutage& o : opts.outages) {
-    DGS_ENSURE(o.station_index >= 0 &&
-                   o.station_index < static_cast<int>(stations_.size()),
-               "outage station=" << o.station_index);
-    DGS_ENSURE(o.end_hours >= o.start_hours,
-               "outage ends (" << o.end_hours << " h) before it starts ("
-                               << o.start_hours << " h)");
+  if (const auto e = opts_.validate(static_cast<int>(stations_.size()))) {
+    throw std::invalid_argument("SimulationOptions." + e->field + ": " +
+                                e->message);
   }
 }
 
@@ -95,6 +265,20 @@ SimulationResult Simulator::run() {
 
   SimulationResult res;
   res.per_satellite.resize(num_sats);
+
+  // Fault injection (DESIGN.md §11): the plan (with the deprecated
+  // `outages` shim merged in) is expanded onto the step grid once, on the
+  // driver thread; all later queries are pure lookups or stateless hash
+  // draws, so fault behaviour is bit-identical at any thread count.
+  const faults::FaultPlan fault_plan = opts_.resolved_faults();
+  std::optional<faults::FaultTimeline> timeline;
+  if (!fault_plan.empty()) {
+    timeline.emplace(fault_plan, num_stations, steps, dt);
+  }
+  const bool station_faults =
+      timeline.has_value() && timeline->has_station_faults();
+  const bool backhaul_faults =
+      timeline.has_value() && timeline->has_backhaul_faults();
 
   // Sim-level metrics.  All updates below happen on the driver thread:
   // byte quantities are non-integer doubles, which the shard-fold
@@ -169,6 +353,41 @@ SimulationResult Simulator::run() {
         {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
   }
 
+  // Fault metrics, registered only when a fault plan is active so
+  // fault-free runs keep their exposition unchanged.  Counters mirror the
+  // matching SimulationResult fields add-for-add.
+  struct {
+    obs::Counter* outage_transitions = nullptr;
+    obs::Counter* outage_lost_bytes = nullptr;
+    obs::Counter* ack_retries = nullptr;
+    obs::Counter* replans = nullptr;
+    obs::Counter* plan_upload_failures = nullptr;
+    obs::Counter* backhaul_degraded_steps = nullptr;
+    obs::Gauge* stations_down = nullptr;
+  } fm;
+  if (metrics != nullptr && timeline.has_value()) {
+    fm.outage_transitions = metrics->counter(
+        "dgs_faults_outage_transitions_total",
+        "Station up->down and down->up transitions");
+    fm.outage_lost_bytes = metrics->counter(
+        "dgs_faults_outage_lost_bytes_total",
+        "Bytes transmitted into a faulted station's dead contact");
+    fm.ack_retries = metrics->counter(
+        "dgs_faults_ack_retries_total",
+        "Ack-relay report attempts lost to Internet faults and retried");
+    fm.replans = metrics->counter(
+        "dgs_faults_replans_total",
+        "Look-ahead replans triggered by an assigned station faulting");
+    fm.plan_upload_failures = metrics->counter(
+        "dgs_faults_plan_upload_failures_total",
+        "TX contacts whose TT&C exchange failed");
+    fm.backhaul_degraded_steps = metrics->counter(
+        "dgs_faults_backhaul_degraded_station_steps_total",
+        "Station-steps spent with a degraded backhaul multiplier");
+    fm.stations_down = metrics->gauge(
+        "dgs_faults_stations_down", "Stations currently in outage");
+  }
+
   // Event-log state: the shared step clock (also stamps the timeseries)
   // plus per-(sat, station) contact lifecycle tracking.
   obs::EventLog* const events = opts_.events;
@@ -179,7 +398,16 @@ SimulationResult Simulator::run() {
     std::int64_t last_step = -1;
   };
   std::map<std::pair<int, int>, OpenContact> open_contacts;
+  // Station down mask for the current step (empty while no station fault
+  // channel is active, preserving the fault-free fast path).
+  std::vector<char> down;
   std::vector<char> prev_down(num_stations, 0);
+  if (station_faults) down.assign(static_cast<std::size_t>(num_stations), 0);
+  // Previous step's backhaul multiplier per station, for transition events.
+  std::vector<double> prev_backhaul_mult;
+  if (backhaul_faults) {
+    prev_backhaul_mult.assign(static_cast<std::size_t>(num_stations), 1.0);
+  }
   std::uint64_t cache_hits_prev = 0;
   std::uint64_t cache_misses_prev = 0;
 
@@ -242,6 +470,32 @@ SimulationResult Simulator::run() {
     const util::Epoch now = clock.step_start(step);
     if (events != nullptr) events->begin_step(step, clock.end_hours(step));
 
+    // 0. Fault state for this step: refresh the station down mask and
+    // emit up/down transitions.  `new_outage` feeds the look-ahead
+    // replan check below.
+    bool new_outage = false;
+    if (station_faults) {
+      timeline->fill_station_down(step, &down);
+      for (int g = 0; g < num_stations; ++g) {
+        if (down[g] != 0 && prev_down[g] == 0) {
+          new_outage = true;
+          if (events != nullptr) events->outage_begin(g);
+          if (fm.outage_transitions != nullptr) {
+            fm.outage_transitions->inc();
+          }
+        } else if (down[g] == 0 && prev_down[g] != 0) {
+          if (events != nullptr) events->outage_end(g);
+          if (fm.outage_transitions != nullptr) {
+            fm.outage_transitions->inc();
+          }
+        }
+      }
+      prev_down.assign(down.begin(), down.end());
+    }
+    const std::span<const char> down_span =
+        station_faults ? std::span<const char>(down)
+                       : std::span<const char>();
+
     // 1. Imaging: continuous data generation, one chunk per step (two when
     // an urgent tier is configured).
     {
@@ -273,33 +527,50 @@ SimulationResult Simulator::run() {
     {
       DGS_TRACE_SPAN("sim.schedule");
       if (plan_window_steps > 0) {
-        if (plan_origin < 0 || step - plan_origin >= plan_window_steps) {
+        const bool refresh =
+            plan_origin < 0 || step - plan_origin >= plan_window_steps;
+        if (refresh) {
           const int window = static_cast<int>(
               std::min<std::int64_t>(plan_window_steps, steps - step));
           plan = plan_horizon(engine, queues, scheduler.value_function(),
-                              now, window, dt);
+                              now, window, dt, down_span);
           plan_origin = step;
         }
         assigned = plan.per_step[step - plan_origin];
-      } else {
-        std::vector<char> down;
-        if (!opts_.outages.empty()) {
-          down.assign(num_stations, 0);
-          const double hours = static_cast<double>(step) * dt / 3600.0;
-          for (const StationOutage& o : opts_.outages) {
-            if (hours >= o.start_hours && hours < o.end_hours) {
-              down.at(o.station_index) = 1;
+        // Replan-on-failure: a station that just went down while the
+        // remainder of this window still assigns it invalidates the plan.
+        // This step executes the stale assignments (in-flight
+        // transmissions into the dead station are lost below); the
+        // horizon from the next step is re-scored with the down mask.
+        if (!refresh && new_outage && step + 1 < steps) {
+          int faulted_station = -1;
+          const auto rel = static_cast<std::size_t>(step - plan_origin);
+          for (std::size_t k = rel;
+               k < plan.per_step.size() && faulted_station < 0; ++k) {
+            for (const ContactEdge& e : plan.per_step[k]) {
+              if (down[e.station] != 0) {
+                faulted_station = e.station;
+                break;
+              }
             }
           }
-          if (events != nullptr) {
-            for (int g = 0; g < num_stations; ++g) {
-              if (down[g] != 0 && prev_down[g] == 0) events->outage_begin(g);
-              if (down[g] == 0 && prev_down[g] != 0) events->outage_end(g);
+          if (faulted_station >= 0) {
+            const int window = static_cast<int>(std::min<std::int64_t>(
+                plan_window_steps, steps - (step + 1)));
+            plan = plan_horizon(engine, queues, scheduler.value_function(),
+                                clock.step_start(step + 1), window, dt,
+                                down_span);
+            plan_origin = step + 1;
+            res.replans += 1;
+            if (fm.replans != nullptr) fm.replans->inc();
+            if (events != nullptr) {
+              events->replan(faulted_station, window);
             }
-            prev_down.assign(down.begin(), down.end());
           }
         }
-        assigned = scheduler.schedule_instant(now, queues, leads, down);
+      } else {
+        assigned = scheduler.schedule_instant(now, queues, leads,
+                                              down_span);
       }
     }
 
@@ -337,7 +608,11 @@ SimulationResult Simulator::run() {
           oc.last_step = step;
         }
 
-        const bool received = realized_rate_bps(e, now) > 0.0;
+        // A faulted station captures nothing: the satellite transmits
+        // into the dead contact (it cannot tell), and the bytes take the
+        // same missing-pieces requeue path as a mis-predicted MODCOD.
+        const bool station_up = !station_faults || down[e.station] == 0;
+        const bool received = station_up && realized_rate_bps(e, now) > 0.0;
         // Retargeting the dish costs slew/re-lock time out of the quantum.
         double effective_dt = dt;
         if (opts_.slew_seconds > 0.0 && prev_served[e.station] != e.sat) {
@@ -346,6 +621,26 @@ SimulationResult Simulator::run() {
           if (om.slew_events != nullptr) om.slew_events->inc();
         }
         const double link_bytes = e.predicted_rate_bps * effective_dt / 8.0;
+        // Ack-relay Internet faults: the station's report upload is lost
+        // with some probability and retried with capped exponential
+        // backoff, delaying when the batch's verdict reaches the
+        // operator (and hence the next TX contact).
+        double report_delay_s = 0.0;
+        if (received && fault_plan.has_ack_relay_faults()) {
+          const faults::AckRelayOutcome relay =
+              timeline->ack_relay_outcome(step, e.sat, e.station);
+          if (relay.retries > 0) {
+            report_delay_s = relay.delay_s;
+            res.ack_retries += relay.retries;
+            if (fm.ack_retries != nullptr) {
+              fm.ack_retries->inc(relay.retries);
+            }
+            if (events != nullptr) {
+              events->ack_relay_retry(e.sat, e.station, relay.retries,
+                                      relay.delay_s);
+            }
+          }
+        }
         const double sent = queues[e.sat].transmit(
             link_bytes, now,
             [&](double latency_s, const DataChunk& chunk) {
@@ -365,7 +660,7 @@ SimulationResult Simulator::run() {
                 step_edge_received += chunk.total_bytes;
               }
             },
-            received);
+            received, report_delay_s);
         if (received) {
           res.assigned_capacity_bytes += link_bytes;
           res.per_satellite[e.sat].delivered_bytes += sent;
@@ -378,6 +673,15 @@ SimulationResult Simulator::run() {
             om.failed_assignments->inc();
           }
           if (om.wasted_bytes != nullptr) om.wasted_bytes->inc(sent);
+          if (!station_up) {
+            res.outage_lost_bytes += sent;
+            if (fm.outage_lost_bytes != nullptr) {
+              fm.outage_lost_bytes->inc(sent);
+            }
+            if (events != nullptr) {
+              events->outage_loss(e.sat, e.station, sent);
+            }
+          }
         }
         if (events != nullptr) {
           events->bytes_moved(e.sat, e.station, sent, received);
@@ -387,31 +691,45 @@ SimulationResult Simulator::run() {
         // and a fresh plan upload.  The S-band TT&C uplink is independent
         // of the X-band downlink outcome, so this happens even if the data
         // transfer failed.
-        if (stations_[e.station].tx_capable) {
-          double acked_bytes = 0.0;
-          int ack_batches = 0;
-          const double requeued = queues[e.sat].acknowledge_all(
-              now, [&](double delay_s, double bytes) {
-                res.ack_delay_minutes.add(delay_s / 60.0);
-                acked_bytes += bytes;
-                ack_batches += 1;
-              });
-          res.requeued_bytes += requeued;
-          if (om.requeued_bytes != nullptr) {
-            om.requeued_bytes->inc(requeued);
+        if (stations_[e.station].tx_capable && station_up) {
+          // TT&C plan-upload fault: the whole exchange (acks + fresh
+          // plan) is lost; the satellite keeps its stale plan until the
+          // next TX opportunity.
+          if (fault_plan.has_plan_upload_faults() &&
+              timeline->plan_upload_fails(step, e.sat, e.station)) {
+            res.plan_upload_failures += 1;
+            if (fm.plan_upload_failures != nullptr) {
+              fm.plan_upload_failures->inc();
+            }
+            if (events != nullptr) {
+              events->plan_upload_failed(e.sat, e.station);
+            }
+          } else {
+            double acked_bytes = 0.0;
+            int ack_batches = 0;
+            const double requeued = queues[e.sat].acknowledge_all(
+                now, [&](double delay_s, double bytes) {
+                  res.ack_delay_minutes.add(delay_s / 60.0);
+                  acked_bytes += bytes;
+                  ack_batches += 1;
+                });
+            res.requeued_bytes += requeued;
+            if (om.requeued_bytes != nullptr) {
+              om.requeued_bytes->inc(requeued);
+            }
+            if (om.ack_batches != nullptr && ack_batches > 0) {
+              om.ack_batches->inc(ack_batches);
+            }
+            if (om.plan_uploads != nullptr) om.plan_uploads->inc();
+            if (events != nullptr) {
+              events->ack_relayed(e.sat, e.station, acked_bytes, requeued,
+                                  ack_batches);
+              events->plan_uploaded(e.sat, e.station,
+                                    now.seconds_since(last_plan[e.sat]));
+            }
+            last_plan[e.sat] = now;
+            res.per_satellite[e.sat].tx_contacts += 1;
           }
-          if (om.ack_batches != nullptr && ack_batches > 0) {
-            om.ack_batches->inc(ack_batches);
-          }
-          if (om.plan_uploads != nullptr) om.plan_uploads->inc();
-          if (events != nullptr) {
-            events->ack_relayed(e.sat, e.station, acked_bytes, requeued,
-                                ack_batches);
-            events->plan_uploaded(e.sat, e.station,
-                                  now.seconds_since(last_plan[e.sat]));
-          }
-          last_plan[e.sat] = now;
-          res.per_satellite[e.sat].tx_contacts += 1;
         }
       }
     }
@@ -440,12 +758,31 @@ SimulationResult Simulator::run() {
       DGS_TRACE_SPAN("sim.backhaul");
       const util::Epoch upload_t = now.plus_seconds(dt);
       double step_uploaded = 0.0;
-      for (backend::StationEdgeQueue& eq : edge_queues) {
-        step_uploaded +=
-            eq.drain(dt, upload_t,
-                     [&](double latency_s, const backend::EdgeItem&) {
-                       res.cloud_latency_minutes.add(latency_s / 60.0);
-                     });
+      std::int64_t degraded_stations = 0;
+      for (int g = 0; g < num_stations; ++g) {
+        double mult = 1.0;
+        if (backhaul_faults) {
+          mult = timeline->backhaul_multiplier(g, step);
+          if (mult < 1.0) {
+            degraded_stations += 1;
+            if (events != nullptr && prev_backhaul_mult[g] >= 1.0) {
+              events->backhaul_fault_begin(g, mult);
+            }
+          } else if (events != nullptr && prev_backhaul_mult[g] < 1.0) {
+            events->backhaul_fault_end(g);
+          }
+          prev_backhaul_mult[static_cast<std::size_t>(g)] = mult;
+        }
+        step_uploaded += edge_queues[static_cast<std::size_t>(g)].drain(
+            dt, upload_t,
+            [&](double latency_s, const backend::EdgeItem&) {
+              res.cloud_latency_minutes.add(latency_s / 60.0);
+            },
+            mult);
+      }
+      if (fm.backhaul_degraded_steps != nullptr && degraded_stations > 0) {
+        fm.backhaul_degraded_steps->inc(
+            static_cast<double>(degraded_stations));
       }
       if (events != nullptr) {
         double queued = 0.0;
@@ -507,6 +844,11 @@ SimulationResult Simulator::run() {
       }
       om.station_queued_bytes->set(station_queued);
       om.steps->inc();
+      if (fm.stations_down != nullptr) {
+        std::int64_t n_down = 0;
+        for (const char d : down) n_down += (d != 0) ? 1 : 0;
+        fm.stations_down->set(static_cast<double>(n_down));
+      }
     }
 
     // 7. Timeseries capture (same StepClock as the event log).

@@ -9,9 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "src/core/scheduler.h"
+#include "src/faults/fault_plan.h"
 #include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/util/stats.h"
@@ -19,19 +22,37 @@
 
 namespace dgs::core {
 
-/// Failure injection: the station is unavailable during [start, end).
+/// Deprecated failure-injection shim: the station is unavailable during
+/// [start, end).  New code should configure SimulationOptions::faults
+/// directly; entries here are converted into the fault plan's scheduled
+/// outage windows with identical semantics (see
+/// SimulationOptions::resolved_faults).
 struct StationOutage {
   int station_index = 0;
   double start_hours = 0.0;  ///< Relative to the simulation start.
   double end_hours = 0.0;
 };
 
+/// A single invalid field found by SimulationOptions::validate():
+/// which option is wrong and why, suitable for CLI error messages.
+struct OptionsError {
+  std::string field;    ///< e.g. "faults.ack_relay.loss_probability".
+  std::string message;  ///< Human-readable constraint description.
+};
+
 struct SimulationOptions {
   util::Epoch start;
   double duration_hours = 24.0;
   double step_seconds = 60.0;
-  /// Station failures to inject (robustness experiments; paper §1 calls the
-  /// centralized link "a single point of failure").
+  /// Fault injection (robustness experiments; paper §1 calls the
+  /// centralized link "a single point of failure"): scheduled/stochastic
+  /// station outages, backhaul degradation, ack-relay Internet loss, and
+  /// plan-upload failures, all reproducible from faults.seed.  See
+  /// DESIGN.md §11.
+  faults::FaultPlan faults;
+  /// Deprecated: prefer `faults.outages`.  Kept as a shim so existing
+  /// configs keep working; merged into the fault plan by
+  /// resolved_faults() with byte-identical results.
   std::vector<StationOutage> outages;
   MatcherKind matcher = MatcherKind::kStable;
   ValueKind value = ValueKind::kLatency;
@@ -53,8 +74,10 @@ struct SimulationOptions {
   double urgent_priority = 8.0;
   /// > 0 enables the time-expanded look-ahead planner (the paper's future
   /// work): the schedule is recomputed as whole pass-block allocations
-  /// every `lookahead_hours` instead of per-instant matching.  Mutually
-  /// exclusive with `outages` (the planner does not replan on failures).
+  /// every `lookahead_hours` instead of per-instant matching.  Composes
+  /// with fault injection: faulted stations are excluded at plan time and
+  /// the planner replans when an assigned station faults mid-window
+  /// (DESIGN.md §11).
   double lookahead_hours = 0.0;
   /// > 0 models the station -> cloud backhaul (paper §3.3 edge compute):
   /// decoded data queues at the station and uploads at this rate, urgent
@@ -85,6 +108,19 @@ struct SimulationOptions {
   /// obs::set_trace_enabled.
   obs::Registry* metrics = nullptr;
   obs::EventLog* events = nullptr;
+
+  /// Validates every field (and their combinations) in one documented
+  /// place, replacing the scattered run-time checks the constructor used
+  /// to perform.  Returns the first violated constraint, or nullopt when
+  /// the options are runnable.  `num_stations` bounds station indices in
+  /// the fault plan; pass -1 to skip those checks (e.g. before the
+  /// network is built).
+  std::optional<OptionsError> validate(int num_stations = -1) const;
+
+  /// The effective fault plan: `faults` with the deprecated `outages`
+  /// shim appended as scheduled windows.  What the simulator actually
+  /// runs.
+  faults::FaultPlan resolved_faults() const;
 };
 
 /// One simulation step's aggregate state (collect_timeseries).
@@ -139,6 +175,18 @@ struct SimulationResult {
   double requeued_bytes = 0.0;
   /// Times a station had to retarget to a new satellite (slew model on).
   std::int64_t slew_events = 0;
+  /// Bytes transmitted into a contact whose station was down (fault
+  /// injection): a subset of wasted_transmission_bytes, recovered via the
+  /// same missing-pieces requeue loop as mis-predicted MODCODs.
+  double outage_lost_bytes = 0.0;
+  /// Ack-relay report attempts lost to Internet faults and retried with
+  /// backoff before the report became available to a TX contact.
+  std::int64_t ack_retries = 0;
+  /// Look-ahead replans triggered by an assigned station faulting
+  /// mid-window (scheduled window refreshes are not counted).
+  std::int64_t replans = 0;
+  /// TX contacts whose TT&C exchange (acks + fresh plan) failed.
+  std::int64_t plan_upload_failures = 0;
   std::int64_t steps = 0;
   double mean_station_utilization = 0.0;  ///< Busy-steps / total steps.
 

@@ -1,0 +1,196 @@
+#include "src/faults/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/faults/fault_rng.h"
+#include "src/util/check.h"
+
+namespace dgs::faults {
+
+std::int64_t step_at_or_after(double hours, double step_seconds) {
+  DGS_ENSURE_GT(step_seconds, 0.0);
+  const double x = hours * 3600.0 / step_seconds;
+  const double nearest = std::round(x);
+  // An interval endpoint that *means* a step boundary may miss it by float
+  // dust after the hours -> steps conversion; snap within a relative ulp
+  // band so [start, end) semantics survive the unit round-trip.
+  if (std::abs(x - nearest) <= 1e-9 * std::max(1.0, std::abs(x))) {
+    return static_cast<std::int64_t>(nearest);
+  }
+  return static_cast<std::int64_t>(std::ceil(x));
+}
+
+namespace {
+
+using StepInterval = FaultTimeline::StepInterval;
+
+/// Sorts, clips to [0, num_steps), drops empties, and merges overlaps so
+/// each station's down intervals are disjoint and ordered.
+std::vector<StepInterval> normalize(std::vector<StepInterval> v,
+                                    std::int64_t num_steps) {
+  std::vector<StepInterval> clipped;
+  clipped.reserve(v.size());
+  for (StepInterval& i : v) {
+    i.begin = std::max<std::int64_t>(i.begin, 0);
+    i.end = std::min(i.end, num_steps);
+    if (i.begin < i.end) clipped.push_back(i);
+  }
+  std::sort(clipped.begin(), clipped.end(),
+            [](const StepInterval& a, const StepInterval& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<StepInterval> merged;
+  for (const StepInterval& i : clipped) {
+    if (!merged.empty() && i.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, i.end);
+    } else {
+      merged.push_back(i);
+    }
+  }
+  return merged;
+}
+
+bool intervals_cover(const std::vector<StepInterval>& v, std::int64_t step) {
+  const auto it = std::upper_bound(
+      v.begin(), v.end(), step,
+      [](std::int64_t s, const StepInterval& i) { return s < i.begin; });
+  return it != v.begin() && step < std::prev(it)->end;
+}
+
+}  // namespace
+
+FaultTimeline::FaultTimeline(const FaultPlan& plan, int num_stations,
+                             std::int64_t num_steps, double step_seconds)
+    : plan_(plan), num_stations_(num_stations), num_steps_(num_steps) {
+  DGS_ENSURE_GT(num_stations, 0);
+  DGS_ENSURE_GE(num_steps, 0);
+  DGS_ENSURE_GT(step_seconds, 0.0);
+
+  std::vector<std::vector<StepInterval>> raw(
+      static_cast<std::size_t>(num_stations));
+
+  // Scheduled outages: [start, end) in hours -> half-open step intervals.
+  for (const OutageWindow& o : plan.outages) {
+    DGS_ENSURE(o.station_index >= 0 && o.station_index < num_stations,
+               "outage station=" << o.station_index);
+    raw[static_cast<std::size_t>(o.station_index)].push_back(StepInterval{
+        step_at_or_after(o.start_hours, step_seconds),
+        step_at_or_after(o.end_hours, step_seconds)});
+  }
+
+  // Stochastic churn: each participating station alternates exponential
+  // up/down dwells from its own forked PCG32 stream, pre-expanded here on
+  // the driver thread so later queries are pure lookups.
+  if (plan.churn.mtbf_hours > 0.0 && num_steps > 0) {
+    const double horizon_h =
+        static_cast<double>(num_steps) * step_seconds / 3600.0;
+    for (int g = 0; g < num_stations; ++g) {
+      Pcg32 rng(mix_key(mix_key(plan.seed, kStreamChurn),
+                        static_cast<std::uint64_t>(g)));
+      if (plan.churn.station_fraction < 1.0 &&
+          rng.uniform() >= plan.churn.station_fraction) {
+        continue;
+      }
+      double t = 0.0;
+      while (t < horizon_h) {
+        t += rng.exponential(plan.churn.mtbf_hours);  // up dwell
+        if (t >= horizon_h) break;
+        const double down_until =
+            t + rng.exponential(plan.churn.mttr_hours);
+        raw[static_cast<std::size_t>(g)].push_back(
+            StepInterval{step_at_or_after(t, step_seconds),
+                         step_at_or_after(down_until, step_seconds)});
+        t = down_until;
+      }
+    }
+  }
+
+  down_.resize(static_cast<std::size_t>(num_stations));
+  for (int g = 0; g < num_stations; ++g) {
+    down_[static_cast<std::size_t>(g)] = normalize(
+        std::move(raw[static_cast<std::size_t>(g)]), num_steps);
+    if (!down_[static_cast<std::size_t>(g)].empty()) {
+      has_station_faults_ = true;
+    }
+  }
+
+  if (!plan.backhaul.empty()) {
+    backhaul_.resize(static_cast<std::size_t>(num_stations));
+    for (const BackhaulFault& f : plan.backhaul) {
+      DGS_ENSURE(f.station_index >= 0 && f.station_index < num_stations,
+                 "backhaul fault station=" << f.station_index);
+      BackhaulInterval bi;
+      bi.begin = step_at_or_after(f.start_hours, step_seconds);
+      bi.end = step_at_or_after(f.end_hours, step_seconds);
+      bi.multiplier = f.rate_multiplier;
+      if (bi.begin < bi.end) {
+        backhaul_[static_cast<std::size_t>(f.station_index)].push_back(bi);
+      }
+    }
+  }
+}
+
+bool FaultTimeline::station_down(int station, std::int64_t step) const {
+  DGS_DCHECK(station >= 0 && station < num_stations_,
+             "station=" << station);
+  return intervals_cover(down_[static_cast<std::size_t>(station)], step);
+}
+
+void FaultTimeline::fill_station_down(std::int64_t step,
+                                      std::vector<char>* out) const {
+  out->assign(static_cast<std::size_t>(num_stations_), 0);
+  for (int g = 0; g < num_stations_; ++g) {
+    if (intervals_cover(down_[static_cast<std::size_t>(g)], step)) {
+      (*out)[static_cast<std::size_t>(g)] = 1;
+    }
+  }
+}
+
+double FaultTimeline::backhaul_multiplier(int station,
+                                          std::int64_t step) const {
+  if (backhaul_.empty()) return 1.0;
+  DGS_DCHECK(station >= 0 && station < num_stations_,
+             "station=" << station);
+  double mult = 1.0;
+  for (const BackhaulInterval& i :
+       backhaul_[static_cast<std::size_t>(station)]) {
+    if (step >= i.begin && step < i.end) mult = std::min(mult, i.multiplier);
+  }
+  return mult;
+}
+
+AckRelayOutcome FaultTimeline::ack_relay_outcome(std::int64_t step, int sat,
+                                                 int station) const {
+  AckRelayOutcome out;
+  const AckRelayFaults& f = plan_.ack_relay;
+  if (f.loss_probability <= 0.0) return out;
+  double backoff = f.initial_backoff_s;
+  while (out.retries < f.max_attempts) {
+    const double u = keyed_uniform(
+        plan_.seed, kStreamAckRelay, static_cast<std::uint64_t>(step),
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sat))
+         << 32) |
+            static_cast<std::uint32_t>(station),
+        static_cast<std::uint64_t>(out.retries));
+    if (u >= f.loss_probability) break;  // this attempt got through
+    out.delay_s += std::min(backoff, f.max_backoff_s);
+    backoff *= f.backoff_multiplier;
+    out.retries += 1;
+  }
+  return out;
+}
+
+bool FaultTimeline::plan_upload_fails(std::int64_t step, int sat,
+                                      int station) const {
+  const double p = plan_.plan_upload.failure_probability;
+  if (p <= 0.0) return false;
+  const double u = keyed_uniform(
+      plan_.seed, kStreamPlanUpload, static_cast<std::uint64_t>(step),
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sat)) << 32) |
+          static_cast<std::uint32_t>(station),
+      0);
+  return u < p;
+}
+
+}  // namespace dgs::faults

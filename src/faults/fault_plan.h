@@ -1,0 +1,172 @@
+// Deterministic seeded fault injection (paper §1, §2).
+//
+// The paper's robustness argument is that a centralized ground segment is
+// "a single point of failure" while DGS's consumer-grade stations fail
+// *often but independently*.  This module makes that failure model a
+// first-class simulation input: a FaultPlan composes scheduled and
+// stochastic station outages, backhaul degradation, ack-relay Internet
+// loss, and TX-contact plan-upload failures, all drawn from one seed so a
+// run is fully reproducible for a fixed (seed, step grid) — see
+// DESIGN.md §11 for the taxonomy and the determinism rules.
+//
+// Reproducibility is load-bearing: every stochastic draw is either
+// (a) pre-expanded on the driver thread at timeline construction (station
+// churn windows, from per-station PCG32 streams), or (b) a stateless hash
+// of (seed, stream, step, sat, station, attempt) — so no draw depends on
+// evaluation order or thread count, per the DESIGN.md §9 contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dgs::faults {
+
+/// Scheduled outage: the station is unavailable during [start, end).
+/// A step is blanked iff its *start* lies in the window, so an outage
+/// ending exactly on a step boundary does not blank that step.
+struct OutageWindow {
+  int station_index = 0;
+  double start_hours = 0.0;  ///< Relative to the simulation start.
+  double end_hours = 0.0;
+};
+
+/// Stochastic station churn: each participating station alternates
+/// up/down with exponentially-distributed dwell times (the consumer-grade
+/// "fails often but independently" regime).  mtbf_hours == 0 disables.
+struct StationChurn {
+  double mtbf_hours = 0.0;       ///< Mean time between failures (up dwell).
+  double mttr_hours = 0.0;       ///< Mean time to repair (down dwell).
+  double station_fraction = 1.0; ///< Fraction of stations that churn.
+};
+
+/// Backhaul degradation interval for one station: the station->cloud
+/// uplink runs at `rate_multiplier` x its nominal rate during
+/// [start, end).  0 is a hard blackout (data queues at the edge).
+struct BackhaulFault {
+  int station_index = 0;
+  double start_hours = 0.0;
+  double end_hours = 0.0;
+  double rate_multiplier = 0.0;
+};
+
+/// Ack-relay Internet faults: a receive-only station's collated report
+/// upload to the operator is lost with `loss_probability` per attempt and
+/// retried with capped exponential backoff; the report (and hence the
+/// ack or missing-pieces verdict) only becomes available to the next
+/// TX contact once the retries succeed.  max_attempts bounds the retry
+/// loop so a report always lands eventually.
+struct AckRelayFaults {
+  double loss_probability = 0.0;  ///< Per-attempt loss, in [0, 1).
+  double initial_backoff_s = 60.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 1800.0;
+  int max_attempts = 16;
+};
+
+/// TX-contact plan-upload faults: with this probability the whole TT&C
+/// exchange at a transmit-capable contact fails — no acks are collected
+/// and no fresh plan is uploaded, so the satellite keeps flying stale
+/// forecasts until the next TX opportunity.
+struct PlanUploadFaults {
+  double failure_probability = 0.0;  ///< Per TX contact, in [0, 1).
+};
+
+/// The full fault configuration for one run.  Default-constructed plans
+/// are empty (no faults); the simulator's fast paths are preserved.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<OutageWindow> outages;
+  StationChurn churn;
+  std::vector<BackhaulFault> backhaul;
+  AckRelayFaults ack_relay;
+  PlanUploadFaults plan_upload;
+
+  bool has_station_faults() const {
+    return !outages.empty() || churn.mtbf_hours > 0.0;
+  }
+  bool has_backhaul_faults() const { return !backhaul.empty(); }
+  bool has_ack_relay_faults() const {
+    return ack_relay.loss_probability > 0.0;
+  }
+  bool has_plan_upload_faults() const {
+    return plan_upload.failure_probability > 0.0;
+  }
+  bool empty() const {
+    return !has_station_faults() && !has_backhaul_faults() &&
+           !has_ack_relay_faults() && !has_plan_upload_faults();
+  }
+};
+
+/// First step whose start time is at or after `hours` on the step grid,
+/// with a relative tolerance absorbing float dust when `hours` lands
+/// exactly on a boundary (so 2.0 h at dt=60 s is step 120, not 121).
+/// Exposed for the boundary tests.
+std::int64_t step_at_or_after(double hours, double step_seconds);
+
+/// Result of one ack-relay retry sequence: how many attempts were lost
+/// and the total backoff delay accumulated before the report landed.
+struct AckRelayOutcome {
+  int retries = 0;
+  double delay_s = 0.0;
+};
+
+/// The plan expanded onto a concrete step grid.  Construction (driver
+/// thread only) pre-draws all churn windows; queries are pure lookups or
+/// stateless hash draws, so results are independent of call order.
+class FaultTimeline {
+ public:
+  /// Throws std::invalid_argument (via DGS_ENSURE) for out-of-range
+  /// station indices or non-positive grid parameters.  Validation of the
+  /// plan's numeric ranges lives in SimulationOptions::validate().
+  FaultTimeline(const FaultPlan& plan, int num_stations,
+                std::int64_t num_steps, double step_seconds);
+
+  bool has_station_faults() const { return has_station_faults_; }
+  bool has_backhaul_faults() const { return !backhaul_.empty(); }
+
+  /// True iff `station` is down at `step` (scheduled or churn outage).
+  bool station_down(int station, std::int64_t step) const;
+
+  /// Fills `out` (resized to num_stations) with this step's down mask.
+  void fill_station_down(std::int64_t step, std::vector<char>* out) const;
+
+  /// Effective backhaul rate multiplier for `station` at `step`; 1.0 when
+  /// healthy, the minimum over covering degradation intervals otherwise.
+  double backhaul_multiplier(int station, std::int64_t step) const;
+
+  /// Ack-relay retry sequence for the report of a batch delivered at
+  /// (step, sat, station).  Stateless: same arguments, same outcome.
+  AckRelayOutcome ack_relay_outcome(std::int64_t step, int sat,
+                                    int station) const;
+
+  /// True iff the plan upload at this TX contact fails.  Stateless.
+  bool plan_upload_fails(std::int64_t step, int sat, int station) const;
+
+  /// Half-open [begin, end) step interval; down intervals per station
+  /// after merging scheduled windows and expanded churn.  For tests.
+  struct StepInterval {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+  };
+  const std::vector<std::vector<StepInterval>>& down_intervals() const {
+    return down_;
+  }
+
+ private:
+  const FaultPlan plan_;
+  int num_stations_;
+  std::int64_t num_steps_;
+  bool has_station_faults_ = false;
+  /// Per station: disjoint sorted [begin, end) down intervals.
+  std::vector<std::vector<StepInterval>> down_;
+  /// Per station: degradation intervals with multipliers (may overlap;
+  /// queries take the minimum).
+  struct BackhaulInterval {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    double multiplier = 1.0;
+  };
+  std::vector<std::vector<BackhaulInterval>> backhaul_;
+};
+
+}  // namespace dgs::faults

@@ -1,0 +1,92 @@
+// Deterministic random primitives for fault injection.
+//
+// The standard library's distributions are implementation-defined, so a
+// seed would not reproduce across toolchains.  Fault draws therefore use
+// a hand-rolled PCG32 (O'Neill's pcg32_oneseq) for sequential streams and
+// a SplitMix64 finalizer for stateless keyed draws; both are fully
+// specified here and covered by golden tests.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace dgs::faults {
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.  Used to
+/// derive independent stream seeds and for stateless keyed draws.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Folds a key component into a running hash (order-sensitive).
+inline std::uint64_t mix_key(std::uint64_t h, std::uint64_t k) {
+  return mix64(h ^ k);
+}
+
+/// Uniform double in [0, 1) from 53 high bits of a mixed word.
+inline double uniform01(std::uint64_t word) {
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+/// Stateless keyed uniform draw in [0, 1): pure function of its
+/// arguments, so the result is independent of evaluation order and
+/// thread count.  `stream` namespaces independent fault channels.
+inline double keyed_uniform(std::uint64_t seed, std::uint64_t stream,
+                            std::uint64_t a, std::uint64_t b,
+                            std::uint64_t c) {
+  std::uint64_t h = mix_key(seed, stream);
+  h = mix_key(h, a);
+  h = mix_key(h, b);
+  h = mix_key(h, c);
+  return uniform01(h);
+}
+
+/// Minimal PCG32 (pcg32_oneseq variant): 64-bit LCG state, XSH-RR output.
+/// Used where a fault channel needs a *sequence* of draws (churn dwell
+/// times); each channel forks its own stream via mix64 so streams are
+/// independent.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed)
+      : state_(mix64(seed) + kIncrement) {
+    next();
+  }
+
+  std::uint32_t next() {
+    const std::uint64_t old = state_;
+    state_ = old * kMultiplier + kIncrement;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+    const auto rot = static_cast<std::uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  /// Uniform double in [0, 1) from two 32-bit outputs.
+  double uniform() {
+    const std::uint64_t hi = next();
+    const std::uint64_t lo = next();
+    return uniform01((hi << 32) | lo);
+  }
+
+  /// Exponential deviate with the given mean, via inverse CDF.  The
+  /// 1 - u argument keeps log() away from 0 exactly.
+  double exponential(double mean) {
+    return -std::log(1.0 - uniform()) * mean;
+  }
+
+ private:
+  static constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
+  static constexpr std::uint64_t kIncrement = 1442695040888963407ULL;
+  std::uint64_t state_;
+};
+
+/// Stream ids namespacing the fault channels (DESIGN.md §11): changing
+/// one channel's parameters must not shift another channel's draws.
+inline constexpr std::uint64_t kStreamChurn = 0x43485552ULL;      // "CHUR"
+inline constexpr std::uint64_t kStreamAckRelay = 0x41434b52ULL;   // "ACKR"
+inline constexpr std::uint64_t kStreamPlanUpload = 0x504c414eULL; // "PLAN"
+
+}  // namespace dgs::faults

@@ -1,0 +1,81 @@
+#include "src/faults/profiles.h"
+
+#include "src/faults/fault_rng.h"
+#include "src/util/check.h"
+
+namespace dgs::faults {
+
+namespace {
+
+void add_churn(FaultPlan* plan) {
+  plan->churn.mtbf_hours = 18.0;
+  plan->churn.mttr_hours = 1.5;
+  plan->churn.station_fraction = 1.0;
+}
+
+void add_flaky_net(FaultPlan* plan) {
+  plan->ack_relay.loss_probability = 0.35;
+  plan->ack_relay.initial_backoff_s = 30.0;
+  plan->ack_relay.backoff_multiplier = 2.0;
+  plan->ack_relay.max_backoff_s = 900.0;
+  plan->ack_relay.max_attempts = 12;
+  plan->plan_upload.failure_probability = 0.15;
+}
+
+void add_brownout(FaultPlan* plan, std::uint64_t seed, int num_stations) {
+  // ~25% of stations get one degradation window; every eighth affected
+  // station is a hard blackout.  Windows are drawn from a dedicated PCG
+  // stream so the selection is a pure function of (seed, num_stations).
+  Pcg32 rng(mix_key(seed, 0x42524f574eULL));  // "BROWN"
+  int affected = 0;
+  for (int g = 0; g < num_stations; ++g) {
+    const double pick = rng.uniform();
+    const double start_h = 2.0 + rng.uniform() * 16.0;
+    const double len_h = 1.0 + rng.uniform() * 3.0;
+    if (pick >= 0.25) continue;
+    BackhaulFault f;
+    f.station_index = g;
+    f.start_hours = start_h;
+    f.end_hours = start_h + len_h;
+    f.rate_multiplier = (affected % 8 == 7) ? 0.0 : 0.25;
+    plan->backhaul.push_back(f);
+    affected += 1;
+  }
+}
+
+}  // namespace
+
+FaultPlan make_profile(std::string_view name, std::uint64_t seed,
+                       int num_stations) {
+  DGS_ENSURE_GT(num_stations, 0);
+  FaultPlan plan;
+  plan.seed = seed;
+  if (name == "none") return plan;
+  if (name == "churn") {
+    add_churn(&plan);
+    return plan;
+  }
+  if (name == "flaky-net") {
+    add_flaky_net(&plan);
+    return plan;
+  }
+  if (name == "brownout") {
+    add_brownout(&plan, seed, num_stations);
+    return plan;
+  }
+  if (name == "storm") {
+    add_churn(&plan);
+    add_flaky_net(&plan);
+    add_brownout(&plan, seed, num_stations);
+    return plan;
+  }
+  DGS_ENSURE(false, "unknown fault profile '"
+                        << name << "' (known: " << profile_names() << ")");
+  return plan;  // unreachable
+}
+
+const char* profile_names() {
+  return "none, churn, flaky-net, brownout, storm";
+}
+
+}  // namespace dgs::faults

@@ -1,0 +1,32 @@
+// Named fault profiles for the CLI and the ablation benches: canned
+// FaultPlan configurations spanning the taxonomy (DESIGN.md §11), so a
+// robustness experiment is `--fault-profile storm --fault-seed 7` instead
+// of a hand-built plan.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/faults/fault_plan.h"
+
+namespace dgs::faults {
+
+/// Builds the named profile.  `num_stations` lets profiles with concrete
+/// per-station windows (backhaul brownouts) pick stations
+/// deterministically from `seed`.  Known names (see profile_names()):
+///   none      — empty plan (baseline).
+///   churn     — station flapping only (MTBF 18 h, MTTR 1.5 h, all
+///               stations), the consumer-grade availability regime.
+///   flaky-net — ack-relay Internet loss with backoff plus occasional
+///               plan-upload failures; stations stay up.
+///   brownout  — backhaul degradation windows on ~25% of stations (one in
+///               eight a hard blackout); requires station_backhaul_bps.
+///   storm     — churn + flaky-net + brownout combined, the worst day.
+/// Throws std::invalid_argument for an unknown name.
+FaultPlan make_profile(std::string_view name, std::uint64_t seed,
+                       int num_stations);
+
+/// Comma-separated list of the known profile names, for usage text.
+const char* profile_names();
+
+}  // namespace dgs::faults

@@ -115,6 +115,49 @@ void EventLog::outage_end(int station) {
   begin_line("outage_end") << ", \"gs\": " << station << "}\n";
 }
 
+void EventLog::outage_loss(int sat, int station, double bytes) {
+  if (!enabled()) return;
+  std::ostream& out = begin_line("outage_loss");
+  out << ", \"sat\": " << sat << ", \"gs\": " << station << ", \"bytes\": ";
+  append_number(out, bytes);
+  out << "}\n";
+}
+
+void EventLog::ack_relay_retry(int sat, int station, int retries,
+                               double delay_s) {
+  if (!enabled()) return;
+  std::ostream& out = begin_line("ack_relay_retry");
+  out << ", \"sat\": " << sat << ", \"gs\": " << station
+      << ", \"retries\": " << retries << ", \"delay_s\": ";
+  append_number(out, delay_s);
+  out << "}\n";
+}
+
+void EventLog::plan_upload_failed(int sat, int station) {
+  if (!enabled()) return;
+  begin_line("plan_upload_failed")
+      << ", \"sat\": " << sat << ", \"gs\": " << station << "}\n";
+}
+
+void EventLog::replan(int station, int window_steps) {
+  if (!enabled()) return;
+  begin_line("replan") << ", \"gs\": " << station
+                       << ", \"window_steps\": " << window_steps << "}\n";
+}
+
+void EventLog::backhaul_fault_begin(int station, double multiplier) {
+  if (!enabled()) return;
+  std::ostream& out = begin_line("backhaul_fault_begin");
+  out << ", \"gs\": " << station << ", \"multiplier\": ";
+  append_number(out, multiplier);
+  out << "}\n";
+}
+
+void EventLog::backhaul_fault_end(int station) {
+  if (!enabled()) return;
+  begin_line("backhaul_fault_end") << ", \"gs\": " << station << "}\n";
+}
+
 void EventLog::cache_hit(std::int64_t count) {
   if (!enabled()) return;
   begin_line("cache_hit")

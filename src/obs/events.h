@@ -82,6 +82,21 @@ class EventLog {
   void plan_uploaded(int sat, int station, double lead_s);
   void outage_begin(int station);
   void outage_end(int station);
+  /// Bytes transmitted into a faulted station's dead contact (a subset of
+  /// the matching bytes_moved event's non-received bytes).
+  void outage_loss(int sat, int station, double bytes);
+  /// The station's report upload was lost `retries` times and retried
+  /// with backoff, delaying the batch verdict by `delay_s`.
+  void ack_relay_retry(int sat, int station, int retries, double delay_s);
+  /// The TT&C exchange (acks + fresh plan) at a TX contact failed.
+  void plan_upload_failed(int sat, int station);
+  /// The look-ahead planner re-scored the remaining horizon because
+  /// assigned `station` faulted; the new plan covers `window_steps`.
+  void replan(int station, int window_steps);
+  /// Station `station`'s backhaul degraded to `multiplier` x nominal
+  /// (0 = blackout) / recovered to nominal.
+  void backhaul_fault_begin(int station, double multiplier);
+  void backhaul_fault_end(int station);
   /// Geometry-cache hits/misses accrued during this step (emitted only for
   /// steps where the count is nonzero).
   void cache_hit(std::int64_t count);

@@ -167,15 +167,34 @@ TEST_F(LookaheadTest, SimulatorIntegrationConservesBytes) {
               r.total_generated_bytes * 1e-9 + 1.0);
 }
 
-TEST_F(LookaheadTest, SimulatorRejectsLookaheadWithOutages) {
+TEST_F(LookaheadTest, SimulatorAcceptsLookaheadWithOutages) {
+  // Previously rejected (the planner could not replan on failures); the
+  // fault subsystem lifted the restriction — the combined config must run
+  // and still conserve bytes.
   SimulationOptions opts;
   opts.start = kEpoch;
   opts.duration_hours = 2.0;
   opts.lookahead_hours = 1.0;
   opts.outages.push_back(StationOutage{0, 0.0, 1.0});
-  EXPECT_THROW(Simulator(sats_, stations_, nullptr, opts),
-               std::invalid_argument);
-  opts.outages.clear();
+  Simulator sim(sats_, stations_, nullptr, opts);
+  const SimulationResult r = sim.run();
+  EXPECT_GT(r.total_delivered_bytes, 0.0);
+  // generated == delivered + still-queued + (wasted - requeued): every
+  // byte is delivered, on board, or in limbo awaiting its collated
+  // report (delivered+wasted-requeued == acked+pending, see the
+  // simulator's whole-run conservation audit).
+  double backlog = 0.0;
+  for (const auto& o : r.per_satellite) backlog += o.backlog_bytes;
+  EXPECT_NEAR(r.total_generated_bytes,
+              r.total_delivered_bytes + backlog +
+                  r.wasted_transmission_bytes - r.requeued_bytes,
+              r.total_generated_bytes * 1e-9 + 1.0);
+}
+
+TEST_F(LookaheadTest, SimulatorRejectsNegativeLookahead) {
+  SimulationOptions opts;
+  opts.start = kEpoch;
+  opts.duration_hours = 2.0;
   opts.lookahead_hours = -1.0;
   EXPECT_THROW(Simulator(sats_, stations_, nullptr, opts),
                std::invalid_argument);
