@@ -1,0 +1,65 @@
+// E24 — Monte-Carlo fault campaign: the storm profile as a *distribution*
+// rather than an anecdote.  E23 showed one storm day; this experiment runs
+// 200 independently-seeded storm scenarios through the campaign runner
+// (DESIGN.md §12) and reports mean ± 95% CI per headline metric, which is
+// the statistically defensible form of the paper's §1 robustness claim:
+// consumer-grade stations fail often but independently, so the *expected*
+// degradation is small and its variance is bounded.
+//
+// The campaign directory (E24_campaign/) is resumable: rerunning this
+// bench reuses every finished sample and reproduces the aggregate
+// byte-for-byte.  Reproduce any single row with
+//   dgs_cli --fault-profile storm --fault-seed <campaign_sample_seed(1,i)>
+#include <cstdio>
+
+#include "src/campaign/campaign.h"
+
+int main() {
+  using namespace dgs;
+
+  campaign::CampaignOptions opts;
+  opts.profile = "storm";
+  opts.campaign_seed = 1;
+  opts.samples = 200;
+  opts.workers = 0;  // one worker process per hardware thread
+  opts.out_dir = "E24_campaign";
+  // Scenario defaults: 6 h horizon, 8 satellites, 15 stations — the
+  // fault seed is the sampled axis; geometry and weather stay fixed.
+  opts.write_events = false;  // 200 event ledgers are bulky; summaries
+                              // and metric snapshots carry the result.
+
+  std::printf("=== E24: storm campaign, %d seeds (%g h each) ===\n\n",
+              opts.samples, opts.duration_hours);
+  const campaign::CampaignResult r = campaign::run_campaign(opts, nullptr);
+  std::printf("  samples %d (reused %d, computed %d)\n\n", r.samples,
+              r.reused, r.computed);
+
+  std::printf("  %-24s %10s %9s %10s %10s %10s\n", "metric", "mean",
+              "ci95", "p50", "p99", "max");
+  for (const auto& [name, a] : r.metrics) {
+    std::printf("  %-24s %10.3f \xc2\xb1%8.3f %10.3f %10.3f %10.3f\n",
+                name.c_str(), a.mean, a.ci95, a.p50, a.p99, a.max);
+  }
+
+  if (const auto e = campaign::validate_campaign_dir(opts.out_dir)) {
+    std::printf("\n  SCHEMA VIOLATION %s: %s\n", e->where.c_str(),
+                e->message.c_str());
+    return 1;
+  }
+  std::printf("\n  %s honours run-artifact schema v%d; rerun to resume "
+              "(aggregate is byte-stable).\n", opts.out_dir.c_str(),
+              core::kRunArtifactSchemaVersion);
+
+  std::printf("\n  expected shape: the CI half-widths are the point.  "
+              "Mean latency lands near 24 \xc2\xb1 0.2 min — independent "
+              "station failures average out across seeds — while the p99 "
+              "column carries the storm's real cost: the worst seeds "
+              "stack churn outages onto ack-relay retries (~80 \xc2\xb1 1 "
+              "min here, max ~130).  delivered_fraction barely moves "
+              "(0.915 \xc2\xb1 0.001), and outage_lost_tb is exactly zero "
+              "at this 6 h scale: the down-mask keeps assignments away "
+              "from faulted stations, so bytes are only lost when a "
+              "station dies mid-contact — a rare, 24 h-scale event "
+              "(see E23).\n");
+  return 0;
+}

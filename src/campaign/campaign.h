@@ -1,0 +1,116 @@
+// Monte-Carlo campaign runner (DESIGN.md §12).
+//
+// PR 5's fault profiles define a whole distribution of failure scenarios;
+// a single simulation is one sample from it.  This module turns the
+// robustness claim into statistics: it shards N (fault-seed, profile,
+// scenario) samples across worker *processes*, harvests each run's
+// summary-JSON / metrics / events artifacts (the run_artifact.h
+// contract), and aggregates 95% confidence intervals on backlog,
+// latency, and lost bytes — "storm: p99 latency 143±12 min over 200
+// seeds" instead of an anecdote.
+//
+// Determinism and resume are both anchored on the filesystem layout:
+//
+//   <out_dir>/manifest.json                 campaign identity (validated
+//                                           against re-invocations)
+//   <out_dir>/samples/sample_0007/summary.json   the done marker
+//                                 metrics.txt    per-run obs snapshot
+//                                 events.jsonl   fault/contact ledger
+//   <out_dir>/aggregate.json                cross-sample statistics
+//   <out_dir>/campaign_metrics.txt          folded obs counters
+//
+// Sample i's fault seed is faults::campaign_sample_seed(campaign_seed, i)
+// — a pure function, so shard assignment, worker count, and completion
+// order cannot change any sample's scenario.  A sample is "done" iff its
+// summary.json exists and passes schema validation (artifacts are written
+// to a temp name and renamed, so a killed worker never leaves a valid
+// half-artifact); rerunning a campaign recomputes exactly the samples
+// that are not done.  Aggregation reads samples in index order, so the
+// aggregate is byte-identical for any worker count and across resumes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/run_artifact.h"
+#include "src/core/simulator.h"
+
+namespace dgs::campaign {
+
+struct CampaignOptions {
+  /// Fault profile name (src/faults/profiles.h) sampled by the campaign.
+  std::string profile = "storm";
+  /// Root seed; sample i runs under campaign_sample_seed(seed, i).
+  std::uint64_t campaign_seed = 1;
+  int samples = 64;
+  /// Worker processes (forked); 1 runs in-process, 0 = hardware threads.
+  int workers = 1;
+  std::string out_dir = "campaign_out";
+  /// Scenario: one synthetic constellation/network shared by all samples
+  /// (the fault seed is the sampled axis; weather and geometry are held
+  /// fixed so the CI measures fault variance, not scenario variance).
+  double duration_hours = 6.0;
+  double step_seconds = 60.0;
+  int num_satellites = 8;
+  int num_stations = 15;
+  std::uint64_t network_seed = 13;
+  std::uint64_t weather_seed = 42;
+  /// Per-sample artifact sinks; summary.json is always written.
+  bool write_metrics = true;
+  bool write_events = true;
+
+  /// Constraint check in the SimulationOptions::validate() style.
+  std::optional<core::OptionsError> validate() const;
+};
+
+/// One aggregated campaign metric: moments and order statistics of the
+/// per-sample scalar, plus the 95% normal-approximation CI half-width of
+/// the mean (1.96 * sd / sqrt(count)).
+struct MetricAggregate {
+  double mean = 0.0;
+  double sd = 0.0;
+  double ci95 = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::int64_t count = 0;  ///< Samples that carried this metric.
+};
+
+struct CampaignResult {
+  int samples = 0;   ///< Total samples in the campaign.
+  int reused = 0;    ///< Found done (valid artifacts) and skipped.
+  int computed = 0;  ///< Run by this invocation.
+  /// (metric name, aggregate) in emission order — the aggregate.json body.
+  std::vector<std::pair<std::string, MetricAggregate>> metrics;
+};
+
+/// Paths inside the campaign directory.
+std::string sample_dir(const CampaignOptions& opts, int sample_index);
+std::string manifest_path(const CampaignOptions& opts);
+std::string aggregate_path(const CampaignOptions& opts);
+
+/// Runs one sample in-process and atomically writes its artifacts.
+/// Deterministic: (options identity, sample_index) fixes every byte.
+void run_sample(const CampaignOptions& opts, int sample_index);
+
+/// The full driver: writes/validates the manifest, scans for done
+/// samples, shards the pending ones across `workers` forked processes,
+/// then aggregates all sample summaries into aggregate.json and folds
+/// per-run metric snapshots into campaign_metrics.txt.  `log` (may be
+/// null) receives one-line progress notes.  Throws std::runtime_error on
+/// an incompatible manifest or a failed worker.
+CampaignResult run_campaign(const CampaignOptions& opts,
+                            std::ostream* log = nullptr);
+
+/// Revalidates a campaign directory end to end: manifest, every done
+/// sample's summary (and events, when present), and the aggregate.
+/// Returns the first violation, or nullopt when the directory honours
+/// the schema.
+std::optional<core::ArtifactError> validate_campaign_dir(
+    const std::string& dir);
+
+}  // namespace dgs::campaign

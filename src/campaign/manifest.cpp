@@ -1,0 +1,59 @@
+#include "src/campaign/manifest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dgs::campaign {
+
+std::string render_campaign_identity(const CampaignOptions& opts) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"profile\": \"%s\",\n"
+                "  \"campaign_seed\": %llu,\n"
+                "  \"samples\": %d,\n"
+                "  \"duration_hours\": %.6f,\n"
+                "  \"step_seconds\": %.6f,\n"
+                "  \"num_satellites\": %d,\n"
+                "  \"num_stations\": %d,\n"
+                "  \"network_seed\": %llu,\n"
+                "  \"weather_seed\": %llu",
+                opts.profile.c_str(),
+                static_cast<unsigned long long>(opts.campaign_seed),
+                opts.samples, opts.duration_hours, opts.step_seconds,
+                opts.num_satellites, opts.num_stations,
+                static_cast<unsigned long long>(opts.network_seed),
+                static_cast<unsigned long long>(opts.weather_seed));
+  return buf;
+}
+
+std::string render_manifest(const CampaignOptions& opts) {
+  std::ostringstream out;
+  out << "{\n  \"schema_version\": " << core::kRunArtifactSchemaVersion
+      << ",\n  \"artifact\": \"campaign_manifest\",\n"
+      << render_campaign_identity(opts) << "\n}\n";
+  return out.str();
+}
+
+void write_or_check_manifest(const CampaignOptions& opts) {
+  const std::string path = manifest_path(opts);
+  const std::string want = render_manifest(opts);
+  std::ifstream in(path);
+  if (in) {
+    std::ostringstream have;
+    have << in.rdbuf();
+    if (have.str() != want) {
+      throw std::runtime_error(
+          "campaign manifest mismatch: " + path +
+          " was written by a different campaign (profile/seed/samples/"
+          "scenario changed); use a fresh --out directory");
+    }
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << want;
+}
+
+}  // namespace dgs::campaign

@@ -3,6 +3,10 @@
 // The evaluation harness prints human tables; downstream users want the
 // raw curves.  This module emits (a) the per-step timeseries a plotting
 // pipeline consumes and (b) a JSON summary of the headline metrics.
+//
+// Both writers emit the versioned run-artifact schema defined in
+// run_artifact.h (they are implemented against its field tables in
+// run_artifact.cpp); validate with the checkers declared there.
 #pragma once
 
 #include <iosfwd>
@@ -16,7 +20,8 @@ namespace dgs::core {
 void write_timeseries_csv(std::ostream& out, const SimulationResult& result);
 
 /// JSON object with the headline metrics (latency/backlog percentiles,
-/// totals, utilization).  Flat, stable keys; no external dependency.
+/// totals, utilization) plus the leading schema_version key.  Flat,
+/// stable keys; no external dependency.
 void write_summary_json(std::ostream& out, const SimulationResult& result);
 
 }  // namespace dgs::core

@@ -1,0 +1,651 @@
+#include "src/core/run_artifact.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "src/core/report.h"
+#include "src/util/check.h"
+
+namespace dgs::core {
+namespace {
+
+std::optional<ArtifactError> err(std::string where, std::string message) {
+  return ArtifactError{std::move(where), std::move(message)};
+}
+
+/// True when `v` is an exact integer the double can represent losslessly.
+bool is_integral(double v) {
+  return std::nearbyint(v) == v && std::abs(v) < 9.007199254740992e15;
+}
+
+// --- Restricted JSON parser ------------------------------------------------
+
+constexpr int kMaxDepth = 8;
+
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+
+  bool done() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+  void skip_ws() {
+    while (!done() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+};
+
+bool fail(const Cursor& c, ArtifactError* e, const char* message) {
+  if (e != nullptr) {
+    *e = ArtifactError{"offset " + std::to_string(c.i), message};
+  }
+  return false;
+}
+
+bool parse_value(Cursor& c, JsonValue* out, int depth, ArtifactError* e);
+
+bool parse_string_body(Cursor& c, std::string* out, ArtifactError* e) {
+  if (c.done() || c.peek() != '"') return fail(c, e, "expected '\"'");
+  ++c.i;
+  out->clear();
+  while (!c.done()) {
+    const char ch = c.s[c.i++];
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      // The writers only ever escape '"' and '\\'; anything fancier is
+      // outside the artifact subset.
+      if (c.done()) return fail(c, e, "dangling escape");
+      const char esc = c.s[c.i++];
+      if (esc != '"' && esc != '\\') {
+        return fail(c, e, "unsupported escape in artifact string");
+      }
+      out->push_back(esc);
+      continue;
+    }
+    out->push_back(ch);
+  }
+  return fail(c, e, "unterminated string");
+}
+
+bool parse_literal(Cursor& c, std::string_view lit, ArtifactError* e) {
+  if (c.s.substr(c.i, lit.size()) != lit) {
+    return fail(c, e, "unrecognized literal");
+  }
+  c.i += lit.size();
+  return true;
+}
+
+bool parse_object(Cursor& c, JsonValue* out, int depth, ArtifactError* e) {
+  if (depth >= kMaxDepth) return fail(c, e, "nesting too deep");
+  ++c.i;  // consumes '{'
+  out->kind = JsonValue::Kind::kObject;
+  c.skip_ws();
+  if (!c.done() && c.peek() == '}') {
+    ++c.i;
+    return true;
+  }
+  while (true) {
+    c.skip_ws();
+    std::string key;
+    if (!parse_string_body(c, &key, e)) return false;
+    c.skip_ws();
+    if (c.done() || c.peek() != ':') return fail(c, e, "expected ':'");
+    ++c.i;
+    JsonValue value;
+    if (!parse_value(c, &value, depth + 1, e)) return false;
+    out->members.emplace_back(std::move(key), std::move(value));
+    c.skip_ws();
+    if (c.done()) return fail(c, e, "unterminated object");
+    if (c.peek() == ',') {
+      ++c.i;
+      continue;
+    }
+    if (c.peek() == '}') {
+      ++c.i;
+      return true;
+    }
+    return fail(c, e, "expected ',' or '}'");
+  }
+}
+
+bool parse_value(Cursor& c, JsonValue* out, int depth, ArtifactError* e) {
+  c.skip_ws();
+  if (c.done()) return fail(c, e, "unexpected end of document");
+  switch (c.peek()) {
+    case '{':
+      return parse_object(c, out, depth, e);
+    case '[':
+      return fail(c, e, "arrays are outside the artifact JSON subset");
+    case '"':
+      out->kind = JsonValue::Kind::kString;
+      return parse_string_body(c, &out->text, e);
+    case 't':
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return parse_literal(c, "true", e);
+    case 'f':
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return parse_literal(c, "false", e);
+    case 'n':
+      out->kind = JsonValue::Kind::kNull;
+      return parse_literal(c, "null", e);
+    default: {
+      const char* begin = c.s.data() + c.i;
+      char* end = nullptr;
+      const double v = std::strtod(begin, &end);
+      if (end == begin) return fail(c, e, "expected a JSON value");
+      c.i += static_cast<std::size_t>(end - begin);
+      out->kind = JsonValue::Kind::kNumber;
+      out->number = v;
+      return true;
+    }
+  }
+}
+
+// --- Summary schema table --------------------------------------------------
+
+using enum SummaryFieldKind;
+
+constexpr SummaryFieldSpec kSummaryFields[] = {
+    {"schema_version", kInt},
+    {"latency_minutes", kStats},
+    {"urgent_latency_minutes", kStats},
+    {"backlog_gb", kStats},
+    {"ack_delay_minutes", kStats},
+    {"cloud_latency_minutes", kStats},
+    {"total_generated_tb", kReal},
+    {"total_delivered_tb", kReal},
+    {"total_dropped_tb", kReal},
+    {"delivered_fraction", kReal},
+    {"assignments", kInt},
+    {"failed_assignments", kInt},
+    {"wasted_transmission_tb", kReal},
+    {"requeued_tb", kReal},
+    {"slew_events", kInt},
+    {"outage_lost_tb", kReal},
+    {"ack_retries", kInt},
+    {"replans", kInt},
+    {"plan_upload_failures", kInt},
+    {"mean_station_utilization", kReal},
+    {"steps", kInt},
+};
+
+constexpr const char* kStatsMembers[] = {"median", "p90", "p99", "mean",
+                                         "count"};
+
+constexpr const char* kAggregateMetricMembers[] = {
+    "mean", "sd", "ci95", "p50", "p99", "min", "max", "count"};
+
+/// Campaign identity fields shared by the manifest and the aggregate
+/// (emitted after schema_version and the artifact tag, in this order).
+enum class CampaignFieldKind { kCInt, kCReal, kCString };
+struct CampaignFieldSpec {
+  const char* key;
+  CampaignFieldKind kind;
+};
+constexpr CampaignFieldSpec kCampaignIdentity[] = {
+    {"profile", CampaignFieldKind::kCString},
+    {"campaign_seed", CampaignFieldKind::kCInt},
+    {"samples", CampaignFieldKind::kCInt},
+    {"duration_hours", CampaignFieldKind::kCReal},
+    {"step_seconds", CampaignFieldKind::kCReal},
+    {"num_satellites", CampaignFieldKind::kCInt},
+    {"num_stations", CampaignFieldKind::kCInt},
+    {"network_seed", CampaignFieldKind::kCInt},
+    {"weather_seed", CampaignFieldKind::kCInt},
+};
+
+std::optional<ArtifactError> check_number(const JsonValue& v,
+                                          const std::string& where,
+                                          bool integral) {
+  if (v.kind != JsonValue::Kind::kNumber) {
+    return err(where, "expected a number");
+  }
+  if (integral && !is_integral(v.number)) {
+    return err(where, "expected an integer-valued number");
+  }
+  return std::nullopt;
+}
+
+std::optional<ArtifactError> check_stats_object(const JsonValue& v,
+                                                const std::string& where) {
+  if (v.kind == JsonValue::Kind::kNull) return std::nullopt;
+  if (v.kind != JsonValue::Kind::kObject) {
+    return err(where, "expected a percentile object or null");
+  }
+  const auto keys = stats_member_keys();
+  if (v.members.size() != keys.size()) {
+    return err(where, "percentile object must have exactly " +
+                          std::to_string(keys.size()) + " members");
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (v.members[i].first != keys[i]) {
+      return err(where + "." + v.members[i].first,
+                 std::string("expected key \"") + keys[i] +
+                     "\" at this position");
+    }
+    if (auto e = check_number(v.members[i].second, where + "." + keys[i],
+                              keys[i] == std::string_view("count"))) {
+      return e;
+    }
+  }
+  const JsonValue* count = v.find("count");
+  if (count->number < 1.0) {
+    return err(where + ".count", "must be >= 1 (empty sets are null)");
+  }
+  return std::nullopt;
+}
+
+/// Shared header check: first member schema_version == current, second
+/// member the artifact tag.  Fills `*next` with the index of the first
+/// member after the header.
+std::optional<ArtifactError> check_artifact_header(
+    const JsonValue& root, const std::string& where,
+    std::string_view expected_tag, std::size_t* next) {
+  if (root.kind != JsonValue::Kind::kObject) {
+    return err(where, "expected a JSON object");
+  }
+  if (root.members.size() < 2 ||
+      root.members[0].first != "schema_version") {
+    return err(where + ".schema_version", "must be the first key");
+  }
+  const JsonValue& version = root.members[0].second;
+  if (auto e = check_number(version, where + ".schema_version", true)) {
+    return e;
+  }
+  if (static_cast<int>(version.number) != kRunArtifactSchemaVersion) {
+    return err(where + ".schema_version",
+               "expected version " +
+                   std::to_string(kRunArtifactSchemaVersion) + ", got " +
+                   std::to_string(static_cast<int>(version.number)));
+  }
+  if (root.members[1].first != "artifact" ||
+      root.members[1].second.kind != JsonValue::Kind::kString) {
+    return err(where + ".artifact",
+               "must be the second key, with a string value");
+  }
+  if (root.members[1].second.text != expected_tag) {
+    return err(where + ".artifact",
+               "expected \"" + std::string(expected_tag) + "\", got \"" +
+                   root.members[1].second.text + "\"");
+  }
+  *next = 2;
+  return std::nullopt;
+}
+
+std::optional<ArtifactError> check_campaign_identity(
+    const JsonValue& root, const std::string& where, std::size_t* at) {
+  for (const CampaignFieldSpec& f : kCampaignIdentity) {
+    if (*at >= root.members.size() || root.members[*at].first != f.key) {
+      return err(where + "." + f.key, "missing or out of order");
+    }
+    const JsonValue& v = root.members[*at].second;
+    const std::string field = where + "." + f.key;
+    switch (f.kind) {
+      case CampaignFieldKind::kCInt:
+        if (auto e = check_number(v, field, true)) return e;
+        break;
+      case CampaignFieldKind::kCReal:
+        if (auto e = check_number(v, field, false)) return e;
+        break;
+      case CampaignFieldKind::kCString:
+        if (v.kind != JsonValue::Kind::kString || v.text.empty()) {
+          return err(field, "expected a non-empty string");
+        }
+        break;
+    }
+    ++*at;
+  }
+  return std::nullopt;
+}
+
+// --- Summary writer value mapping -----------------------------------------
+
+long long int_field(const SimulationResult& r, std::string_view key) {
+  if (key == "schema_version") return kRunArtifactSchemaVersion;
+  if (key == "assignments") return r.assignments;
+  if (key == "failed_assignments") return r.failed_assignments;
+  if (key == "slew_events") return r.slew_events;
+  if (key == "ack_retries") return r.ack_retries;
+  if (key == "replans") return r.replans;
+  if (key == "plan_upload_failures") return r.plan_upload_failures;
+  if (key == "steps") return r.steps;
+  DGS_CHECK(false, "unmapped integer summary field");
+  return 0;
+}
+
+double real_field(const SimulationResult& r, std::string_view key) {
+  if (key == "total_generated_tb") return r.total_generated_bytes / 1e12;
+  if (key == "total_delivered_tb") return r.total_delivered_bytes / 1e12;
+  if (key == "total_dropped_tb") return r.total_dropped_bytes / 1e12;
+  if (key == "delivered_fraction") return r.delivered_fraction();
+  if (key == "wasted_transmission_tb") {
+    return r.wasted_transmission_bytes / 1e12;
+  }
+  if (key == "requeued_tb") return r.requeued_bytes / 1e12;
+  if (key == "outage_lost_tb") return r.outage_lost_bytes / 1e12;
+  if (key == "mean_station_utilization") return r.mean_station_utilization;
+  DGS_CHECK(false, "unmapped real summary field");
+  return 0.0;
+}
+
+const util::SampleSet& stats_field(const SimulationResult& r,
+                                   std::string_view key) {
+  if (key == "latency_minutes") return r.latency_minutes;
+  if (key == "urgent_latency_minutes") return r.urgent_latency_minutes;
+  if (key == "backlog_gb") return r.backlog_gb;
+  if (key == "ack_delay_minutes") return r.ack_delay_minutes;
+  DGS_CHECK(key == "cloud_latency_minutes",
+            "unmapped percentile summary field");
+  return r.cloud_latency_minutes;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<JsonValue> parse_restricted_json(std::string_view text,
+                                               ArtifactError* err_out) {
+  Cursor c{text};
+  JsonValue v;
+  if (!parse_value(c, &v, 0, err_out)) return std::nullopt;
+  c.skip_ws();
+  if (!c.done()) {
+    fail(c, err_out, "trailing content after the document");
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::span<const SummaryFieldSpec> summary_field_specs() {
+  return kSummaryFields;
+}
+
+std::span<const char* const> stats_member_keys() { return kStatsMembers; }
+
+std::span<const char* const> aggregate_metric_member_keys() {
+  return kAggregateMetricMembers;
+}
+
+std::string_view timeseries_csv_header() {
+  return "hours,delivered_tb_cum,backlog_gb_total,active_links,"
+         "failed_links_cum";
+}
+
+std::optional<ArtifactError> validate_summary_json(std::string_view text) {
+  ArtifactError parse_err;
+  const auto doc = parse_restricted_json(text, &parse_err);
+  if (!doc) return err("summary", parse_err.where + ": " + parse_err.message);
+  if (doc->kind != JsonValue::Kind::kObject) {
+    return err("summary", "expected a JSON object");
+  }
+  const auto specs = summary_field_specs();
+  if (doc->members.size() != specs.size()) {
+    return err("summary", "expected exactly " +
+                              std::to_string(specs.size()) + " keys, got " +
+                              std::to_string(doc->members.size()));
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& [key, value] = doc->members[i];
+    const std::string where = "summary." + key;
+    if (key != specs[i].key) {
+      return err(where, std::string("expected key \"") + specs[i].key +
+                            "\" at this position");
+    }
+    switch (specs[i].kind) {
+      case kInt:
+        if (auto e = check_number(value, where, true)) return e;
+        break;
+      case kReal:
+        if (auto e = check_number(value, where, false)) return e;
+        break;
+      case kStats:
+        if (auto e = check_stats_object(value, where)) return e;
+        break;
+    }
+  }
+  const int version = static_cast<int>(doc->members[0].second.number);
+  if (version != kRunArtifactSchemaVersion) {
+    return err("summary.schema_version",
+               "expected version " +
+                   std::to_string(kRunArtifactSchemaVersion) + ", got " +
+                   std::to_string(version));
+  }
+  return std::nullopt;
+}
+
+std::optional<ArtifactError> validate_timeseries_csv(std::string_view text) {
+  std::size_t pos = 0;
+  int line_no = 0;
+  double prev_hours = -1.0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    const std::string where = "timeseries line " + std::to_string(line_no);
+    if (line_no == 1) {
+      if (line != timeseries_csv_header()) {
+        return err(where, "header does not match the schema");
+      }
+      continue;
+    }
+    if (line.empty()) return err(where, "empty row");
+    // Exactly 5 columns, each a complete number.
+    int col = 0;
+    std::size_t field_start = 0;
+    double hours = 0.0;
+    for (std::size_t j = 0; j <= line.size(); ++j) {
+      if (j != line.size() && line[j] != ',') continue;
+      const std::string field(line.substr(field_start, j - field_start));
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (field.empty() || end != field.c_str() + field.size()) {
+        return err(where, "column " + std::to_string(col + 1) +
+                              " is not a number: \"" + field + "\"");
+      }
+      if (col == 0) hours = v;
+      ++col;
+      field_start = j + 1;
+    }
+    if (col != 5) {
+      return err(where,
+                 "expected 5 columns, got " + std::to_string(col));
+    }
+    if (hours <= prev_hours) {
+      return err(where, "hours must be strictly increasing");
+    }
+    prev_hours = hours;
+  }
+  if (line_no == 0) return err("timeseries", "missing header row");
+  return std::nullopt;
+}
+
+std::optional<ArtifactError> validate_events_jsonl(std::string_view text) {
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    // NUL-terminated copy: the number scanner is strtod-based.
+    const std::string line(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string where = "events line " + std::to_string(line_no);
+    ArtifactError parse_err;
+    const auto doc = parse_restricted_json(line, &parse_err);
+    if (!doc) return err(where, parse_err.where + ": " + parse_err.message);
+    if (doc->kind != JsonValue::Kind::kObject || doc->members.size() < 3) {
+      return err(where, "expected an object with at least 3 members");
+    }
+    if (doc->members[0].first != "t_hours" ||
+        doc->members[0].second.kind != JsonValue::Kind::kNumber) {
+      return err(where, "member 1 must be \"t_hours\": <number>");
+    }
+    const JsonValue& step = doc->members[1].second;
+    if (doc->members[1].first != "step" ||
+        step.kind != JsonValue::Kind::kNumber ||
+        !is_integral(step.number) || step.number < 0.0) {
+      return err(where, "member 2 must be \"step\": <integer >= 0>");
+    }
+    if (doc->members[2].first != "type" ||
+        doc->members[2].second.kind != JsonValue::Kind::kString ||
+        doc->members[2].second.text.empty()) {
+      return err(where, "member 3 must be \"type\": <non-empty string>");
+    }
+    for (std::size_t i = 3; i < doc->members.size(); ++i) {
+      if (doc->members[i].second.kind == JsonValue::Kind::kObject) {
+        return err(where + "." + doc->members[i].first,
+                   "event payloads are flat (no nested objects)");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+double RunSummary::scalar(std::string_view key) const {
+  const JsonValue* v = root.find(key);
+  DGS_CHECK(v != nullptr && v->kind == JsonValue::Kind::kNumber,
+            "RunSummary::scalar on a non-scalar field");
+  return v->number;
+}
+
+const JsonValue* RunSummary::stats(std::string_view key) const {
+  const JsonValue* v = root.find(key);
+  DGS_CHECK(v != nullptr, "RunSummary::stats on an unknown field");
+  return v->kind == JsonValue::Kind::kObject ? v : nullptr;
+}
+
+std::optional<ArtifactError> parse_summary_json(std::string_view text,
+                                                RunSummary* out) {
+  if (auto e = validate_summary_json(text)) return e;
+  out->root = *parse_restricted_json(text);
+  return std::nullopt;
+}
+
+std::optional<ArtifactError> validate_campaign_manifest_json(
+    std::string_view text) {
+  ArtifactError parse_err;
+  const auto doc = parse_restricted_json(text, &parse_err);
+  if (!doc) {
+    return err("manifest", parse_err.where + ": " + parse_err.message);
+  }
+  std::size_t at = 0;
+  if (auto e = check_artifact_header(*doc, "manifest", "campaign_manifest",
+                                     &at)) {
+    return e;
+  }
+  if (auto e = check_campaign_identity(*doc, "manifest", &at)) return e;
+  if (at != doc->members.size()) {
+    return err("manifest." + doc->members[at].first, "unknown trailing key");
+  }
+  return std::nullopt;
+}
+
+std::optional<ArtifactError> validate_campaign_aggregate_json(
+    std::string_view text) {
+  ArtifactError parse_err;
+  const auto doc = parse_restricted_json(text, &parse_err);
+  if (!doc) {
+    return err("aggregate", parse_err.where + ": " + parse_err.message);
+  }
+  std::size_t at = 0;
+  if (auto e = check_artifact_header(*doc, "aggregate",
+                                     "campaign_aggregate", &at)) {
+    return e;
+  }
+  if (auto e = check_campaign_identity(*doc, "aggregate", &at)) return e;
+  if (at + 1 != doc->members.size() || doc->members[at].first != "metrics") {
+    return err("aggregate.metrics", "must be the final key");
+  }
+  const JsonValue& metrics = doc->members[at].second;
+  if (metrics.kind != JsonValue::Kind::kObject || metrics.members.empty()) {
+    return err("aggregate.metrics", "expected a non-empty object");
+  }
+  for (const auto& [name, m] : metrics.members) {
+    const std::string where = "aggregate.metrics." + name;
+    if (m.kind != JsonValue::Kind::kObject) {
+      return err(where, "expected an object");
+    }
+    const auto keys = aggregate_metric_member_keys();
+    if (m.members.size() != keys.size()) {
+      return err(where, "expected exactly " + std::to_string(keys.size()) +
+                            " members");
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (m.members[i].first != keys[i]) {
+        return err(where + "." + m.members[i].first,
+                   std::string("expected key \"") + keys[i] +
+                       "\" at this position");
+      }
+      if (auto e =
+              check_number(m.members[i].second, where + "." + keys[i],
+                           keys[i] == std::string_view("count"))) {
+        return e;
+      }
+    }
+    if (m.find("count")->number < 1.0) {
+      return err(where + ".count", "must be >= 1");
+    }
+  }
+  return std::nullopt;
+}
+
+// --- Writers (declared in report.h; the schema table above is the
+// contract they emit) -------------------------------------------------------
+
+void write_timeseries_csv(std::ostream& out, const SimulationResult& result) {
+  out << timeseries_csv_header() << "\n";
+  char buf[128];
+  for (const StepRecord& r : result.timeseries) {
+    std::snprintf(buf, sizeof(buf), "%.4f,%.6f,%.3f,%d,%lld\n", r.hours,
+                  r.delivered_bytes_cum / 1e12, r.backlog_bytes_total / 1e9,
+                  r.active_links, static_cast<long long>(r.failed_cum));
+    out << buf;
+  }
+}
+
+void write_summary_json(std::ostream& out, const SimulationResult& result) {
+  out << "{\n";
+  char buf[192];
+  const auto specs = summary_field_specs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const SummaryFieldSpec& f = specs[i];
+    switch (f.kind) {
+      case kInt:
+        std::snprintf(buf, sizeof(buf), "  \"%s\": %lld", f.key,
+                      int_field(result, f.key));
+        break;
+      case kReal:
+        std::snprintf(buf, sizeof(buf), "  \"%s\": %.6f", f.key,
+                      real_field(result, f.key));
+        break;
+      case kStats: {
+        const util::SampleSet& s = stats_field(result, f.key);
+        if (s.empty()) {
+          std::snprintf(buf, sizeof(buf), "  \"%s\": null", f.key);
+        } else {
+          std::snprintf(buf, sizeof(buf),
+                        "  \"%s\": {\"median\": %.3f, \"p90\": %.3f, "
+                        "\"p99\": %.3f, \"mean\": %.3f, \"count\": %zu}",
+                        f.key, s.percentile(50.0), s.percentile(90.0),
+                        s.percentile(99.0), s.mean(), s.size());
+        }
+        break;
+      }
+    }
+    out << buf << (i + 1 < specs.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+}
+
+}  // namespace dgs::core

@@ -88,5 +88,19 @@ class Pcg32 {
 inline constexpr std::uint64_t kStreamChurn = 0x43485552ULL;      // "CHUR"
 inline constexpr std::uint64_t kStreamAckRelay = 0x41434b52ULL;   // "ACKR"
 inline constexpr std::uint64_t kStreamPlanUpload = 0x504c414eULL; // "PLAN"
+inline constexpr std::uint64_t kStreamCampaign = 0x43414d50ULL;   // "CAMP"
+
+/// Per-sample fault seed for Monte-Carlo campaigns (DESIGN.md §12): the
+/// campaign seed and the sample index are mixed through the same keyed
+/// SplitMix64 chain the stateless fault draws use, so (a) every sample
+/// gets a decorrelated fault-plan seed, (b) sample i's scenario is
+/// independent of how many samples the campaign runs, and (c) a single
+/// run can be reproduced with
+/// `dgs_cli --fault-seed $(campaign_sample_seed(seed, i))`.
+inline std::uint64_t campaign_sample_seed(std::uint64_t campaign_seed,
+                                          std::int64_t sample_index) {
+  return mix_key(mix_key(campaign_seed, kStreamCampaign),
+                 static_cast<std::uint64_t>(sample_index));
+}
 
 }  // namespace dgs::faults

@@ -1,6 +1,7 @@
 #include "src/obs/metrics.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 
 #include "src/util/check.h"
@@ -168,6 +169,30 @@ std::size_t Registry::series_count() const {
              : 1;
   }
   return n;
+}
+
+bool read_prometheus_sample(std::string_view exposition,
+                            std::string_view name, double* out) {
+  std::size_t pos = 0;
+  while (pos < exposition.size()) {
+    std::size_t eol = exposition.find('\n', pos);
+    if (eol == std::string_view::npos) eol = exposition.size();
+    const std::string_view line = exposition.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string_view::npos || line.substr(0, space) != name) {
+      continue;
+    }
+    // NUL-terminated copy for strtod.
+    const std::string value(line.substr(space + 1));
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) return false;
+    *out = v;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace dgs::obs

@@ -27,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dgs::obs {
@@ -134,5 +135,15 @@ class Registry {
   mutable std::mutex mutex_;
   std::map<std::string, Entry> entries_;  ///< Sorted for stable exposition.
 };
+
+/// Reads one sample back out of a Prometheus text exposition: the value of
+/// the line whose metric name equals `name` exactly (no label matching —
+/// DGS series are unlabelled except histogram buckets, whose `name{le=...}`
+/// form never equals a bare name).  Returns false when absent.  This is
+/// the snapshot half of the round trip: write_prometheus produced the
+/// text, and the campaign aggregator folds per-run snapshots back into
+/// campaign-level counters (DESIGN.md §12).
+bool read_prometheus_sample(std::string_view exposition,
+                            std::string_view name, double* out);
 
 }  // namespace dgs::obs

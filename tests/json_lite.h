@@ -1,5 +1,7 @@
 // Minimal JSON helpers for tests: a full-document syntax validator plus
-// field extraction for the flat one-line objects the event log emits.
+// field extraction for the flat one-line objects the event log emits,
+// and wrappers hooking the run-artifact schema validators
+// (src/core/run_artifact.h) into EXPECT-style assertions.
 // Inputs must be backed by NUL-terminated buffers (std::string contents) —
 // number scanning uses strtod, which may read past a raw view otherwise.
 #pragma once
@@ -8,6 +10,8 @@
 #include <cstdlib>
 #include <string>
 #include <string_view>
+
+#include "src/core/run_artifact.h"
 
 namespace dgs::testing {
 
@@ -156,6 +160,40 @@ inline bool json_string_field(std::string_view line, std::string_view key,
   if (close == std::string_view::npos) return false;
   *out = std::string(line.substr(start, close - start));
   return true;
+}
+
+// --- Run-artifact schema hookup (the single contract every summary /
+// timeseries / event artifact honours; see run_artifact.h) ------------------
+
+/// Renders an ArtifactError for assertion messages.
+inline std::string artifact_error_text(
+    const std::optional<dgs::core::ArtifactError>& e) {
+  return e ? e->where + ": " + e->message : std::string("ok");
+}
+
+/// True iff `text` is a schema-valid summary JSON at the pinned
+/// kRunArtifactSchemaVersion; fills `why` (may be null) on failure.
+inline bool summary_schema_valid(std::string_view text,
+                                 std::string* why = nullptr) {
+  const auto e = dgs::core::validate_summary_json(text);
+  if (e && why != nullptr) *why = artifact_error_text(e);
+  return !e;
+}
+
+/// Same for the timeseries CSV artifact.
+inline bool timeseries_schema_valid(std::string_view text,
+                                    std::string* why = nullptr) {
+  const auto e = dgs::core::validate_timeseries_csv(text);
+  if (e && why != nullptr) *why = artifact_error_text(e);
+  return !e;
+}
+
+/// Same for the JSONL event log artifact.
+inline bool events_schema_valid(std::string_view text,
+                                std::string* why = nullptr) {
+  const auto e = dgs::core::validate_events_jsonl(text);
+  if (e && why != nullptr) *why = artifact_error_text(e);
+  return !e;
 }
 
 }  // namespace dgs::testing

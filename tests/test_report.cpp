@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "src/core/report.h"
+#include "src/faults/profiles.h"
 #include "tests/json_lite.h"
 
 namespace dgs::core {
@@ -123,6 +124,71 @@ TEST(Report, CsvHeaderIsStable) {
   EXPECT_EQ(header,
             "hours,delivered_tb_cum,backlog_gb_total,active_links,"
             "failed_links_cum");
+  EXPECT_EQ(header, std::string(timeseries_csv_header()));
+}
+
+// --- Run-artifact schema round trips (run_artifact.h is the contract the
+// writers emit; the validators must accept every writer output) -------------
+
+TEST(RunArtifactSchema, SummaryAndTimeseriesValidate) {
+  const SimulationResult r = run_small(true);
+  std::stringstream json, csv;
+  write_summary_json(json, r);
+  write_timeseries_csv(csv, r);
+  std::string why;
+  EXPECT_TRUE(dgs::testing::summary_schema_valid(json.str(), &why)) << why;
+  EXPECT_TRUE(dgs::testing::timeseries_schema_valid(csv.str(), &why))
+      << why;
+  // A default (all-empty) result also honours the schema.
+  std::stringstream empty;
+  write_summary_json(empty, SimulationResult{});
+  EXPECT_TRUE(dgs::testing::summary_schema_valid(empty.str(), &why)) << why;
+}
+
+TEST(RunArtifactSchema, SchemaVersionIsPinned) {
+  ASSERT_EQ(kRunArtifactSchemaVersion, 1);
+  std::stringstream ss;
+  write_summary_json(ss, run_small(false));
+  double version = 0.0;
+  ASSERT_TRUE(dgs::testing::json_number_field(ss.str(), "schema_version",
+                                              &version));
+  EXPECT_EQ(static_cast<int>(version), kRunArtifactSchemaVersion);
+}
+
+// The round trip the CLI performs for every profile: make_profile ->
+// validate -> simulate -> write_summary_json must produce a document the
+// shared validator accepts, fault accounting included.
+TEST(RunArtifactSchema, AllFaultProfilesRoundTrip) {
+  groundseg::NetworkOptions net;
+  net.num_stations = 15;
+  net.num_satellites = 8;
+  net.seed = 13;
+  const auto sats = groundseg::generate_constellation(net, kT0);
+  const auto stations = groundseg::generate_dgs_stations(net);
+  for (const char* profile :
+       {"none", "churn", "flaky-net", "brownout", "storm"}) {
+    SimulationOptions opts;
+    opts.start = kT0;
+    opts.duration_hours = 2.0;
+    opts.faults = faults::make_profile(profile, 7, net.num_stations);
+    if (opts.faults.has_backhaul_faults()) {
+      opts.station_backhaul_bps = 50e6;
+    }
+    ASSERT_FALSE(opts.validate(net.num_stations).has_value()) << profile;
+    const SimulationResult r =
+        Simulator(sats, stations, nullptr, opts).run();
+    std::stringstream ss;
+    write_summary_json(ss, r);
+    std::string why;
+    EXPECT_TRUE(dgs::testing::summary_schema_valid(ss.str(), &why))
+        << profile << ": " << why;
+    double version = 0.0;
+    ASSERT_TRUE(dgs::testing::json_number_field(ss.str(),
+                                                "schema_version", &version))
+        << profile;
+    EXPECT_EQ(static_cast<int>(version), kRunArtifactSchemaVersion)
+        << profile;
+  }
 }
 
 }  // namespace
