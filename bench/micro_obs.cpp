@@ -62,7 +62,7 @@ BENCHMARK(BM_SpanEnabled);
 void BM_CounterInc(benchmark::State& state) {
   static obs::Registry registry;
   static obs::Counter* counter =
-      registry.counter("bench_counter_total", "micro_obs scratch counter");
+      registry.counter("dgs_bench_counter_total", "micro_obs scratch counter");
   for (auto _ : state) counter->inc();
 }
 BENCHMARK(BM_CounterInc);
@@ -72,7 +72,7 @@ BENCHMARK(BM_CounterInc)->Threads(4)->Name("BM_CounterIncContended");
 void BM_HistogramObserve(benchmark::State& state) {
   static obs::Registry registry;
   static obs::Histogram* hist = registry.histogram(
-      "bench_histogram", "micro_obs scratch histogram",
+      "dgs_bench_histogram", "micro_obs scratch histogram",
       {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0});
   double v = 0.0;
   for (auto _ : state) {

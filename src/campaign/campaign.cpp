@@ -8,7 +8,6 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 
 #ifdef __unix__
 #include <sys/wait.h>
@@ -20,6 +19,7 @@
 #include "src/faults/fault_rng.h"
 #include "src/faults/profiles.h"
 #include "src/util/stats.h"
+#include "src/util/thread_pool.h"
 #include "src/weather/synthetic.h"
 
 namespace dgs::campaign {
@@ -69,8 +69,10 @@ void write_file_atomic(const std::string& path, const std::string& text) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary);
+    // dgslint: allow(R4) -- campaign I/O errors are runtime_error by contract
     if (!out) throw std::runtime_error("cannot write " + tmp);
     out << text;
+    // dgslint: allow(R4) -- campaign I/O errors are runtime_error by contract
     if (!out) throw std::runtime_error("short write to " + tmp);
   }
   fs::rename(tmp, path);
@@ -110,6 +112,7 @@ void run_pending_sharded(const CampaignOptions& o,
   std::vector<pid_t> pids;
   for (int w = 0; w < workers; ++w) {
     const pid_t pid = fork();
+    // dgslint: allow(R4) -- worker spawn failure is runtime_error by contract
     if (pid < 0) throw std::runtime_error("fork() failed");
     if (pid == 0) {
       // Worker process: compute the shard, then bypass atexit handlers
@@ -138,6 +141,7 @@ void run_pending_sharded(const CampaignOptions& o,
     }
   }
   if (failures > 0) {
+    // dgslint: allow(R4) -- worker exit status is an environment error
     throw std::runtime_error(
         std::to_string(failures) +
         " campaign worker(s) failed; rerun to resume from the manifest");
@@ -214,11 +218,13 @@ void aggregate_samples(const CampaignOptions& o, CampaignResult* r,
   for (int i = 0; i < o.samples; ++i) {
     std::string text;
     if (!read_file(summary_path(o, i), &text)) {
+      // dgslint: allow(R4) -- missing artifact on resume is runtime_error
       throw std::runtime_error("missing sample summary " +
                                summary_path(o, i));
     }
     core::RunSummary summary;
     if (const auto e = core::parse_summary_json(text, &summary)) {
+      // dgslint: allow(R4) -- corrupt artifact on resume is runtime_error
       throw std::runtime_error(summary_path(o, i) + ": " + e->where +
                                ": " + e->message);
     }
@@ -346,6 +352,7 @@ void run_sample(const CampaignOptions& o, int sample_index) {
   // as dgs_cli).
   if (opts.faults.has_backhaul_faults()) opts.station_backhaul_bps = 50e6;
   if (const auto e = opts.validate(o.num_stations)) {
+    // dgslint: allow(R4) -- renders OptionsError; format is test-pinned
     throw std::runtime_error("SimulationOptions." + e->field + ": " +
                              e->message);
   }
@@ -380,6 +387,7 @@ void run_sample(const CampaignOptions& o, int sample_index) {
 
 CampaignResult run_campaign(const CampaignOptions& o, std::ostream* log) {
   if (const auto e = o.validate()) {
+    // dgslint: allow(R4) -- renders OptionsError; format is test-pinned
     throw std::runtime_error("CampaignOptions." + e->field + ": " +
                              e->message);
   }
@@ -397,9 +405,7 @@ CampaignResult run_campaign(const CampaignOptions& o, std::ostream* log) {
     }
   }
   r.computed = static_cast<int>(pending.size());
-  int workers = o.workers != 0
-                    ? o.workers
-                    : static_cast<int>(std::thread::hardware_concurrency());
+  int workers = o.workers != 0 ? o.workers : util::hardware_concurrency();
   workers = std::clamp(workers, 1,
                        std::max(1, static_cast<int>(pending.size())));
   if (log != nullptr) {

@@ -44,6 +44,7 @@ void write_or_check_manifest(const CampaignOptions& opts) {
     std::ostringstream have;
     have << in.rdbuf();
     if (have.str() != want) {
+      // dgslint: allow(R4) -- manifest mismatch is a user-facing error
       throw std::runtime_error(
           "campaign manifest mismatch: " + path +
           " was written by a different campaign (profile/seed/samples/"
@@ -52,6 +53,7 @@ void write_or_check_manifest(const CampaignOptions& opts) {
     return;
   }
   std::ofstream out(path);
+  // dgslint: allow(R4) -- manifest I/O errors are runtime_error by contract
   if (!out) throw std::runtime_error("cannot write " + path);
   out << want;
 }

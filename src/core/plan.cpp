@@ -2,7 +2,6 @@
 
 #include <cstring>
 #include <limits>
-#include <stdexcept>
 
 #include "src/util/check.h"
 #include "src/util/crc32.h"
@@ -57,9 +56,8 @@ class Reader {
 
   template <typename T>
   T get() {
-    if (pos_ + sizeof(T) > bytes_.size()) {
-      throw std::invalid_argument("plan parse: truncated message");
-    }
+    DGS_ENSURE(pos_ + sizeof(T) <= bytes_.size(),
+               "plan parse: truncated message");
     std::uint64_t bits = 0;
     for (std::size_t i = 0; i < sizeof(T); ++i) {
       bits |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
@@ -76,9 +74,7 @@ class Reader {
 
   void expect_magic(const std::uint8_t (&magic)[4]) {
     for (std::uint8_t m : magic) {
-      if (get<std::uint8_t>() != m) {
-        throw std::invalid_argument("plan parse: bad magic");
-      }
+      DGS_ENSURE(get<std::uint8_t>() == m, "plan parse: bad magic");
     }
   }
 
@@ -90,18 +86,15 @@ class Reader {
 };
 
 void check_crc(std::span<const std::uint8_t> bytes) {
-  if (bytes.size() < kHeaderSize + kCrcSize) {
-    throw std::invalid_argument("plan parse: message too short");
-  }
+  DGS_ENSURE(bytes.size() >= kHeaderSize + kCrcSize,
+             "plan parse: message too short");
   const auto body = bytes.subspan(0, bytes.size() - kCrcSize);
   std::uint32_t stored = 0;
   for (int i = 0; i < 4; ++i) {
     stored |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 + i])
               << (8 * i);
   }
-  if (util::crc32(body) != stored) {
-    throw std::invalid_argument("plan parse: CRC mismatch");
-  }
+  DGS_ENSURE(util::crc32(body) == stored, "plan parse: CRC mismatch");
 }
 
 }  // namespace
@@ -153,16 +146,14 @@ DownlinkPlan parse_plan(std::span<const std::uint8_t> bytes) {
   check_crc(bytes);
   Reader r(bytes);
   r.expect_magic(kPlanMagic);
-  if (r.get<std::uint8_t>() != kVersion) {
-    throw std::invalid_argument("plan parse: unsupported version");
-  }
+  DGS_ENSURE(r.get<std::uint8_t>() == kVersion,
+             "plan parse: unsupported version");
   DownlinkPlan plan;
   plan.sat_id = r.get<std::uint32_t>();
   plan.epoch = util::Epoch::from_jd(r.get<double>());
   const std::uint16_t count = r.get<std::uint16_t>();
-  if (bytes.size() != plan_wire_size(count)) {
-    throw std::invalid_argument("plan parse: size/count mismatch");
-  }
+  DGS_ENSURE(bytes.size() == plan_wire_size(count),
+             "plan parse: size/count mismatch");
   plan.entries.reserve(count);
   for (std::uint16_t i = 0; i < count; ++i) {
     PlanEntry e;
@@ -180,16 +171,14 @@ AckReport parse_ack_report(std::span<const std::uint8_t> bytes) {
   check_crc(bytes);
   Reader r(bytes);
   r.expect_magic(kAckMagic);
-  if (r.get<std::uint8_t>() != kVersion) {
-    throw std::invalid_argument("ack parse: unsupported version");
-  }
+  DGS_ENSURE(r.get<std::uint8_t>() == kVersion,
+             "ack parse: unsupported version");
   AckReport report;
   report.sat_id = r.get<std::uint32_t>();
   report.collated_at = util::Epoch::from_jd(r.get<double>());
   const std::uint16_t count = r.get<std::uint16_t>();
-  if (bytes.size() != ack_wire_size(count)) {
-    throw std::invalid_argument("ack parse: size/count mismatch");
-  }
+  DGS_ENSURE(bytes.size() == ack_wire_size(count),
+             "ack parse: size/count mismatch");
   report.ranges.reserve(count);
   for (std::uint16_t i = 0; i < count; ++i) {
     AckRange range;

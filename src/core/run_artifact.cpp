@@ -132,13 +132,36 @@ bool parse_value(Cursor& c, JsonValue* out, int depth, ArtifactError* e) {
       out->kind = JsonValue::Kind::kNull;
       return parse_literal(c, "null", e);
     default: {
-      const char* begin = c.s.data() + c.i;
-      char* end = nullptr;
-      const double v = std::strtod(begin, &end);
-      if (end == begin) return fail(c, e, "expected a JSON value");
-      c.i += static_cast<std::size_t>(end - begin);
+      // Strict JSON number grammar, scanned before conversion: strtod
+      // alone would also accept hex / inf / nan spellings, which are
+      // outside the artifact subset.
+      const std::size_t start = c.i;
+      const auto digit_run = [&c] {
+        const std::size_t from = c.i;
+        while (!c.done() && c.peek() >= '0' && c.peek() <= '9') ++c.i;
+        return c.i - from;
+      };
+      if (!c.done() && c.peek() == '-') ++c.i;
+      const std::size_t int_start = c.i;
+      if (digit_run() == 0) {
+        c.i = start;
+        return fail(c, e, "expected a JSON value");
+      }
+      if (c.s[int_start] == '0' && c.i - int_start > 1) {
+        return fail(c, e, "malformed number");
+      }
+      if (!c.done() && c.peek() == '.') {
+        ++c.i;
+        if (digit_run() == 0) return fail(c, e, "malformed number");
+      }
+      if (!c.done() && (c.peek() == 'e' || c.peek() == 'E')) {
+        ++c.i;
+        if (!c.done() && (c.peek() == '+' || c.peek() == '-')) ++c.i;
+        if (digit_run() == 0) return fail(c, e, "malformed number");
+      }
+      const std::string token(c.s.substr(start, c.i - start));
       out->kind = JsonValue::Kind::kNumber;
-      out->number = v;
+      out->number = std::strtod(token.c_str(), nullptr);
       return true;
     }
   }

@@ -201,6 +201,7 @@ Simulator::Simulator(std::vector<groundseg::SatelliteConfig> sats,
   DGS_ENSURE(!sats_.empty() && !stations_.empty(),
              "sats=" << sats_.size() << " stations=" << stations_.size());
   if (const auto e = opts_.validate(static_cast<int>(stations_.size()))) {
+    // dgslint: allow(R4) -- renders OptionsError; format is test-pinned
     throw std::invalid_argument("SimulationOptions." + e->field + ": " +
                                 e->message);
   }

@@ -3,15 +3,15 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
 
 #include "src/util/angles.h"
+#include "src/util/check.h"
 
 namespace dgs::groundseg {
 namespace {
 
 [[noreturn]] void fail(int line_no, const std::string& what) {
-  throw std::invalid_argument("line " + std::to_string(line_no) + ": " + what);
+  DGS_ENSURE(false, "line " << line_no << ": " << what);
 }
 
 std::string rstrip(std::string s) {
@@ -65,7 +65,7 @@ std::vector<orbit::Tle> read_tle_catalog(std::istream& in) {
 
 std::vector<orbit::Tle> load_tle_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::invalid_argument("cannot open TLE file: " + path);
+  DGS_ENSURE(in, "cannot open TLE file: " << path);
   return read_tle_catalog(in);
 }
 
@@ -81,7 +81,7 @@ void write_tle_catalog(std::ostream& out,
 void save_tle_file(const std::string& path,
                    const std::vector<orbit::Tle>& catalog) {
   std::ofstream out(path);
-  if (!out) throw std::invalid_argument("cannot write TLE file: " + path);
+  DGS_ENSURE(out, "cannot write TLE file: " << path);
   write_tle_catalog(out, catalog);
 }
 
@@ -127,7 +127,7 @@ std::vector<GroundStation> read_station_csv(std::istream& in) {
 
 std::vector<GroundStation> load_station_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::invalid_argument("cannot open station file: " + path);
+  DGS_ENSURE(in, "cannot open station file: " << path);
   return read_station_csv(in);
 }
 
@@ -150,7 +150,7 @@ void write_station_csv(std::ostream& out,
 void save_station_file(const std::string& path,
                        const std::vector<GroundStation>& stations) {
   std::ofstream out(path);
-  if (!out) throw std::invalid_argument("cannot write station file: " + path);
+  DGS_ENSURE(out, "cannot write station file: " << path);
   write_station_csv(out, stations);
 }
 

@@ -14,8 +14,10 @@ namespace internal {
 std::atomic<bool> g_trace_enabled{false};
 
 std::int64_t trace_now_ns() {
+  // dgslint: allow(R1) -- trace timestamps are profiling-only, not replayed
+  const auto now = std::chrono::steady_clock::now();
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
+             now.time_since_epoch())
       .count();
 }
 

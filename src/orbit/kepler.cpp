@@ -14,6 +14,7 @@ using util::wgs72::kMu;
 
 double solve_kepler(double mean_anomaly_rad, double ecc) {
   if (ecc < 0.0 || ecc >= 1.0) {
+    // dgslint: allow(R4) -- domain_error is the documented math contract
     throw std::domain_error("solve_kepler: eccentricity out of [0,1)");
   }
   const double m = util::wrap_pi(mean_anomaly_rad);
@@ -72,10 +73,12 @@ KeplerianElements elements_from_state(const StateVector& sv) {
   const Vec3 v = sv.velocity_km_s;
   const double rn = r.norm();
   const double vn = v.norm();
+  // dgslint: allow(R4) -- domain_error is the documented math contract
   if (rn <= 0.0) throw std::domain_error("elements_from_state: zero radius");
 
   const double energy = vn * vn / 2.0 - kMu / rn;
   if (energy >= 0.0) {
+    // dgslint: allow(R4) -- domain_error is the documented math contract
     throw std::domain_error("elements_from_state: orbit is not elliptical");
   }
   const double a = -kMu / (2.0 * energy);

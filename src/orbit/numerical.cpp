@@ -17,6 +17,7 @@ using util::wgs72::kMu;
 Vec3 gravity_j2(const Vec3& r) {
   const double rn = r.norm();
   if (rn < kEarthRadiusKm) {
+    // dgslint: allow(R4) -- domain_error is the documented math contract
     throw std::domain_error("gravity_j2: position inside the Earth");
   }
   const double rn2 = rn * rn;

@@ -19,6 +19,7 @@ const double kJ3oJ2 = kJ3 / kJ2;
 constexpr double kX2o3 = 2.0 / 3.0;
 
 [[noreturn]] void domain_fail(const char* what) {
+  // dgslint: allow(R4) -- domain_error is the documented math contract
   throw std::domain_error(std::string("SGP4: ") + what);
 }
 

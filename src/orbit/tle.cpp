@@ -3,8 +3,8 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <stdexcept>
 
+#include "src/util/check.h"
 #include "src/util/constants.h"
 
 namespace dgs::orbit {
@@ -13,7 +13,7 @@ namespace {
 using util::kTwoPi;
 
 [[noreturn]] void fail(const std::string& what) {
-  throw std::invalid_argument("TLE parse error: " + what);
+  DGS_ENSURE(false, "TLE parse error: " << what);
 }
 
 /// Extracts [start, start+len) as a trimmed string (columns are 0-based here;

@@ -20,6 +20,7 @@
 //     degenerates to the serial chunked loop.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -30,6 +31,13 @@
 #include <vector>
 
 namespace dgs::util {
+
+/// Detected hardware lane count, never less than 1.  The only sanctioned
+/// way to read std::thread::hardware_concurrency() outside this module
+/// (dgslint R3 keeps raw threading primitives behind ThreadPool).
+inline int hardware_concurrency() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
 
 /// Parallelism knobs threaded through SimulationOptions and the bench
 /// `--threads` flag.

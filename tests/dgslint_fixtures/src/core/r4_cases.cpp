@@ -1,0 +1,22 @@
+// dgslint fixture: R4 — ad-hoc error channels in src/.
+#include <cassert>
+#include <stdexcept>
+
+void r4_assert(int x) { assert(x > 0); }  // finding: R4 bare assert
+
+void r4_throw(int x) {
+  if (x < 0) throw std::runtime_error("bad");  // finding: R4 ad-hoc throw
+}
+
+void r4_suppressed(int x) {
+  // dgslint: allow(R4) -- fixture: documented exception contract
+  if (x < 0) throw std::runtime_error("bad");
+}
+
+// Negative: static_assert is a compile-time check, not an error channel.
+static_assert(sizeof(int) >= 4, "ILP32 or wider");
+
+// dgslint fixture: a finding absorbed by the fixture baseline.json.
+void r4_baselined(int x) {
+  if (x > 100) throw std::runtime_error("grandfathered");
+}

@@ -1,0 +1,15 @@
+// dgslint fixture: a miniature SummaryFieldSpec table so the R5
+// summary-key cross-check has something to parse under this root.
+struct SummaryFieldSpec {
+  const char* key;
+  int kind;
+};
+constexpr int kInt = 0;
+constexpr int kReal = 1;
+constexpr int kStats = 2;
+
+constexpr SummaryFieldSpec kSummaryFields[] = {
+    {"schema_version", kInt},
+    {"delivered_fraction", kReal},
+    {"latency_minutes", kStats},
+};

@@ -1,0 +1,31 @@
+// dgslint fixture: R2 — unordered iteration in an output-path file
+// (src/obs/ is always an output path).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<std::string, int> table;
+
+int r2_range_for() {
+  int sum = 0;
+  for (const auto& [k, v] : table) sum += v;  // finding: R2 iteration
+  return sum;
+}
+
+int r2_begin_end() {
+  int sum = 0;
+  for (auto it = table.begin(); it != table.end(); ++it) {  // finding: R2
+    sum += it->second;
+  }
+  return sum;
+}
+
+int r2_suppressed() {
+  int sum = 0;
+  // dgslint: allow(R2) -- fixture: fold is order-independent (sum)
+  for (const auto& [k, v] : table) sum += v;
+  return sum;
+}
+
+// Negative: point lookups on unordered containers are fine.
+int r2_lookup(const std::string& k) { return table.at(k); }

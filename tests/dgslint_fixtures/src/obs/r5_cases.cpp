@@ -1,0 +1,23 @@
+// dgslint fixture: R5 — metric-name and summary-key hygiene.
+struct Registry {
+  int* counter(const char*, const char*);
+  int* gauge(const char*, const char*);
+};
+struct Summary {
+  const int* scalar(const char*) const;
+  const int* stats(const char*) const;
+};
+
+void r5_metrics(Registry& r) {
+  r.counter("bad_counter_total", "fixture");   // finding: R5 bad name
+  r.gauge("dgs_Bad_Gauge", "fixture");         // finding: R5 uppercase
+  r.counter("dgs_good_total", "fixture");      // negative: well-formed
+}
+
+void r5_summary_keys(const Summary& s) {
+  s.scalar("unknown_key");          // finding: R5 key not in the table
+  s.scalar("delivered_fraction");   // negative: key is in the table
+  s.stats("latency_minutes");       // negative: key is in the table
+  // dgslint: allow(R5) -- fixture: suppressed unknown key
+  s.stats("suppressed_key");
+}

@@ -1,0 +1,22 @@
+// dgslint fixture: R1 positives, a suppressed case, and negatives.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int r1_rand() { return rand(); }                      // finding: R1 rand()
+int r1_time() { return static_cast<int>(time(nullptr)); }  // finding: R1
+std::mt19937 r1_engine(42);                           // finding: R1 engine
+
+long r1_suppressed_clock() {
+  // dgslint: allow(R1) -- fixture: suppression on the line above
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long r1_suppressed_inline() {
+  return rand();  // dgslint: allow(R1) -- fixture: same-line suppression
+}
+
+// Negatives: "rand" inside identifiers/strings/comments must not fire.
+int operand_count = 0;                     // 'rand' inside a word
+const char* r1_string = "call rand() now"; // inside a string literal
+// comment mentioning rand() and steady_clock

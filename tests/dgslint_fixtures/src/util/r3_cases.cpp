@@ -1,0 +1,21 @@
+// dgslint fixture: R3 — raw threading primitives.
+#include <future>
+#include <thread>
+
+void r3_thread() {
+  std::thread t([] {});  // finding: R3 raw std::thread
+  t.join();
+}
+
+int r3_async() {
+  auto f = std::async([] { return 1; });  // finding: R3 std::async
+  return f.get();
+}
+
+#pragma omp parallel for  // finding: R3 OpenMP
+
+void r3_suppressed() {
+  // dgslint: allow(R3) -- fixture: suppressed raw thread
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,3 @@
+#pragma once
+// dgslint fixture: R6 negative — guarded header, no finding.
+inline int r6_guarded() { return 6; }

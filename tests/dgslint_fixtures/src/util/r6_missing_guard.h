@@ -1,0 +1,2 @@
+// dgslint fixture: R6 - public header with no include-once guard.
+inline int r6_missing_guard() { return 6; }

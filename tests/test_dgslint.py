@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Tests for tools/dgslint/dgslint.py (run under ctest as dgslint_fixtures).
+
+Three layers:
+  - fixture-corpus runs over tests/dgslint_fixtures/ pin every rule's
+    positive, suppressed, and baselined behaviour;
+  - mutation rehearsals copy a real source file into a temp root, inject
+    a violation (rand() into fault_plan.cpp, an unordered_map loop into
+    run_artifact.cpp), and require dgslint to fail — proof the linter
+    would catch a real regression, not just the fixtures;
+  - CLI-contract tests pin exit codes, --verify-baseline, and the
+    GitHub-annotation output format.
+
+Dependency-free: stdlib unittest + subprocess only.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DGSLINT = os.path.join(REPO_ROOT, "tools", "dgslint", "dgslint.py")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "dgslint_fixtures")
+
+
+def run_dgslint(*args):
+    proc = subprocess.run(
+        [sys.executable, DGSLINT] + list(args),
+        capture_output=True, text=True, cwd=REPO_ROOT)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def scan_fixtures_json():
+    code, out, err = run_dgslint(
+        "--root", FIXTURES,
+        "--baseline", os.path.join(FIXTURES, "baseline.json"),
+        "--format", "json")
+    doc = json.loads(out)
+    return code, doc
+
+
+class FixtureCorpusTest(unittest.TestCase):
+    """Every rule: positives fire, suppressions hold, baseline absorbs."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.code, cls.doc = scan_fixtures_json()
+        cls.findings = cls.doc["findings"]
+
+    def by_rule(self, rule, path=None):
+        return [f for f in self.findings
+                if f["rule"] == rule and (path is None or f["path"] == path)]
+
+    def test_exit_code_reflects_active_findings(self):
+        self.assertEqual(self.code, 1)
+        self.assertGreater(self.doc["counts"]["active"], 0)
+
+    def test_r1_positives_and_suppressions(self):
+        found = self.by_rule("R1", "src/util/r1_cases.cpp")
+        self.assertEqual(len(found), 3)
+        # The suppressed steady_clock and rand() must not appear, and
+        # 'rand' inside identifiers/strings/comments must not fire.
+        messages = " ".join(f["message"] for f in found)
+        self.assertNotIn("steady_clock", messages)
+
+    def test_r2_output_path_iteration(self):
+        found = self.by_rule("R2", "src/obs/r2_cases.cpp")
+        # range-for (1) + .begin()/.end() pair (2); the suppressed
+        # range-for and the point lookup stay silent.
+        self.assertEqual(len(found), 3)
+
+    def test_r3_threading_primitives(self):
+        found = self.by_rule("R3", "src/util/r3_cases.cpp")
+        self.assertEqual(len(found), 3)
+
+    def test_r4_baseline_absorbs_exactly_one(self):
+        found = self.by_rule("R4", "src/core/r4_cases.cpp")
+        self.assertEqual(len(found), 3)
+        self.assertEqual(sum(1 for f in found if f["baselined"]), 1)
+
+    def test_r5_metric_names_and_summary_keys(self):
+        found = self.by_rule("R5")
+        names = " ".join(f["message"] for f in found)
+        self.assertEqual(len(found), 3)
+        self.assertIn("bad_counter_total", names)
+        self.assertIn("dgs_Bad_Gauge", names)
+        self.assertIn("unknown_key", names)
+        self.assertNotIn("suppressed_key", names)
+        self.assertNotIn("delivered_fraction", names)
+
+    def test_r6_header_guard(self):
+        self.assertEqual(
+            len(self.by_rule("R6", "src/util/r6_missing_guard.h")), 1)
+        self.assertEqual(
+            len(self.by_rule("R6", "src/util/r6_guarded.h")), 0)
+
+    def test_sup_malformed_suppressions_are_unsuppressable(self):
+        sup = self.by_rule("SUP", "src/util/sup_cases.cpp")
+        self.assertEqual(len(sup), 3)
+        # A malformed suppression also fails to silence its target rule.
+        self.assertEqual(len(self.by_rule("R1", "src/util/sup_cases.cpp")),
+                         3)
+
+
+class MutationRehearsalTest(unittest.TestCase):
+    """Injected regressions in copies of real sources must fail dgslint."""
+
+    def _scan_mutated(self, rel_src, mutate):
+        tmp = tempfile.mkdtemp(prefix="dgslint_mut_")
+        self.addCleanup(shutil.rmtree, tmp)
+        dst = os.path.join(tmp, rel_src)
+        os.makedirs(os.path.dirname(dst))
+        shutil.copy(os.path.join(REPO_ROOT, rel_src), dst)
+        with open(dst, encoding="utf-8") as fh:
+            text = fh.read()
+        with open(dst, "w", encoding="utf-8") as fh:
+            fh.write(mutate(text))
+        empty = os.path.join(tmp, "empty_baseline.json")
+        with open(empty, "w", encoding="utf-8") as fh:
+            fh.write('{"entries": []}')
+        code, out, _ = run_dgslint("--root", tmp, "--baseline", empty,
+                                   "--format", "json")
+        return code, json.loads(out)["findings"]
+
+    def test_unmutated_copies_are_clean(self):
+        for rel in ("src/faults/fault_plan.cpp", "src/core/run_artifact.cpp"):
+            code, findings = self._scan_mutated(rel, lambda t: t)
+            self.assertEqual(code, 0, findings)
+
+    def test_rand_in_fault_plan_fails(self):
+        code, findings = self._scan_mutated(
+            "src/faults/fault_plan.cpp",
+            lambda t: t + "\nint injected() { return rand(); }\n")
+        self.assertEqual(code, 1)
+        self.assertTrue(any(f["rule"] == "R1" for f in findings), findings)
+
+    def test_unordered_iteration_in_run_artifact_fails(self):
+        injected = (
+            "\n#include <unordered_map>\n"
+            "static std::unordered_map<int, int> injected_map;\n"
+            "int injected() {\n"
+            "  int s = 0;\n"
+            "  for (const auto& [k, v] : injected_map) s += v;\n"
+            "  return s;\n"
+            "}\n")
+        code, findings = self._scan_mutated(
+            "src/core/run_artifact.cpp", lambda t: t + injected)
+        self.assertEqual(code, 1)
+        self.assertTrue(any(f["rule"] == "R2" for f in findings), findings)
+
+    def test_bad_metric_name_in_simulator_fails(self):
+        code, findings = self._scan_mutated(
+            "src/core/simulator.cpp",
+            lambda t: t.replace("dgs_sim_assignments_total",
+                                "sim_assignments_total", 1))
+        self.assertEqual(code, 1)
+        self.assertTrue(any(f["rule"] == "R5" for f in findings), findings)
+
+
+class CliContractTest(unittest.TestCase):
+    def test_real_tree_is_clean(self):
+        code, out, err = run_dgslint()
+        self.assertEqual(code, 0, out + err)
+
+    def test_github_format_emits_error_annotations(self):
+        code, out, _ = run_dgslint(
+            "--root", FIXTURES,
+            "--baseline", os.path.join(FIXTURES, "baseline.json"),
+            "--format", "github")
+        self.assertEqual(code, 1)
+        self.assertIn("::error file=src/util/r1_cases.cpp,line=", out)
+        # Baselined findings must not produce annotations.
+        self.assertNotIn("::error file=src/core/r4_cases.cpp,line=5", out)
+
+    def test_verify_baseline_rejects_stale_entries(self):
+        tmp = tempfile.mkdtemp(prefix="dgslint_base_")
+        self.addCleanup(shutil.rmtree, tmp)
+        stale = os.path.join(tmp, "baseline.json")
+        with open(stale, "w", encoding="utf-8") as fh:
+            json.dump({"entries": [
+                {"rule": "R1", "path": "src/nonexistent.cpp", "count": 1}
+            ]}, fh)
+        code, out, _ = run_dgslint("--verify-baseline", "--baseline", stale)
+        self.assertEqual(code, 1)
+        self.assertIn("stale baseline entry", out)
+
+    def test_verify_baseline_accepts_live_entries(self):
+        code, _, _ = run_dgslint(
+            "--verify-baseline",
+            "--baseline", os.path.join(FIXTURES, "baseline.json"),
+            "--root", FIXTURES)
+        self.assertEqual(code, 0)
+
+    def test_list_rules(self):
+        code, out, _ = run_dgslint("--list-rules")
+        self.assertEqual(code, 0)
+        for rule in ("R1", "R2", "R3", "R4", "R5", "R6", "SUP"):
+            self.assertIn(rule, out)
+
+
+if __name__ == "__main__":
+    unittest.main()

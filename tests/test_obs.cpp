@@ -35,13 +35,16 @@ TEST(Counter, ConcurrentIntegerIncrementsFoldExactly) {
   Counter c;
   constexpr int kThreads = 8;
   constexpr int kIters = 20000;
+  // dgslint: allow(R3) -- deliberately hammers shards with raw threads
   std::vector<std::thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
+    // dgslint: allow(R3) -- deliberately hammers shards with raw threads
     threads.emplace_back([&c] {
       for (int i = 0; i < kIters; ++i) c.inc();
     });
   }
+  // dgslint: allow(R3) -- deliberately hammers shards with raw threads
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(c.value(), static_cast<double>(kThreads) * kIters);
 }
@@ -165,6 +168,7 @@ TEST(Trace, RecordsAndExportsChromeJson) {
 TEST(Trace, SpansFromWorkerThreadsSurviveThreadExit) {
   clear_trace();
   set_trace_enabled(true);
+  // dgslint: allow(R3) -- exercises span collection across raw thread exit
   std::thread worker([] { DGS_TRACE_SPAN("test.worker"); });
   worker.join();
   set_trace_enabled(false);

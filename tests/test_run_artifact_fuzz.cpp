@@ -1,0 +1,220 @@
+// Fuzz-style negative tests for the restricted-JSON reader and the
+// summary validator of src/core/run_artifact.cpp (satellite of the
+// dgslint PR, mirroring test_options_fuzz.cpp's corruption-table style).
+//
+// Two layers:
+//   1. a named corruption table applied deterministically — every entry
+//      must produce a *located* ArtifactError (non-empty where+message),
+//      never a crash and never silent acceptance;
+//   2. ~200 seeded random byte-level mutations of a valid summary — the
+//      validator must either reject with a located error or accept, and
+//      whatever it accepts parse_summary_json must also accept (the
+//      validator and the DOM parser may never disagree).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+#include "src/core/run_artifact.h"
+#include "src/faults/fault_rng.h"
+
+namespace dgs::core {
+namespace {
+
+std::string valid_summary() {
+  std::stringstream ss;
+  write_summary_json(ss, SimulationResult{});
+  return ss.str();
+}
+
+/// `n` objects nested inside each other, innermost value 1.
+std::string nested(int n) {
+  std::string t;
+  for (int i = 0; i < n; ++i) t += "{\"k\": ";
+  t += "1";
+  t.append(static_cast<std::size_t>(n), '}');
+  return t;
+}
+
+// --- Reader limits ---------------------------------------------------------
+
+TEST(RestrictedJsonFuzz, NestingDepthBoundaryIsExactlyEight) {
+  for (int d = 1; d <= 8; ++d) {
+    EXPECT_TRUE(parse_restricted_json(nested(d)).has_value()) << d;
+  }
+  for (int d = 9; d <= 64; d += 11) {
+    ArtifactError e;
+    EXPECT_FALSE(parse_restricted_json(nested(d), &e).has_value()) << d;
+    EXPECT_EQ(e.message, "nesting too deep");
+  }
+}
+
+TEST(RestrictedJsonFuzz, EveryTruncationOfAValidSummaryIsRejected) {
+  const std::string text = valid_summary();
+  ASSERT_GT(text.size(), 2u);
+  ASSERT_EQ(text.back(), '\n');
+  for (std::size_t len = 0; len + 1 < text.size(); ++len) {
+    ArtifactError e;
+    const auto doc = parse_restricted_json(text.substr(0, len), &e);
+    EXPECT_FALSE(doc.has_value()) << "prefix of length " << len;
+    EXPECT_FALSE(e.message.empty()) << len;
+  }
+  // Only dropping the trailing newline leaves a complete document.
+  EXPECT_TRUE(
+      parse_restricted_json(text.substr(0, text.size() - 1)).has_value());
+}
+
+TEST(RestrictedJsonFuzz, EscapesOutsideTheWriterSubsetAreRejected) {
+  // The writers only ever emit \" and \\; everything else must be named.
+  for (const char* bad : {R"({"k": "a\nb"})", R"({"k": "a\tb"})",
+                          R"({"k": "a\Ab"})", R"({"k": "a\/b"})",
+                          R"({"k": "a\qb"})"}) {
+    ArtifactError e;
+    EXPECT_FALSE(parse_restricted_json(bad, &e).has_value()) << bad;
+    EXPECT_EQ(e.message, "unsupported escape in artifact string") << bad;
+  }
+  ArtifactError e;
+  EXPECT_FALSE(parse_restricted_json("{\"k\": \"a\\", &e).has_value());
+  EXPECT_EQ(e.message, "dangling escape");
+  EXPECT_TRUE(parse_restricted_json(R"({"k": "a\"b\\c"})").has_value());
+}
+
+TEST(RestrictedJsonFuzz, DuplicateKeysParseButFailTheSummarySchema) {
+  // The reader is a dumb subset parser: duplicates are representable and
+  // find() returns the first.  The *schema* validator must still reject
+  // a summary whose key sequence repeats a field.
+  const auto doc = parse_restricted_json(R"({"k": 1, "k": 2})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->members.size(), 2u);
+  EXPECT_EQ(doc->find("k")->number, 1.0);
+
+  std::string text = valid_summary();
+  const std::string dup = "\"schema_version\": 1,\n  \"schema_version\": 1";
+  const std::size_t pos = text.find("\"schema_version\": 1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, std::string("\"schema_version\": 1").size(), dup);
+  const auto err = validate_summary_json(text);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_FALSE(err->where.empty());
+}
+
+// --- Deterministic corruption table ----------------------------------------
+
+struct Corruption {
+  const char* name;
+  std::function<std::string(std::string)> apply;
+};
+
+const std::vector<Corruption>& corruption_table() {
+  static const std::vector<Corruption> kTable = {
+      {"array value", [](std::string t) {
+         const std::size_t p = t.find(": 1");
+         return t.replace(p, 3, ": [1]");
+       }},
+      {"bare word literal", [](std::string t) {
+         const std::size_t p = t.find(": 1");
+         return t.replace(p, 3, ": tru");
+       }},
+      {"uppercase literal", [](std::string t) {
+         const std::size_t p = t.find(": 1");
+         return t.replace(p, 3, ": TRUE");
+       }},
+      {"double-dot number", [](std::string t) {
+         const std::size_t p = t.find(": 1");
+         return t.replace(p, 3, ": 1.2.3");
+       }},
+      {"hex number", [](std::string t) {
+         const std::size_t p = t.find(": 1");
+         return t.replace(p, 3, ": 0x10");
+       }},
+      {"unquoted key", [](std::string t) {
+         const std::size_t p = t.find("\"schema_version\"");
+         return t.replace(p, 16, "schema_version");
+       }},
+      {"missing colon", [](std::string t) {
+         const std::size_t p = t.find("\": 1");
+         return t.replace(p, 4, "\" 1");
+       }},
+      {"trailing comma", [](std::string t) {
+         const std::size_t p = t.rfind('}');
+         return t.replace(p, 1, ",}");
+       }},
+      {"junk after document", [](std::string t) { return t + "x"; }},
+      {"second document", [](std::string t) { return t + "{}"; }},
+      {"leading BOM-ish junk", [](std::string t) { return "\xef" + t; }},
+      {"empty document", [](std::string) { return std::string(); }},
+      {"whitespace only", [](std::string) { return std::string("  \n "); }},
+  };
+  return kTable;
+}
+
+TEST(RestrictedJsonFuzz, EveryTableCorruptionYieldsALocatedError) {
+  const std::string base = valid_summary();
+  for (const Corruption& c : corruption_table()) {
+    ArtifactError e{"(unset)", ""};
+    const auto doc = parse_restricted_json(c.apply(base), &e);
+    EXPECT_FALSE(doc.has_value()) << c.name;
+    EXPECT_FALSE(e.message.empty()) << c.name;
+    EXPECT_NE(e.where, "(unset)") << c.name;
+  }
+}
+
+// --- Seeded random byte-level mutations ------------------------------------
+
+/// One random byte-level edit: delete, insert, replace, transpose, or
+/// truncate at a position drawn from the stream.
+std::string mutate(std::string t, faults::Pcg32& rng) {
+  if (t.empty()) return t;
+  const auto pos = static_cast<std::size_t>(rng.uniform() *
+                                            static_cast<double>(t.size()));
+  const char glyphs[] = "{}[]\":,.\\0123456789eE+-truefalsnx \n";
+  const char g = glyphs[rng.next() % (sizeof(glyphs) - 1)];
+  switch (rng.next() % 5) {
+    case 0: t.erase(pos, 1); break;
+    case 1: t.insert(pos, 1, g); break;
+    case 2: t[pos] = g; break;
+    case 3:
+      if (pos + 1 < t.size()) std::swap(t[pos], t[pos + 1]);
+      break;
+    default: t.resize(pos); break;
+  }
+  return t;
+}
+
+TEST(RestrictedJsonFuzz, RandomMutationsNeverCrashOrDesyncTheValidator) {
+  const std::string base = valid_summary();
+  int rejected = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    faults::Pcg32 rng(7000 + seed);
+    std::string t = base;
+    const int edits = 1 + static_cast<int>(rng.next() % 4);
+    for (int i = 0; i < edits; ++i) t = mutate(std::move(t), rng);
+
+    const auto err = validate_summary_json(t);
+    RunSummary summary;
+    const auto perr = parse_summary_json(t, &summary);
+    if (err.has_value()) {
+      ++rejected;
+      // A located error, and the parsing front door agrees.
+      EXPECT_FALSE(err->message.empty()) << "seed " << seed;
+      EXPECT_TRUE(perr.has_value()) << "seed " << seed;
+    } else {
+      // Accepted (the mutation was benign, e.g. a digit change): the
+      // DOM must be usable and carry the pinned schema version.
+      ASSERT_FALSE(perr.has_value()) << "seed " << seed;
+      EXPECT_EQ(summary.scalar("schema_version"),
+                kRunArtifactSchemaVersion)
+          << "seed " << seed;
+    }
+  }
+  // The mutation engine must actually be hitting the parser: the vast
+  // majority of byte edits break a schema this rigid.
+  EXPECT_GT(rejected, 150);
+}
+
+}  // namespace
+}  // namespace dgs::core
