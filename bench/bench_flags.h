@@ -37,27 +37,43 @@ inline int consume_threads_flag(int* argc, char** argv,
   return threads;
 }
 
-/// Extracts `--trace-out=FILE` / `--trace-out FILE` (again before
-/// Benchmark's parser rejects it).  Returns the path, or "" when absent;
-/// the caller enables span tracing and writes the Chrome-trace JSON there
-/// after the run.
-inline std::string consume_trace_out_flag(int* argc, char** argv) {
-  std::string path;
+/// Extracts a `--name=VALUE` / `--name VALUE` string flag (before
+/// Benchmark's parser rejects it).  `flag` includes the leading dashes.
+/// Returns the value, or "" when absent.
+inline std::string consume_string_flag(int* argc, char** argv,
+                                       const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  std::string value;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
-    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
-      path = argv[i] + 12;
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      value = argv[i] + len + 1;
       continue;
     }
-    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < *argc) {
-      path = argv[i + 1];
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < *argc) {
+      value = argv[i + 1];
       ++i;
       continue;
     }
     argv[out++] = argv[i];
   }
   *argc = out;
-  return path;
+  return value;
+}
+
+/// Integer variant of consume_string_flag; `fallback` when absent.
+inline int consume_int_flag(int* argc, char** argv, const char* flag,
+                            int fallback) {
+  const std::string v = consume_string_flag(argc, argv, flag);
+  return v.empty() ? fallback : std::atoi(v.c_str());
+}
+
+/// Extracts `--trace-out=FILE` / `--trace-out FILE` (again before
+/// Benchmark's parser rejects it).  Returns the path, or "" when absent;
+/// the caller enables span tracing and writes the Chrome-trace JSON there
+/// after the run.
+inline std::string consume_trace_out_flag(int* argc, char** argv) {
+  return consume_string_flag(argc, argv, "--trace-out");
 }
 
 }  // namespace dgs::bench

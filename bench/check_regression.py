@@ -22,6 +22,7 @@ the gate lenient, never flaky-strict, for faster runners.
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -60,6 +61,11 @@ def main():
                     help="write the merged artifact here")
     ap.add_argument("--merge-only", action="store_true",
                     help="merge and write --out without gating")
+    ap.add_argument("--filter", default=None, metavar="REGEX",
+                    help="gate only baseline entries whose name matches "
+                         "(lets lanes share one baseline file)")
+    ap.add_argument("--exclude", default=None, metavar="REGEX",
+                    help="skip baseline entries whose name matches")
     args = ap.parse_args()
 
     merged = load_benchmarks(args.inputs)
@@ -80,6 +86,10 @@ def main():
     failures = []
     compared = 0
     for name, base in sorted(baseline.items()):
+        if args.filter and not re.search(args.filter, name):
+            continue
+        if args.exclude and re.search(args.exclude, name):
+            continue
         cur = current.get(name)
         if cur is None:
             failures.append(f"{name}: present in baseline but not in run")

@@ -3,9 +3,13 @@
 // calculations" stage (paper §3.1).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "src/groundseg/network_gen.h"
 #include "src/orbit/frames.h"
 #include "src/orbit/passes.h"
 #include "src/orbit/sgp4.h"
+#include "src/orbit/sgp4_batch.h"
 #include "src/orbit/tle.h"
 #include "src/util/angles.h"
 
@@ -54,6 +58,30 @@ void BM_TemeToEcefAndLookAngles(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TemeToEcefAndLookAngles);
+
+void BM_Sgp4BatchPropagateFleet(benchmark::State& state) {
+  // Whole-fleet propagation through the SoA batch (one GMST rotation,
+  // dense per-field arrays) — the per-step orbit cost at scale.
+  const int n = static_cast<int>(state.range(0));
+  dgs::groundseg::NetworkOptions opts;
+  opts.num_satellites = n;
+  opts.num_stations = 4;
+  const dgs::util::Epoch epoch(dgs::util::DateTime{2020, 11, 4, 0, 0, 0.0});
+  std::vector<dgs::orbit::Tle> tles;
+  for (const auto& sc : dgs::groundseg::generate_constellation(opts, epoch)) {
+    tles.push_back(sc.tle);
+  }
+  const dgs::orbit::Sgp4Batch batch(tles);
+  std::vector<dgs::util::Vec3> out(static_cast<std::size_t>(n));
+  double minutes = 0.0;
+  for (auto _ : state) {
+    minutes += 1.0;
+    batch.positions_ecef(epoch.plus_minutes(minutes), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Sgp4BatchPropagateFleet)->Arg(256)->Arg(1024);
 
 void BM_PassPredictionOneDay(benchmark::State& state) {
   const dgs::orbit::Sgp4 prop(dgs::orbit::parse_tle(kIssL1, kIssL2));

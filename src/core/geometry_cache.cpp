@@ -7,11 +7,14 @@
 namespace dgs::core {
 
 GeometryCache::GeometryCache(const util::Epoch& base, double step_seconds,
-                             int capacity_steps, obs::Registry* metrics)
+                             int capacity_steps, obs::Registry* metrics,
+                             std::size_t max_bytes)
     : base_(base), step_seconds_(step_seconds),
-      capacity_(static_cast<std::size_t>(capacity_steps)) {
+      capacity_(static_cast<std::size_t>(capacity_steps)),
+      max_bytes_(max_bytes) {
   DGS_ENSURE_GT(step_seconds, 0.0);
   DGS_ENSURE_GT(capacity_steps, 0);
+  DGS_ENSURE_GT(max_bytes, std::size_t{0});
   if (metrics != nullptr) {
     hits_ = metrics->counter("dgs_geometry_cache_hits_total",
                              "Step-geometry cache lookups served from the "
@@ -47,8 +50,31 @@ const StepGeometry* GeometryCache::find(std::int64_t key) {
   return &it->second;
 }
 
+namespace {
+
+std::size_t entry_bytes(const StepGeometry& g) {
+  std::size_t bytes = sizeof(StepGeometry);
+  bytes += g.sat_ecef.size() * sizeof(util::Vec3);
+  bytes += g.per_station.size() * sizeof(std::vector<VisibleSat>);
+  for (const std::vector<VisibleSat>& v : g.per_station) {
+    bytes += v.size() * sizeof(VisibleSat);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::size_t GeometryCache::approx_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& [key, entry] : entries_) bytes += entry_bytes(entry);
+  return bytes;
+}
+
 StepGeometry& GeometryCache::emplace(std::int64_t key) {
   while (entries_.size() >= capacity_) entries_.erase(entries_.begin());
+  while (!entries_.empty() && approx_bytes() > max_bytes_) {
+    entries_.erase(entries_.begin());
+  }
   return entries_[key];
 }
 

@@ -17,6 +17,13 @@
 // is bounded; when full, the oldest step is evicted (the simulation clock
 // only moves forward).  Off-grid epochs bypass the cache entirely.
 //
+// Sizing (DESIGN.md §14): at constellation scale one step holds tens of
+// thousands of satellite positions plus the per-station visibility lists,
+// so a step-count bound alone can balloon to gigabytes.  The cache is
+// therefore additionally bounded by an estimated byte footprint
+// (`max_bytes`), evicting oldest-first until under budget.  Eviction is a
+// capacity policy only — it can never change produced values.
+//
 // Thread-safety: find/emplace are called only from the thread driving the
 // simulation; worker threads fill the (pre-sized) vectors of the entry they
 // were handed, writing disjoint indices.
@@ -52,15 +59,20 @@ struct StepGeometry {
 
 class GeometryCache {
  public:
+  /// Default byte budget for resident step geometry (256 MiB).
+  static constexpr std::size_t kDefaultMaxBytes = std::size_t{256} << 20;
+
   /// Steps are `step_seconds` apart starting at `base`; at most
   /// `capacity_steps` entries are retained (≥ the look-ahead window keeps
-  /// a whole planning horizon resident).  When `metrics` is non-null, the
+  /// a whole planning horizon resident), further bounded by `max_bytes`
+  /// of estimated entry footprint.  When `metrics` is non-null, the
   /// hit/miss counters live in that registry
   /// (`dgs_geometry_cache_{hits,misses}_total`); otherwise the cache owns
   /// private counters.  Either way there is a single source of truth —
   /// hits()/misses() read whatever counter backs the cache.
   GeometryCache(const util::Epoch& base, double step_seconds,
-                int capacity_steps, obs::Registry* metrics = nullptr);
+                int capacity_steps, obs::Registry* metrics = nullptr,
+                std::size_t max_bytes = kDefaultMaxBytes);
 
   /// Step index of `when` if it lies on the grid (sub-millisecond
   /// tolerance); std::nullopt for off-grid epochs, which must not be
@@ -70,11 +82,16 @@ class GeometryCache {
   /// The cached geometry for a step, or nullptr.  Counts hits/misses.
   const StepGeometry* find(std::int64_t key);
 
-  /// Inserts an empty entry for `key` (evicting the oldest step past
-  /// capacity) and returns it for the caller to fill in place.
+  /// Inserts an empty entry for `key` (evicting oldest steps while past
+  /// capacity or over the byte budget) and returns it for the caller to
+  /// fill in place.  Byte accounting sees an entry's footprint from the
+  /// next emplace on (entries are filled in place after insertion).
   StepGeometry& emplace(std::int64_t key);
 
   std::size_t size() const { return entries_.size(); }
+  std::size_t max_bytes() const { return max_bytes_; }
+  /// Estimated footprint of the resident entries.
+  std::size_t approx_bytes() const;
   std::uint64_t hits() const {
     return static_cast<std::uint64_t>(hits_->value());
   }
@@ -86,6 +103,7 @@ class GeometryCache {
   util::Epoch base_;
   double step_seconds_;
   std::size_t capacity_;
+  std::size_t max_bytes_;
   /// Ordered by step: eviction removes the oldest entry first.
   std::map<std::int64_t, StepGeometry> entries_;
   /// Backing for the standalone (no-registry) case.

@@ -22,6 +22,10 @@ struct SchedulerConfig {
   /// Optional hook scaling each edge's value after Phi — bidding (see
   /// BidMatrix::as_modifier), geographic SLAs, operator policy.
   EdgeValueModifier edge_value_modifier;
+  /// Warm-start the stable matcher from the previous instant
+  /// (WarmStartMatcher).  Results are identical either way; this is a
+  /// performance toggle only.  Applies to the point-to-point kStable path.
+  bool warm_start = true;
 };
 
 class Scheduler {
@@ -50,9 +54,15 @@ class Scheduler {
   const VisibilityEngine* engine_;
   SchedulerConfig config_;
   std::unique_ptr<ValueFunction> value_;
+  /// Warm-start state for the stable matcher.  Mutable: schedule_instant
+  /// is logically const (identical results with or without the state);
+  /// call from the thread driving the simulation only.
+  mutable WarmStartMatcher warm_;
   /// Registry handles (null when the engine has no registry).
   obs::Counter* instants_ = nullptr;
   obs::Counter* matched_edges_ = nullptr;
+  obs::Counter* warm_hits_ = nullptr;
+  obs::Counter* cold_starts_ = nullptr;
 };
 
 }  // namespace dgs::core

@@ -1,5 +1,6 @@
 #include "src/core/visibility.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/obs/trace.h"
@@ -8,15 +9,50 @@
 
 namespace dgs::core {
 
+namespace {
+
+// Spatial-index constants (DESIGN.md §14).  Bands partition geocentric
+// latitude [-pi/2, pi/2]; the cull margin absorbs the deviation between a
+// station's geodetic normal (the elevation reference) and its geocentric
+// direction (the cone-test axis), which is at most ~0.0034 rad on the
+// WGS-84 ellipsoid.
+constexpr int kNumBands = 64;
+constexpr double kCullMarginRad = 0.004;
+constexpr double kPi = 3.14159265358979323846;
+
+int latitude_band(double geocentric_lat_rad) {
+  const double t = (geocentric_lat_rad + kPi / 2.0) / kPi;
+  const int band = static_cast<int>(t * kNumBands);
+  return std::clamp(band, 0, kNumBands - 1);
+}
+
+/// Maximum geocentric separation (station direction vs satellite
+/// direction) at which a satellite of radius `r_km` can still sit at
+/// elevation >= `el_rad` above a station of radius `station_radius_km`:
+/// psi_max = acos((R / r) cos el) - el, exact for point geometry.
+double max_central_angle(double station_radius_km, double r_km,
+                         double el_rad, double cos_el) {
+  const double x =
+      std::clamp(station_radius_km / r_km * cos_el, -1.0, 1.0);
+  return std::acos(x) - el_rad;
+}
+
+orbit::Sgp4Batch make_batch(
+    const std::vector<groundseg::SatelliteConfig>& sats) {
+  std::vector<orbit::Tle> tles;
+  tles.reserve(sats.size());
+  for (const groundseg::SatelliteConfig& sc : sats) tles.push_back(sc.tle);
+  return orbit::Sgp4Batch(tles);
+}
+
+}  // namespace
+
 VisibilityEngine::VisibilityEngine(
     const std::vector<groundseg::SatelliteConfig>& sats,
     const std::vector<groundseg::GroundStation>& stations,
     const weather::WeatherProvider* forecast_weather)
-    : sats_(&sats), stations_(&stations), wx_(forecast_weather) {
-  props_.reserve(sats.size());
-  for (const groundseg::SatelliteConfig& sc : sats) {
-    props_.emplace_back(sc.tle);
-  }
+    : sats_(&sats), stations_(&stations), wx_(forecast_weather),
+      batch_(make_batch(sats)) {
   geom_.reserve(stations.size());
   for (const groundseg::GroundStation& gs : stations) {
     StationGeom g;
@@ -25,6 +61,12 @@ VisibilityEngine::VisibilityEngine(
     g.up = {clat * std::cos(gs.location.longitude_rad),
             clat * std::sin(gs.location.longitude_rad),
             std::sin(gs.location.latitude_rad)};
+    g.radius_km = g.ecef.norm();
+    g.n = g.ecef * (1.0 / g.radius_km);
+    g.geocentric_lat_rad = std::asin(g.n.z);
+    g.lon_rad = std::atan2(g.n.y, g.n.x);
+    g.el_cull_rad = gs.min_elevation_rad - kCullMarginRad;
+    g.cos_el_cull = std::cos(g.el_cull_rad);
     geom_.push_back(g);
   }
 }
@@ -35,6 +77,8 @@ void VisibilityEngine::set_metrics(obs::Registry* registry) {
     propagations_ = nullptr;
     link_budgets_ = nullptr;
     contact_edges_ = nullptr;
+    cull_candidates_ = nullptr;
+    cull_precise_ = nullptr;
     return;
   }
   propagations_ = registry->counter(
@@ -46,18 +90,25 @@ void VisibilityEngine::set_metrics(obs::Registry* registry) {
   contact_edges_ = registry->counter(
       "dgs_vis_contact_edges_total",
       "Contact-graph edges produced (budget closed)");
+  cull_candidates_ = registry->counter(
+      "dgs_vis_cull_candidates_total",
+      "Sat x station pairs examined by the spatial index (band survivors)");
+  cull_precise_ = registry->counter(
+      "dgs_vis_cull_precise_total",
+      "Pairs passing the cone cull and given the precise elevation test");
 }
 
 void VisibilityEngine::enable_geometry_cache(const util::Epoch& base,
                                              double step_seconds,
-                                             int capacity_steps) {
+                                             int capacity_steps,
+                                             std::size_t max_bytes) {
   cache_ = std::make_unique<GeometryCache>(base, step_seconds, capacity_steps,
-                                           metrics_);
+                                           metrics_, max_bytes);
 }
 
 util::Vec3 VisibilityEngine::satellite_ecef(int sat,
                                             const util::Epoch& when) const {
-  const orbit::TemeState st = props_.at(sat).propagate_to(when);
+  const orbit::TemeState st = batch_.propagate_one(sat, when);
   return orbit::teme_to_ecef(st.position_km, when);
 }
 
@@ -70,25 +121,8 @@ bool VisibilityEngine::visible(int sat, int station,
   return el >= (*stations_)[station].min_elevation_rad;
 }
 
-void VisibilityEngine::compute_step_geometry(const util::Epoch& when,
-                                             StepGeometry& out) const {
-  DGS_TRACE_SPAN("vis.geometry");
-  const auto num_sats = static_cast<std::int64_t>(props_.size());
+void VisibilityEngine::sweep_brute(StepGeometry& out) const {
   const auto num_stations = static_cast<std::int64_t>(stations_->size());
-  out.sat_ecef.resize(props_.size());
-  out.per_station.resize(stations_->size());
-
-  // Propagate every satellite once for this instant (SGP4 + TEME->ECEF);
-  // per-index writes keep the result thread-count independent.
-  const auto propagate = [&](std::int64_t begin, std::int64_t end) {
-    for (std::int64_t s = begin; s < end; ++s) {
-      out.sat_ecef[static_cast<std::size_t>(s)] =
-          satellite_ecef(static_cast<int>(s), when);
-    }
-    if (propagations_ != nullptr) {
-      propagations_->inc(static_cast<double>(end - begin));
-    }
-  };
   // Sweep each station's elevation mask over all satellites.  Stations
   // are independent; each writes only its own visibility list, in
   // ascending satellite order — exactly the serial sweep's order.
@@ -100,7 +134,7 @@ void VisibilityEngine::compute_step_geometry(const util::Epoch& when,
       std::vector<VisibleSat>& vis =
           out.per_station[static_cast<std::size_t>(g)];
       vis.clear();
-      for (std::size_t s = 0; s < props_.size(); ++s) {
+      for (std::size_t s = 0; s < out.sat_ecef.size(); ++s) {
         if (!gs.constraints.allows(s)) continue;
         const util::Vec3 rho = out.sat_ecef[s] - geom.ecef;
         const double range = rho.norm();
@@ -111,17 +145,167 @@ void VisibilityEngine::compute_step_geometry(const util::Epoch& when,
     }
   };
   if (pool_ != nullptr) {
-    pool_->parallel_for(num_sats, propagate);
     pool_->parallel_for(num_stations, sweep);
   } else {
-    propagate(0, num_sats);
     sweep(0, num_stations);
   }
 }
 
-const StepGeometry* VisibilityEngine::step_geometry(const util::Epoch& when,
-                                                    StepGeometry& local)
-    const {
+void VisibilityEngine::sweep_indexed(StepGeometry& out) const {
+  const std::size_t num_sats = out.sat_ecef.size();
+  const auto num_stations = static_cast<std::int64_t>(stations_->size());
+  if (num_stations == 0) return;
+
+  // Per-satellite geocentric radius and the step-wide conservative radius
+  // bound (psi_max grows with r, so using r_max for every station only
+  // widens its cone).  Computed serially so r_max is trivially
+  // thread-count independent.
+  radius_scratch_.resize(num_sats);
+  double r_max = 0.0;
+  for (std::size_t s = 0; s < num_sats; ++s) {
+    radius_scratch_[s] = out.sat_ecef[s].norm();
+    r_max = std::max(r_max, radius_scratch_[s]);
+  }
+
+  // Scatter each satellite into the single band holding its geocentric
+  // latitude, then sort every band by (longitude, id) so stations can
+  // binary-search the longitude window of their visibility cap.  A
+  // station's cap (geocentric radius psi_max around its direction n)
+  // bounds both coordinates: |lat_sat - lat_station| <= psi_max, and,
+  // when the cap stays clear of the poles, |lon_sat - lon_station| <=
+  // asin(sin psi_max / cos lat_station) — the spherical-cap bounding box.
+  // Band lists keep their capacity across steps.
+  if (band_scratch_.empty()) band_scratch_.resize(kNumBands);
+  for (std::vector<BandSat>& band : band_scratch_) band.clear();
+  for (std::size_t s = 0; s < num_sats; ++s) {
+    const util::Vec3& p = out.sat_ecef[s];
+    const double lat = std::asin(p.z / radius_scratch_[s]);
+    const double lon = std::atan2(p.y, p.x);
+    band_scratch_[static_cast<std::size_t>(latitude_band(lat))].push_back(
+        BandSat{lon, static_cast<int>(s)});
+  }
+  for (std::vector<BandSat>& band : band_scratch_) {
+    std::sort(band.begin(), band.end(),
+              [](const BandSat& a, const BandSat& b) {
+                if (a.lon_rad != b.lon_rad) return a.lon_rad < b.lon_rad;
+                return a.sat < b.sat;
+              });
+  }
+
+  // Per-station cone threshold at the conservative radius, then the
+  // identical precise elevation test on survivors.  The cull only ever
+  // removes pairs the precise test would reject (DESIGN.md §14), so the
+  // lists match the brute-force sweep bit for bit.
+  const auto sweep = [&](std::int64_t begin, std::int64_t end) {
+    std::int64_t candidates = 0;
+    std::int64_t precise = 0;
+    for (std::int64_t g = begin; g < end; ++g) {
+      const auto gi = static_cast<std::size_t>(g);
+      const groundseg::GroundStation& gs = (*stations_)[gi];
+      const StationGeom& geom = geom_[gi];
+      std::vector<VisibleSat>& vis = out.per_station[gi];
+      vis.clear();
+      const double psi_max = max_central_angle(
+          geom.radius_km, r_max, geom.el_cull_rad, geom.cos_el_cull);
+      const double cos_psi_max = std::cos(psi_max);
+      const int lo = latitude_band(geom.geocentric_lat_rad - psi_max);
+      const int hi = latitude_band(geom.geocentric_lat_rad + psi_max);
+      // Longitude half-width of the cap's bounding box; the whole circle
+      // when the cap reaches a pole.  The fp slack in lat/lon round-trips
+      // is absorbed by the kCullMarginRad already inside psi_max.
+      double lon_hw = kPi;
+      if (std::abs(geom.geocentric_lat_rad) + psi_max < kPi / 2.0) {
+        lon_hw = std::asin(std::min(
+            1.0, std::sin(psi_max) / std::cos(geom.geocentric_lat_rad)));
+      }
+      const auto scan = [&](const std::vector<BandSat>& cand,
+                            double lon_lo, double lon_hi) {
+        auto first = std::lower_bound(
+            cand.begin(), cand.end(), lon_lo,
+            [](const BandSat& e, double v) { return e.lon_rad < v; });
+        for (; first != cand.end() && first->lon_rad <= lon_hi; ++first) {
+          ++candidates;
+          const auto s = static_cast<std::size_t>(first->sat);
+          if (!gs.constraints.allows(s)) continue;
+          // Cone cull: geocentric separation vs the widened visibility
+          // cone.  cos(psi) = n . sat_ecef / r, compared multiplied out.
+          if (geom.n.dot(out.sat_ecef[s]) <
+              cos_psi_max * radius_scratch_[s]) {
+            continue;
+          }
+          ++precise;
+          const util::Vec3 rho = out.sat_ecef[s] - geom.ecef;
+          const double range = rho.norm();
+          const double el = std::asin(rho.dot(geom.up) / range);
+          if (el < gs.min_elevation_rad) continue;
+          vis.push_back(VisibleSat{first->sat, el, range});
+        }
+      };
+      for (int b = lo; b <= hi; ++b) {
+        const std::vector<BandSat>& cand =
+            band_scratch_[static_cast<std::size_t>(b)];
+        if (lon_hw >= kPi) {
+          scan(cand, -kPi, kPi);
+          continue;
+        }
+        const double w_lo = geom.lon_rad - lon_hw;
+        const double w_hi = geom.lon_rad + lon_hw;
+        if (w_lo < -kPi) {  // window wraps the date line westward
+          scan(cand, w_lo + 2.0 * kPi, kPi);
+          scan(cand, -kPi, w_hi);
+        } else if (w_hi > kPi) {  // wraps eastward
+          scan(cand, w_lo, kPi);
+          scan(cand, -kPi, w_hi - 2.0 * kPi);
+        } else {
+          scan(cand, w_lo, w_hi);
+        }
+      }
+      // Survivors arrive grouped by band; restore the brute-force
+      // (ascending satellite) order.  Per-satellite values are order-
+      // independent, so this is a pure permutation.
+      std::sort(vis.begin(), vis.end(),
+                [](const VisibleSat& a, const VisibleSat& b) {
+                  return a.sat < b.sat;
+                });
+    }
+    // Whole-chunk integer adds: exact for any shard assignment.
+    if (cull_candidates_ != nullptr && candidates > 0) {
+      cull_candidates_->inc(static_cast<double>(candidates));
+    }
+    if (cull_precise_ != nullptr && precise > 0) {
+      cull_precise_->inc(static_cast<double>(precise));
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(num_stations, sweep);
+  } else {
+    sweep(0, num_stations);
+  }
+}
+
+void VisibilityEngine::compute_step_geometry(const util::Epoch& when,
+                                             StepGeometry& out) const {
+  DGS_TRACE_SPAN("vis.geometry");
+  out.sat_ecef.resize(static_cast<std::size_t>(batch_.size()));
+  out.per_station.resize(stations_->size());
+
+  // Propagate every satellite once for this instant: batched SGP4 in SoA
+  // layout, one shared GMST rotation, chunk-tiled over the pool.
+  // Per-index writes keep the result thread-count independent.
+  batch_.positions_ecef(when, out.sat_ecef, pool_);
+  if (propagations_ != nullptr && batch_.size() > 0) {
+    propagations_->inc(static_cast<double>(batch_.size()));
+  }
+
+  if (spatial_index_) {
+    sweep_indexed(out);
+  } else {
+    sweep_brute(out);
+  }
+}
+
+const StepGeometry* VisibilityEngine::step_geometry(
+    const util::Epoch& when) const {
   if (cache_ != nullptr) {
     if (const std::optional<std::int64_t> key = cache_->step_key(when)) {
       if (const StepGeometry* hit = cache_->find(*key)) return hit;
@@ -130,30 +314,34 @@ const StepGeometry* VisibilityEngine::step_geometry(const util::Epoch& when,
       return &slot;
     }
   }
-  compute_step_geometry(when, local);
-  return &local;
+  // Off-grid / uncached steps reuse the engine scratch so the per-step
+  // vectors keep their capacity across calls.
+  compute_step_geometry(when, scratch_geometry_);
+  return &scratch_geometry_;
 }
 
 std::vector<ContactEdge> VisibilityEngine::contacts(
     const util::Epoch& when, std::span<const double> forecast_lead_s,
     std::span<const char> station_down) const {
   DGS_ENSURE(forecast_lead_s.empty() ||
-                 forecast_lead_s.size() == props_.size(),
+                 forecast_lead_s.size() == sats_->size(),
              "forecast_lead_s size=" << forecast_lead_s.size()
-                                     << " sats=" << props_.size());
+                                     << " sats=" << sats_->size());
   DGS_ENSURE(station_down.empty() || station_down.size() == stations_->size(),
              "station_down size=" << station_down.size() << " stations="
                                   << stations_->size());
   DGS_TRACE_SPAN("vis.contacts");
 
-  StepGeometry local;
-  const StepGeometry* geo = step_geometry(when, local);
+  const StepGeometry* geo = step_geometry(when);
 
   // Weather sampling and link budgets depend on the forecast lead and the
   // outage mask, so they are evaluated per call (never cached).  Each
-  // station produces its own edge list; concatenating them in station
-  // order reproduces the serial station-major, satellite-minor order.
-  std::vector<std::vector<ContactEdge>> per_station(stations_->size());
+  // station produces its own edge list (a scratch slot that keeps its
+  // capacity across calls); concatenating them in station order
+  // reproduces the serial station-major, satellite-minor order.
+  edge_scratch_.resize(stations_->size());
+  for (std::vector<ContactEdge>& v : edge_scratch_) v.clear();
+  std::vector<std::vector<ContactEdge>>& per_station = edge_scratch_;
   const auto budgets = [&](std::int64_t begin, std::int64_t end) {
     std::int64_t budgets_evaluated = 0;
     std::int64_t edges_produced = 0;

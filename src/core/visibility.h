@@ -1,17 +1,25 @@
 // Contact graph construction (paper §3.1 "Orbit Calculations" and "Graph
 // Construction").
 //
-// For a scheduling instant, the engine propagates every satellite (SGP4),
-// tests visibility against every station's elevation mask and owner
-// constraints, and evaluates the predictive link budget (§3.2) with
-// forecast weather to produce the weighted bipartite contact graph.
+// For a scheduling instant, the engine propagates every satellite (batched
+// SGP4, SoA layout), tests visibility against every station's elevation
+// mask and owner constraints, and evaluates the predictive link budget
+// (§3.2) with forecast weather to produce the weighted bipartite contact
+// graph.
 //
-// Two optional accelerators, both preserving bit-identical output:
+// Three optional accelerators, all preserving bit-identical output:
 //   * a ThreadPool (set_thread_pool) parallelizes the per-satellite
 //     propagation and the per-station visibility + link-budget sweep;
 //   * a GeometryCache (enable_geometry_cache) memoizes the weather-
 //     independent geometry of on-grid epochs, so repeated queries of the
-//     same step (look-ahead planning, replanning) propagate only once.
+//     same step (look-ahead planning, replanning) propagate only once;
+//   * a spatial visibility index (set_spatial_index, ON by default) culls
+//     sat x station pairs by groundtrack latitude bands and a conservative
+//     visibility-cone test before the precise elevation check, replacing
+//     the O(sats x stations) brute-force sweep at constellation scale.
+//     The cull is strictly conservative (DESIGN.md §14), so the surviving
+//     pairs — and therefore every produced edge — are bit-identical to
+//     the brute-force sweep.
 #pragma once
 
 #include <memory>
@@ -23,7 +31,7 @@
 #include "src/groundseg/network_gen.h"
 #include "src/link/budget.h"
 #include "src/obs/metrics.h"
-#include "src/orbit/sgp4.h"
+#include "src/orbit/sgp4_batch.h"
 #include "src/util/thread_pool.h"
 #include "src/weather/provider.h"
 
@@ -53,7 +61,8 @@ class VisibilityEngine {
   /// (a perfectly fresh plan).  `station_down` optionally marks stations
   /// currently unavailable (failure injection); empty means all up.
   /// Edges that cannot close are omitted.  Output (values and order) is
-  /// independent of the thread pool and cache configuration.
+  /// independent of the thread pool, cache, and spatial-index
+  /// configuration.
   std::vector<ContactEdge> contacts(
       const util::Epoch& when, std::span<const double> forecast_lead_s = {},
       std::span<const char> station_down = {}) const;
@@ -68,21 +77,31 @@ class VisibilityEngine {
   void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
   util::ThreadPool* thread_pool() const { return pool_; }
 
+  /// Toggles the spatial visibility index (default on).  Off = the
+  /// brute-force all-pairs sweep; results are bit-identical either way
+  /// (tests/test_visibility_index.cpp pins this).
+  void set_spatial_index(bool enabled) { spatial_index_ = enabled; }
+  bool spatial_index() const { return spatial_index_; }
+
   /// Borrowed metrics registry; nullptr (default) disables instrumentation.
   /// Registers the engine's counters (propagations, link budgets, contact
-  /// edges) and is handed to any cache enabled afterwards, so call this
-  /// before enable_geometry_cache.
+  /// edges, cull candidates/precise tests) and is handed to any cache
+  /// enabled afterwards, so call this before enable_geometry_cache.
   void set_metrics(obs::Registry* registry);
   obs::Registry* metrics() const { return metrics_; }
 
   /// Memoize step geometry on the grid `base + k * step_seconds`, keeping
-  /// the most recent `capacity_steps` steps.  Replaces any prior cache.
-  void enable_geometry_cache(const util::Epoch& base, double step_seconds,
-                             int capacity_steps);
+  /// the most recent `capacity_steps` steps, additionally bounded by
+  /// `max_bytes` of estimated entry footprint (constellation-scale runs
+  /// would otherwise hold gigabytes of per-step geometry; see
+  /// GeometryCache).  Replaces any prior cache.
+  void enable_geometry_cache(
+      const util::Epoch& base, double step_seconds, int capacity_steps,
+      std::size_t max_bytes = GeometryCache::kDefaultMaxBytes);
   /// The active cache (for tests/telemetry); nullptr when disabled.
   const GeometryCache* geometry_cache() const { return cache_.get(); }
 
-  int num_sats() const { return static_cast<int>(props_.size()); }
+  int num_sats() const { return batch_.size(); }
   int num_stations() const { return static_cast<int>(stations_->size()); }
   const groundseg::SatelliteConfig& satellite(int i) const {
     return (*sats_)[i];
@@ -94,7 +113,20 @@ class VisibilityEngine {
  private:
   struct StationGeom {
     util::Vec3 ecef;
-    util::Vec3 up;  ///< Geodetic normal (unit).
+    util::Vec3 up;      ///< Geodetic normal (unit).
+    util::Vec3 n;       ///< Geocentric direction (unit), ecef / |ecef|.
+    double radius_km = 0.0;         ///< |ecef|.
+    double geocentric_lat_rad = 0.0;
+    double lon_rad = 0.0;      ///< atan2(n.y, n.x), for the longitude cull.
+    double cos_el_cull = 0.0;  ///< cos(min_elevation - margin), for psi_max.
+    double el_cull_rad = 0.0;  ///< min_elevation - margin.
+  };
+
+  /// One satellite in a latitude band, keyed by geocentric longitude so a
+  /// station can binary-search its cap's longitude window.
+  struct BandSat {
+    double lon_rad = 0.0;
+    int sat = 0;
   };
 
   /// Fills `out` with the weather-independent geometry of `when`:
@@ -102,20 +134,35 @@ class VisibilityEngine {
   /// Parallelized over satellites, then stations, when a pool is set.
   void compute_step_geometry(const util::Epoch& when,
                              StepGeometry& out) const;
+  /// The all-pairs sweep (spatial index off, and the cross-validation
+  /// reference): every station tests every allowed satellite.
+  void sweep_brute(StepGeometry& out) const;
+  /// The indexed sweep: latitude-band scatter + conservative cone cull,
+  /// then the identical precise elevation test on survivors.
+  void sweep_indexed(StepGeometry& out) const;
 
   /// Geometry for `when`, served from the cache when possible.  The
-  /// returned pointer is `local` or a cache entry; valid until the next
-  /// cache mutation.
-  const StepGeometry* step_geometry(const util::Epoch& when,
-                                    StepGeometry& local) const;
+  /// returned pointer is the engine's scratch or a cache entry; valid
+  /// until the next step_geometry call or cache mutation.
+  const StepGeometry* step_geometry(const util::Epoch& when) const;
 
   const std::vector<groundseg::SatelliteConfig>* sats_;
   const std::vector<groundseg::GroundStation>* stations_;
   const weather::WeatherProvider* wx_;  ///< May be null (clear-sky planning).
-  std::vector<orbit::Sgp4> props_;
+  orbit::Sgp4Batch batch_;              ///< SoA propagator for the fleet.
   std::vector<StationGeom> geom_;
   util::ThreadPool* pool_ = nullptr;              ///< Borrowed; may be null.
+  bool spatial_index_ = true;
   mutable std::unique_ptr<GeometryCache> cache_;  ///< Memoization only.
+  /// Scratch reused across steps to avoid per-call allocation churn at
+  /// constellation scale.  The engine's query methods are driver-thread
+  /// only (the cache already mutates under const); pool workers touch
+  /// disjoint per-station slots.
+  mutable StepGeometry scratch_geometry_;       ///< Uncached-step storage.
+  mutable std::vector<double> radius_scratch_;  ///< Geocentric radii.
+  /// Satellites per latitude band, sorted by (longitude, id).
+  mutable std::vector<std::vector<BandSat>> band_scratch_;
+  mutable std::vector<std::vector<ContactEdge>> edge_scratch_;
   obs::Registry* metrics_ = nullptr;              ///< Borrowed; may be null.
   /// Cached registry handles (null when metrics_ is null).  Incremented
   /// from worker threads in whole-chunk integer steps, which the shard
@@ -123,6 +170,8 @@ class VisibilityEngine {
   obs::Counter* propagations_ = nullptr;
   obs::Counter* link_budgets_ = nullptr;
   obs::Counter* contact_edges_ = nullptr;
+  obs::Counter* cull_candidates_ = nullptr;
+  obs::Counter* cull_precise_ = nullptr;
 };
 
 }  // namespace dgs::core

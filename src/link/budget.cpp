@@ -1,6 +1,7 @@
 #include "src/link/budget.h"
 
 #include <cmath>
+#include <limits>
 
 #include "src/link/clouds.h"
 #include "src/link/fspl.h"
@@ -10,6 +11,24 @@
 #include "src/util/constants.h"
 
 namespace dgs::link {
+namespace {
+
+/// `10*log10(symbol_rate)` with a single-entry memo: the symbol rate is a
+/// per-radio constant shared fleet-wide, and the term is recomputed for
+/// every candidate edge of a contact sweep.  Same expression on the same
+/// input, so the cached value is bit-identical; the NaN sentinel never
+/// compares equal, so the first call always computes.
+double symbol_rate_db(double symbol_rate_hz) {
+  thread_local double memo_hz = std::numeric_limits<double>::quiet_NaN();
+  thread_local double memo_db = 0.0;
+  if (symbol_rate_hz != memo_hz) {
+    memo_db = 10.0 * std::log10(symbol_rate_hz);
+    memo_hz = symbol_rate_hz;
+  }
+  return memo_db;
+}
+
+}  // namespace
 
 LinkBudget evaluate_link(const RadioSpec& radio, const ReceiveSystem& rx,
                          const PathConditions& path) {
@@ -42,7 +61,7 @@ LinkBudget evaluate_link(const RadioSpec& radio, const ReceiveSystem& rx,
   // C/N0 [dBHz] = EIRP - FSPL - A_atmos + G/T - 10log10(k) - L_impl.
   b.cn0_dbhz = radio.eirp_dbw - b.fspl_db - b.total_atmos_db + b.g_over_t_db -
                util::kBoltzmannDb - radio.implementation_loss_db;
-  b.esn0_db = b.cn0_dbhz - 10.0 * std::log10(radio.symbol_rate_hz);
+  b.esn0_db = b.cn0_dbhz - symbol_rate_db(radio.symbol_rate_hz);
 
   // Every dB term must be finite and every attenuation non-negative: a NaN
   // here would silently poison edge weights and the whole schedule.

@@ -1,5 +1,7 @@
 #include "src/link/dvbs2.h"
 
+#include <algorithm>
+#include <array>
 #include <iterator>
 
 #include "src/util/check.h"
@@ -65,19 +67,35 @@ std::span<const ModCod> dvbs2_modcods() {
 
 const ModCod* select_modcod(double esn0_db, double margin_db) {
   DGS_ENSURE_GE(margin_db, 0.0);
-  // The table is Es/N0-sorted but not strictly efficiency-sorted (some 8PSK
-  // entries need more SNR than lower-order MODCODs with higher efficiency);
-  // pick the max-efficiency entry among the feasible ones.
-  const ModCod* best = nullptr;
-  for (const ModCod& mc : kModCods) {
-    if (mc.required_esn0_db + margin_db <= esn0_db) {
-      if (best == nullptr ||
-          mc.spectral_efficiency > best->spectral_efficiency) {
-        best = &mc;
-      }
-    }
-  }
-  return best;
+  // The table is Es/N0-sorted, so the feasible entries form a prefix
+  // (float addition of the same margin preserves the ordering).  It is
+  // not strictly efficiency-sorted (some 8PSK entries need more SNR than
+  // lower-order MODCODs with higher efficiency), so the answer is the
+  // best entry over that prefix — precomputed once below with the same
+  // first-wins tie-breaking as a linear max scan, hence the identical
+  // pointer.  This runs once per candidate contact edge, so O(log n)
+  // instead of O(n) matters at constellation scale.
+  static const std::array<const ModCod*, std::size(kModCods)> kPrefixBest =
+      [] {
+        std::array<const ModCod*, std::size(kModCods)> best{};
+        const ModCod* run = nullptr;
+        for (std::size_t i = 0; i < std::size(kModCods); ++i) {
+          if (run == nullptr ||
+              kModCods[i].spectral_efficiency > run->spectral_efficiency) {
+            run = &kModCods[i];
+          }
+          best[i] = run;
+        }
+        return best;
+      }();
+  const ModCod* end_feasible = std::partition_point(
+      std::begin(kModCods), std::end(kModCods), [&](const ModCod& mc) {
+        return mc.required_esn0_db + margin_db <= esn0_db;
+      });
+  if (end_feasible == std::begin(kModCods)) return nullptr;
+  return kPrefixBest[static_cast<std::size_t>(end_feasible -
+                                              std::begin(kModCods)) -
+                     1];
 }
 
 double bitrate_bps(const ModCod& mc, double symbol_rate_hz) {

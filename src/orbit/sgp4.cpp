@@ -25,26 +25,25 @@ constexpr double kX2o3 = 2.0 / 3.0;
 
 }  // namespace
 
-Sgp4::Sgp4(const Tle& tle) {
-  epoch_ = tle.epoch;
-  satnum_ = tle.satnum;
-  bstar_ = tle.bstar;
-  ecco_ = tle.eccentricity;
-  inclo_ = util::deg2rad(tle.inclination_deg);
-  nodeo_ = util::deg2rad(tle.raan_deg);
-  argpo_ = util::deg2rad(tle.arg_perigee_deg);
-  mo_ = util::deg2rad(tle.mean_anomaly_deg);
+Sgp4Params sgp4_init(const Tle& tle) {
+  Sgp4Params p;
+  p.bstar = tle.bstar;
+  p.ecco = tle.eccentricity;
+  p.inclo = util::deg2rad(tle.inclination_deg);
+  p.nodeo = util::deg2rad(tle.raan_deg);
+  p.argpo = util::deg2rad(tle.arg_perigee_deg);
+  p.mo = util::deg2rad(tle.mean_anomaly_deg);
   const double no_kozai =
       tle.mean_motion_revs_per_day * kTwoPi / util::kMinutesPerDay;  // rad/min
 
   if (no_kozai <= 0.0) domain_fail("non-positive mean motion");
-  if (ecco_ < 0.0 || ecco_ >= 1.0) domain_fail("eccentricity out of [0,1)");
+  if (p.ecco < 0.0 || p.ecco >= 1.0) domain_fail("eccentricity out of [0,1)");
 
   // ----- initl: recover the Brouwer mean motion (un-Kozai) ------------------
-  const double eccsq = ecco_ * ecco_;
+  const double eccsq = p.ecco * p.ecco;
   const double omeosq = 1.0 - eccsq;
   const double rteosq = std::sqrt(omeosq);
-  const double cosio = std::cos(inclo_);
+  const double cosio = std::cos(p.inclo);
   const double cosio2 = cosio * cosio;
 
   const double ak = std::pow(kXke / no_kozai, kX2o3);
@@ -53,19 +52,19 @@ Sgp4::Sgp4(const Tle& tle) {
   const double adel =
       ak * (1.0 - del * del - del * (1.0 / 3.0 + 134.0 * del * del / 81.0));
   del = d1 / (adel * adel);
-  no_unkozai_ = no_kozai / (1.0 + del);
+  p.no_unkozai = no_kozai / (1.0 + del);
 
-  if (kTwoPi / no_unkozai_ >= 225.0) {
+  if (kTwoPi / p.no_unkozai >= 225.0) {
     domain_fail("deep-space element set (period >= 225 min) not supported");
   }
 
-  const double ao = std::pow(kXke / no_unkozai_, kX2o3);
-  const double sinio = std::sin(inclo_);
+  const double ao = std::pow(kXke / p.no_unkozai, kX2o3);
+  const double sinio = std::sin(p.inclo);
   const double po = ao * omeosq;
   const double con42 = 1.0 - 5.0 * cosio2;
-  con41_ = -con42 - cosio2 - cosio2;
+  p.con41 = -con42 - cosio2 - cosio2;
   const double posq = po * po;
-  const double rp = ao * (1.0 - ecco_);
+  const double rp = ao * (1.0 - p.ecco);
 
   if (rp < 1.0) domain_fail("element set epoch below Earth surface");
 
@@ -74,7 +73,7 @@ Sgp4::Sgp4(const Tle& tle) {
   const double qzms2t =
       std::pow((120.0 - 78.0) / kEarthRadiusKm, 4.0);
 
-  isimp_ = rp < (220.0 / kEarthRadiusKm + 1.0);
+  p.isimp = rp < (220.0 / kEarthRadiusKm + 1.0);
 
   double sfour = ss;
   double qzms24 = qzms2t;
@@ -88,111 +87,112 @@ Sgp4::Sgp4(const Tle& tle) {
   const double pinvsq = 1.0 / posq;
 
   const double tsi = 1.0 / (ao - sfour);
-  eta_ = ao * ecco_ * tsi;
-  const double etasq = eta_ * eta_;
-  const double eeta = ecco_ * eta_;
+  p.eta = ao * p.ecco * tsi;
+  const double etasq = p.eta * p.eta;
+  const double eeta = p.ecco * p.eta;
   const double psisq = std::fabs(1.0 - etasq);
   const double coef = qzms24 * std::pow(tsi, 4.0);
   const double coef1 = coef / std::pow(psisq, 3.5);
   const double cc2 =
-      coef1 * no_unkozai_ *
+      coef1 * p.no_unkozai *
       (ao * (1.0 + 1.5 * etasq + eeta * (4.0 + etasq)) +
-       0.375 * kJ2 * tsi / psisq * con41_ *
+       0.375 * kJ2 * tsi / psisq * p.con41 *
            (8.0 + 3.0 * etasq * (8.0 + etasq)));
-  cc1_ = bstar_ * cc2;
+  p.cc1 = p.bstar * cc2;
   double cc3 = 0.0;
-  if (ecco_ > 1.0e-4) {
-    cc3 = -2.0 * coef * tsi * kJ3oJ2 * no_unkozai_ * sinio / ecco_;
+  if (p.ecco > 1.0e-4) {
+    cc3 = -2.0 * coef * tsi * kJ3oJ2 * p.no_unkozai * sinio / p.ecco;
   }
-  x1mth2_ = 1.0 - cosio2;
-  cc4_ = 2.0 * no_unkozai_ * coef1 * ao * omeosq *
-         (eta_ * (2.0 + 0.5 * etasq) + ecco_ * (0.5 + 2.0 * etasq) -
-          kJ2 * tsi / (ao * psisq) *
-              (-3.0 * con41_ *
-                   (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta)) +
-               0.75 * x1mth2_ * (2.0 * etasq - eeta * (1.0 + etasq)) *
-                   std::cos(2.0 * argpo_)));
-  cc5_ = 2.0 * coef1 * ao * omeosq *
-         (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
+  p.x1mth2 = 1.0 - cosio2;
+  p.cc4 = 2.0 * p.no_unkozai * coef1 * ao * omeosq *
+          (p.eta * (2.0 + 0.5 * etasq) + p.ecco * (0.5 + 2.0 * etasq) -
+           kJ2 * tsi / (ao * psisq) *
+               (-3.0 * p.con41 *
+                    (1.0 - 2.0 * eeta + etasq * (1.5 - 0.5 * eeta)) +
+                0.75 * p.x1mth2 * (2.0 * etasq - eeta * (1.0 + etasq)) *
+                    std::cos(2.0 * p.argpo)));
+  p.cc5 = 2.0 * coef1 * ao * omeosq *
+          (1.0 + 2.75 * (etasq + eeta) + eeta * etasq);
 
   const double cosio4 = cosio2 * cosio2;
-  const double temp1 = 1.5 * kJ2 * pinvsq * no_unkozai_;
+  const double temp1 = 1.5 * kJ2 * pinvsq * p.no_unkozai;
   const double temp2 = 0.5 * temp1 * kJ2 * pinvsq;
-  const double temp3 = -0.46875 * kJ4 * pinvsq * pinvsq * no_unkozai_;
-  mdot_ = no_unkozai_ + 0.5 * temp1 * rteosq * con41_ +
-          0.0625 * temp2 * rteosq * (13.0 - 78.0 * cosio2 + 137.0 * cosio4);
-  argpdot_ = -0.5 * temp1 * con42 +
-             0.0625 * temp2 * (7.0 - 114.0 * cosio2 + 395.0 * cosio4) +
-             temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
+  const double temp3 = -0.46875 * kJ4 * pinvsq * pinvsq * p.no_unkozai;
+  p.mdot = p.no_unkozai + 0.5 * temp1 * rteosq * p.con41 +
+           0.0625 * temp2 * rteosq * (13.0 - 78.0 * cosio2 + 137.0 * cosio4);
+  p.argpdot = -0.5 * temp1 * con42 +
+              0.0625 * temp2 * (7.0 - 114.0 * cosio2 + 395.0 * cosio4) +
+              temp3 * (3.0 - 36.0 * cosio2 + 49.0 * cosio4);
   const double xhdot1 = -temp1 * cosio;
-  nodedot_ = xhdot1 + (0.5 * temp2 * (4.0 - 19.0 * cosio2) +
-                       2.0 * temp3 * (3.0 - 7.0 * cosio2)) *
-                          cosio;
-  omgcof_ = bstar_ * cc3 * std::cos(argpo_);
-  xmcof_ = 0.0;
-  if (ecco_ > 1.0e-4) xmcof_ = -kX2o3 * coef * bstar_ / eeta;
-  nodecf_ = 3.5 * omeosq * xhdot1 * cc1_;
-  t2cof_ = 1.5 * cc1_;
+  p.nodedot = xhdot1 + (0.5 * temp2 * (4.0 - 19.0 * cosio2) +
+                        2.0 * temp3 * (3.0 - 7.0 * cosio2)) *
+                           cosio;
+  p.omgcof = p.bstar * cc3 * std::cos(p.argpo);
+  p.xmcof = 0.0;
+  if (p.ecco > 1.0e-4) p.xmcof = -kX2o3 * coef * p.bstar / eeta;
+  p.nodecf = 3.5 * omeosq * xhdot1 * p.cc1;
+  p.t2cof = 1.5 * p.cc1;
   // Guard the xlcof denominator for retrograde equatorial orbits (i ~ 180deg).
   if (std::fabs(cosio + 1.0) > 1.5e-12) {
-    xlcof_ =
+    p.xlcof =
         -0.25 * kJ3oJ2 * sinio * (3.0 + 5.0 * cosio) / (1.0 + cosio);
   } else {
-    xlcof_ = -0.25 * kJ3oJ2 * sinio * (3.0 + 5.0 * cosio) / 1.5e-12;
+    p.xlcof = -0.25 * kJ3oJ2 * sinio * (3.0 + 5.0 * cosio) / 1.5e-12;
   }
-  aycof_ = -0.5 * kJ3oJ2 * sinio;
-  delmo_ = std::pow(1.0 + eta_ * std::cos(mo_), 3.0);
-  sinmao_ = std::sin(mo_);
-  x7thm1_ = 7.0 * cosio2 - 1.0;
+  p.aycof = -0.5 * kJ3oJ2 * sinio;
+  p.delmo = std::pow(1.0 + p.eta * std::cos(p.mo), 3.0);
+  p.sinmao = std::sin(p.mo);
+  p.x7thm1 = 7.0 * cosio2 - 1.0;
 
-  if (!isimp_) {
-    const double cc1sq = cc1_ * cc1_;
-    d2_ = 4.0 * ao * tsi * cc1sq;
-    const double temp = d2_ * tsi * cc1_ / 3.0;
-    d3_ = (17.0 * ao + sfour) * temp;
-    d4_ = 0.5 * temp * ao * tsi * (221.0 * ao + 31.0 * sfour) * cc1_;
-    t3cof_ = d2_ + 2.0 * cc1sq;
-    t4cof_ = 0.25 * (3.0 * d3_ + cc1_ * (12.0 * d2_ + 10.0 * cc1sq));
-    t5cof_ = 0.2 * (3.0 * d4_ + 12.0 * cc1_ * d3_ + 6.0 * d2_ * d2_ +
-                    15.0 * cc1sq * (2.0 * d2_ + cc1sq));
+  if (!p.isimp) {
+    const double cc1sq = p.cc1 * p.cc1;
+    p.d2 = 4.0 * ao * tsi * cc1sq;
+    const double temp = p.d2 * tsi * p.cc1 / 3.0;
+    p.d3 = (17.0 * ao + sfour) * temp;
+    p.d4 = 0.5 * temp * ao * tsi * (221.0 * ao + 31.0 * sfour) * p.cc1;
+    p.t3cof = p.d2 + 2.0 * cc1sq;
+    p.t4cof = 0.25 * (3.0 * p.d3 + p.cc1 * (12.0 * p.d2 + 10.0 * cc1sq));
+    p.t5cof = 0.2 * (3.0 * p.d4 + 12.0 * p.cc1 * p.d3 + 6.0 * p.d2 * p.d2 +
+                     15.0 * cc1sq * (2.0 * p.d2 + cc1sq));
   }
+  return p;
 }
 
-double Sgp4::period_minutes() const { return kTwoPi / no_unkozai_; }
+double Sgp4::period_minutes() const { return kTwoPi / p_.no_unkozai; }
 
-TemeState Sgp4::propagate(double tsince_minutes) const {
+TemeState sgp4_propagate(const Sgp4Params& p, double tsince_minutes) {
   const double t = tsince_minutes;
 
   // ----- secular gravity and atmospheric drag -------------------------------
-  const double xmdf = mo_ + mdot_ * t;
-  const double argpdf = argpo_ + argpdot_ * t;
-  const double nodedf = nodeo_ + nodedot_ * t;
+  const double xmdf = p.mo + p.mdot * t;
+  const double argpdf = p.argpo + p.argpdot * t;
+  const double nodedf = p.nodeo + p.nodedot * t;
   double argpm = argpdf;
   double mm = xmdf;
   const double t2 = t * t;
-  double nodem = nodedf + nodecf_ * t2;
-  double tempa = 1.0 - cc1_ * t;
-  double tempe = bstar_ * cc4_ * t;
-  double templ = t2cof_ * t2;
+  double nodem = nodedf + p.nodecf * t2;
+  double tempa = 1.0 - p.cc1 * t;
+  double tempe = p.bstar * p.cc4 * t;
+  double templ = p.t2cof * t2;
 
-  if (!isimp_) {
-    const double delomg = omgcof_ * t;
+  if (!p.isimp) {
+    const double delomg = p.omgcof * t;
     const double delm =
-        xmcof_ *
-        (std::pow(1.0 + eta_ * std::cos(xmdf), 3.0) - delmo_);
+        p.xmcof *
+        (std::pow(1.0 + p.eta * std::cos(xmdf), 3.0) - p.delmo);
     const double temp = delomg + delm;
     mm = xmdf + temp;
     argpm = argpdf - temp;
     const double t3 = t2 * t;
     const double t4 = t3 * t;
-    tempa = tempa - d2_ * t2 - d3_ * t3 - d4_ * t4;
-    tempe = tempe + bstar_ * cc5_ * (std::sin(mm) - sinmao_);
-    templ = templ + t3cof_ * t3 + t4 * (t4cof_ + t * t5cof_);
+    tempa = tempa - p.d2 * t2 - p.d3 * t3 - p.d4 * t4;
+    tempe = tempe + p.bstar * p.cc5 * (std::sin(mm) - p.sinmao);
+    templ = templ + p.t3cof * t3 + t4 * (p.t4cof + t * p.t5cof);
   }
 
-  double nm = no_unkozai_;
-  double em = ecco_;
-  const double inclm = inclo_;
+  double nm = p.no_unkozai;
+  double em = p.ecco;
+  const double inclm = p.inclo;
 
   const double am = std::pow(kXke / nm, kX2o3) * tempa * tempa;
   nm = kXke / std::pow(am, 1.5);
@@ -203,7 +203,7 @@ TemeState Sgp4::propagate(double tsince_minutes) const {
   }
   if (em < 1.0e-6) em = 1.0e-6;
 
-  mm = mm + no_unkozai_ * templ;
+  mm = mm + p.no_unkozai * templ;
   double xlm = mm + argpm + nodem;
 
   nodem = std::fmod(nodem, kTwoPi);
@@ -222,8 +222,8 @@ TemeState Sgp4::propagate(double tsince_minutes) const {
 
   const double axnl = ep * std::cos(argpp);
   double temp = 1.0 / (am * (1.0 - ep * ep));
-  const double aynl = ep * std::sin(argpp) + temp * aycof_;
-  const double xl = mp + argpp + nodep + temp * xlcof_ * axnl;
+  const double aynl = ep * std::sin(argpp) + temp * p.aycof;
+  const double xl = mp + argpp + nodep + temp * p.xlcof * axnl;
 
   // ----- Kepler's equation ---------------------------------------------------
   const double u = std::fmod(xl - nodep, kTwoPi);
@@ -261,14 +261,14 @@ TemeState Sgp4::propagate(double tsince_minutes) const {
   const double temp2 = temp1 * temp;
 
   const double mrt =
-      rl * (1.0 - 1.5 * temp2 * betal * con41_) +
-      0.5 * temp1 * x1mth2_ * cos2u;
-  su = su - 0.25 * temp2 * x7thm1_ * sin2u;
+      rl * (1.0 - 1.5 * temp2 * betal * p.con41) +
+      0.5 * temp1 * p.x1mth2 * cos2u;
+  su = su - 0.25 * temp2 * p.x7thm1 * sin2u;
   const double xnode = nodep + 1.5 * temp2 * cosip * sin2u;
   const double xinc = xincp + 1.5 * temp2 * cosip * sinip * cos2u;
-  const double mvt = rdotl - nm * temp1 * x1mth2_ * sin2u / kXke;
+  const double mvt = rdotl - nm * temp1 * p.x1mth2 * sin2u / kXke;
   const double rvdot =
-      rvdotl + nm * temp1 * (x1mth2_ * cos2u + 1.5 * con41_) / kXke;
+      rvdotl + nm * temp1 * (p.x1mth2 * cos2u + 1.5 * p.con41) / kXke;
 
   // ----- orientation vectors and state --------------------------------------
   const double sinsu = std::sin(su);

@@ -11,6 +11,12 @@
 // evaluation are LEO (300-600 km, period ~90 min); element sets with periods
 // of 225 minutes or more require the deep-space extension (SDP4) and are
 // rejected at construction with std::domain_error.
+//
+// Two call surfaces share one propagation kernel (sgp4_propagate):
+//   * Sgp4 — one element set, one state per call;
+//   * Sgp4Batch (sgp4_batch.h) — a whole constellation in SoA layout,
+//     propagated per scheduling step.
+// Both produce bit-identical states for the same element set and time.
 #pragma once
 
 #include "src/orbit/tle.h"
@@ -25,18 +31,51 @@ struct TemeState {
   util::Vec3 velocity_km_s;
 };
 
+/// The derived initialization constants of one near-earth element set —
+/// everything sgp4_propagate needs besides the time offset.  Produced by
+/// sgp4_init; field names follow the reference theory.  Kept as a plain
+/// aggregate so Sgp4Batch can scatter/gather it through per-field arrays.
+struct Sgp4Params {
+  // Elements at epoch (radians, rad/min).
+  double ecco = 0.0, inclo = 0.0, nodeo = 0.0, argpo = 0.0, mo = 0.0;
+  double no_unkozai = 0.0;
+  double bstar = 0.0;
+
+  bool isimp = false;
+  double aycof = 0.0, con41 = 0.0, cc1 = 0.0, cc4 = 0.0, cc5 = 0.0;
+  double d2 = 0.0, d3 = 0.0, d4 = 0.0;
+  double delmo = 0.0, eta = 0.0, argpdot = 0.0, omgcof = 0.0;
+  double sinmao = 0.0, t2cof = 0.0, t3cof = 0.0, t4cof = 0.0, t5cof = 0.0;
+  double x1mth2 = 0.0, x7thm1 = 0.0, mdot = 0.0, nodedot = 0.0;
+  double xlcof = 0.0, xmcof = 0.0, nodecf = 0.0;
+};
+
+/// Recovers the Brouwer mean motion and derives the propagation constants
+/// for one element set.  Throws std::domain_error for deep-space (period
+/// >= 225 min) or physically invalid element sets.
+Sgp4Params sgp4_init(const Tle& tle);
+
+/// The propagation kernel: state at `tsince_minutes` after the element set
+/// epoch (may be negative).  Throws std::domain_error if the mean elements
+/// become non-physical (eccentricity out of range, negative semi-latus
+/// rectum) or the satellite has decayed below the Earth's surface.
+TemeState sgp4_propagate(const Sgp4Params& p, double tsince_minutes);
+
 class Sgp4 {
  public:
   /// Initializes the propagator from a parsed element set.
   /// Throws std::domain_error for deep-space (period >= 225 min) or
   /// physically invalid element sets.
-  explicit Sgp4(const Tle& tle);
+  explicit Sgp4(const Tle& tle)
+      : epoch_(tle.epoch), satnum_(tle.satnum), p_(sgp4_init(tle)) {}
 
   /// Propagates to `tsince_minutes` after the element set epoch (may be
   /// negative).  Throws std::domain_error if the mean elements become
   /// non-physical (eccentricity out of range, negative semi-latus rectum)
   /// or the satellite has decayed below the Earth's surface.
-  TemeState propagate(double tsince_minutes) const;
+  TemeState propagate(double tsince_minutes) const {
+    return sgp4_propagate(p_, tsince_minutes);
+  }
 
   /// Propagates to an absolute epoch.
   TemeState propagate_to(const util::Epoch& when) const {
@@ -46,27 +85,16 @@ class Sgp4 {
   const util::Epoch& epoch() const { return epoch_; }
   int satnum() const { return satnum_; }
   /// Un-Kozai'd (Brouwer) mean motion [rad/min] recovered during init.
-  double mean_motion_rad_per_min() const { return no_unkozai_; }
+  double mean_motion_rad_per_min() const { return p_.no_unkozai; }
   /// Orbital period from the recovered mean motion [minutes].
   double period_minutes() const;
+  /// The derived constants (for Sgp4Batch construction).
+  const Sgp4Params& params() const { return p_; }
 
  private:
   util::Epoch epoch_;
   int satnum_ = 0;
-
-  // Elements at epoch (radians, rad/min).
-  double ecco_ = 0.0, inclo_ = 0.0, nodeo_ = 0.0, argpo_ = 0.0, mo_ = 0.0;
-  double no_unkozai_ = 0.0;
-  double bstar_ = 0.0;
-
-  // Derived initialization constants (names follow the reference theory).
-  bool isimp_ = false;
-  double aycof_ = 0.0, con41_ = 0.0, cc1_ = 0.0, cc4_ = 0.0, cc5_ = 0.0;
-  double d2_ = 0.0, d3_ = 0.0, d4_ = 0.0;
-  double delmo_ = 0.0, eta_ = 0.0, argpdot_ = 0.0, omgcof_ = 0.0;
-  double sinmao_ = 0.0, t2cof_ = 0.0, t3cof_ = 0.0, t4cof_ = 0.0, t5cof_ = 0.0;
-  double x1mth2_ = 0.0, x7thm1_ = 0.0, mdot_ = 0.0, nodedot_ = 0.0;
-  double xlcof_ = 0.0, xmcof_ = 0.0, nodecf_ = 0.0;
+  Sgp4Params p_;
 };
 
 }  // namespace dgs::orbit

@@ -1,0 +1,75 @@
+// Constellation-scale SGP4: a whole fleet propagated per scheduling step.
+//
+// Sgp4Batch stores the derived constants of N element sets in SoA layout
+// (one contiguous array per Sgp4Params field) and propagates every
+// satellite to the same absolute epoch in one call, chunk-tiled through
+// the deterministic ThreadPool.  Against N scalar Sgp4 objects this keeps
+// the per-step working set dense (the scalar path walks 300+ bytes of
+// object per satellite), shares one GMST rotation across the fleet for
+// the TEME->ECEF step instead of recomputing it per satellite, and gives
+// the per-satellite loop a branch-light body the compiler can pipeline.
+//
+// Determinism contract (DESIGN.md §14): every state is produced by the
+// same sgp4_propagate kernel the scalar Sgp4 class calls, with identical
+// per-satellite inputs, so batch output is bit-identical to the scalar
+// path — per satellite, per epoch, at any thread count.  Chunk tiling
+// writes disjoint per-index outputs only.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/orbit/sgp4.h"
+#include "src/util/thread_pool.h"
+
+namespace dgs::orbit {
+
+// The double-valued Sgp4Params fields, X-macro'd so the SoA scatter and
+// gather can never drift from the struct definition.
+#define DGS_SGP4_PARAM_FIELDS(X)                                        \
+  X(ecco) X(inclo) X(nodeo) X(argpo) X(mo) X(no_unkozai) X(bstar)       \
+  X(aycof) X(con41) X(cc1) X(cc4) X(cc5) X(d2) X(d3) X(d4)              \
+  X(delmo) X(eta) X(argpdot) X(omgcof) X(sinmao) X(t2cof) X(t3cof)      \
+  X(t4cof) X(t5cof) X(x1mth2) X(x7thm1) X(mdot) X(nodedot) X(xlcof)     \
+  X(xmcof) X(nodecf)
+
+class Sgp4Batch {
+ public:
+  /// Initializes every element set (same validation as Sgp4; throws
+  /// std::domain_error on the first invalid one).
+  explicit Sgp4Batch(std::span<const Tle> tles);
+
+  int size() const { return static_cast<int>(epochs_.size()); }
+  const util::Epoch& epoch(int sat) const {
+    return epochs_[static_cast<std::size_t>(sat)];
+  }
+
+  /// State of one satellite at `when` — bit-identical to
+  /// Sgp4(tle).propagate_to(when).
+  TemeState propagate_one(int sat, const util::Epoch& when) const;
+
+  /// TEME positions of the whole fleet at `when`, written to the
+  /// index-aligned `out` (size() entries).  Chunk-tiled over `pool` when
+  /// non-null; output is identical for any pool configuration.
+  void positions_teme(const util::Epoch& when, std::span<util::Vec3> out,
+                      util::ThreadPool* pool = nullptr) const;
+
+  /// ECEF positions of the whole fleet at `when` (GMST rotation computed
+  /// once and shared).  Bit-identical to rotating each satellite with
+  /// orbit::teme_to_ecef.
+  void positions_ecef(const util::Epoch& when, std::span<util::Vec3> out,
+                      util::ThreadPool* pool = nullptr) const;
+
+ private:
+  /// Reassembles satellite `i`'s Sgp4Params from the per-field arrays.
+  Sgp4Params gather(std::size_t i) const;
+
+  // SoA storage: one array per Sgp4Params double field, all size()-long.
+#define DGS_SGP4_DECL(name) std::vector<double> name##_;
+  DGS_SGP4_PARAM_FIELDS(DGS_SGP4_DECL)
+#undef DGS_SGP4_DECL
+  std::vector<char> isimp_;
+  std::vector<util::Epoch> epochs_;
+};
+
+}  // namespace dgs::orbit
