@@ -1,0 +1,273 @@
+// Network-design ablation (EXPERIMENTS.md E26): optimized station
+// subsets vs seeded random subsets vs the paper's latitude-spread
+// DGS(25%) subsample, judged on the Fig. 3a/3b metrics (end-of-horizon
+// backlog, delivery-latency tail).
+//
+// Timings come from google-benchmark (no raw clocks, dgslint R1).  With
+// `--report-out=FILE` the binary additionally runs the comparison and
+// writes a deterministic artifact — subset metrics only, no timings —
+// that the CI netdesign lane byte-compares across `--threads 1` and
+// `--threads 4`.  The report also enforces the E26 acceptance criterion:
+// at equal K the greedy selection must strictly beat the mean of the
+// seeded random subsets on p90 latency AND end-of-run backlog (nonzero
+// exit otherwise).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_flags.h"
+#include "src/netdesign/pareto.h"
+#include "src/util/rng.h"
+#include "src/weather/synthetic.h"
+
+namespace {
+
+using dgs::netdesign::CandidateSite;
+using dgs::netdesign::EvalPoint;
+using dgs::netdesign::GreedyOptions;
+using dgs::netdesign::GreedyResult;
+using dgs::netdesign::SubsetEvaluator;
+using dgs::netdesign::ValueTable;
+
+int g_threads = 1;
+int g_pool = 60;
+int g_sats = 40;
+double g_hours = 6.0;
+int g_k = 15;         ///< Station count under comparison (~25% of pool).
+int g_randoms = 5;    ///< Seeded random subsets to average.
+
+const dgs::util::Epoch kEpoch(dgs::util::DateTime{2020, 11, 4, 0, 0, 0.0});
+constexpr std::uint64_t kWeatherSeed = 42;
+constexpr double kStepSeconds = 60.0;
+
+struct World {
+  std::vector<dgs::groundseg::SatelliteConfig> sats;
+  std::vector<CandidateSite> pool;
+  std::unique_ptr<dgs::weather::SyntheticWeatherProvider> wx;
+  ValueTable table;
+  std::unique_ptr<SubsetEvaluator> evaluator;
+};
+
+World& world() {
+  static std::unique_ptr<World> cache;
+  if (cache) return *cache;
+  cache = std::make_unique<World>();
+  World& w = *cache;
+
+  dgs::groundseg::NetworkOptions net;
+  net.pool_size = g_pool;
+  net.pool_seed = 42;
+  net.num_satellites = g_sats;
+  w.sats = dgs::groundseg::generate_constellation(net, kEpoch);
+  w.pool = dgs::netdesign::make_candidate_pool(net);
+  w.wx = std::make_unique<dgs::weather::SyntheticWeatherProvider>(
+      kWeatherSeed, kEpoch, g_hours + 1.0);
+
+  dgs::netdesign::ValueTableOptions table_opts;
+  table_opts.start = kEpoch;
+  table_opts.duration_hours = g_hours;
+  table_opts.step_seconds = kStepSeconds;
+  table_opts.parallel.num_threads = g_threads;
+  w.table =
+      dgs::netdesign::build_value_table(w.sats, w.pool, w.wx.get(),
+                                        table_opts);
+
+  dgs::core::SimulationOptions sim_opts;
+  sim_opts.start = kEpoch;
+  sim_opts.duration_hours = g_hours;
+  sim_opts.step_seconds = kStepSeconds;
+  sim_opts.parallel.num_threads = g_threads;
+  w.evaluator = std::make_unique<SubsetEvaluator>(w.sats, w.pool,
+                                                  w.wx.get(), sim_opts);
+  return w;
+}
+
+void BM_NetDesignValueTable(benchmark::State& state) {
+  World& w = world();
+  dgs::netdesign::ValueTableOptions opts;
+  opts.start = kEpoch;
+  opts.duration_hours = g_hours;
+  opts.step_seconds = kStepSeconds;
+  opts.parallel.num_threads = g_threads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dgs::netdesign::build_value_table(w.sats, w.pool, w.wx.get(), opts));
+  }
+}
+
+void BM_NetDesignGreedy(benchmark::State& state) {
+  World& w = world();
+  GreedyOptions opts;
+  opts.k = g_k;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dgs::netdesign::lazy_greedy(w.table, opts));
+  }
+}
+
+// --- E26 comparison report --------------------------------------------------
+
+/// K pool indices drawn without replacement (partial Fisher-Yates).
+std::vector<int> random_subset(int pool_size, int k, std::uint64_t seed) {
+  dgs::util::Rng rng(seed);
+  std::vector<int> indices(static_cast<std::size_t>(pool_size));
+  for (int i = 0; i < pool_size; ++i) {
+    indices[static_cast<std::size_t>(i)] = i;
+  }
+  for (int i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(i, pool_size - 1));
+    std::swap(indices[static_cast<std::size_t>(i)], indices[j]);
+  }
+  indices.resize(static_cast<std::size_t>(k));
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+/// The paper's DGS(25%)-style subsample (every k-th station of a
+/// latitude-sorted order), mapped back to pool indices.
+std::vector<int> paper_style_subset(const std::vector<CandidateSite>& pool,
+                                    int k) {
+  const auto stations = dgs::netdesign::pool_stations(pool);
+  const auto picked = dgs::groundseg::subsample_stations(
+      stations, static_cast<double>(k) / static_cast<double>(pool.size()));
+  std::vector<int> indices;
+  indices.reserve(picked.size());
+  for (const auto& gs : picked) indices.push_back(gs.id);
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+int write_report(const std::string& path) {
+  World& w = world();
+
+  GreedyOptions greedy_opts;
+  greedy_opts.k = g_k;
+  const GreedyResult greedy = dgs::netdesign::lazy_greedy(w.table,
+                                                          greedy_opts);
+  std::vector<int> optimized = greedy.selected;
+  std::sort(optimized.begin(), optimized.end());
+
+  dgs::netdesign::LocalSearchOptions local;
+  local.max_rounds = 1;
+  local.top_m = 4;
+  local.max_evals = 12;
+  const auto refined = dgs::netdesign::local_search(
+      w.table, optimized,
+      [&](const std::vector<int>& s) { return w.evaluator->evaluate(s); },
+      local);
+
+  const EvalPoint opt_eval = w.evaluator->evaluate(optimized);
+  const EvalPoint paper_eval =
+      w.evaluator->evaluate(paper_style_subset(w.pool, g_k));
+  std::vector<EvalPoint> random_evals;
+  double rand_p90 = 0.0, rand_backlog = 0.0;
+  for (int r = 0; r < g_randoms; ++r) {
+    const EvalPoint e = w.evaluator->evaluate(random_subset(
+        static_cast<int>(w.pool.size()), g_k,
+        1000ull + static_cast<std::uint64_t>(r)));
+    rand_p90 += e.latency_p90_min;
+    rand_backlog += e.backlog_end_gb;
+    random_evals.push_back(e);
+  }
+  rand_p90 /= g_randoms;
+  rand_backlog /= g_randoms;
+
+  const bool pass = opt_eval.latency_p90_min < rand_p90 &&
+                    opt_eval.backlog_end_gb < rand_backlog;
+
+  std::printf("E26: K=%d of %d-site pool, %d sats, %.1f h\n", g_k, g_pool,
+              g_sats, g_hours);
+  const auto row = [](const char* label, const EvalPoint& e) {
+    std::printf("  %-22s p50 %7.1f min  p90 %7.1f min  backlog %8.2f GB  "
+                "delivered %5.1f%%\n",
+                label, e.latency_p50_min, e.latency_p90_min,
+                e.backlog_end_gb, 100.0 * e.delivered_fraction);
+  };
+  row("greedy", opt_eval);
+  row("greedy+local-search", refined.eval);
+  row("paper-style DGS(25%)", paper_eval);
+  for (std::size_t r = 0; r < random_evals.size(); ++r) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "random #%zu", r + 1);
+    row(label, random_evals[r]);
+  }
+  std::printf("  random mean: p90 %.1f min, backlog %.2f GB\n", rand_p90,
+              rand_backlog);
+  std::printf("E26 acceptance (greedy < random mean on p90 AND backlog): "
+              "%s\n",
+              pass ? "PASS" : "FAIL");
+
+  if (!path.empty()) {
+    std::FILE* fh = std::fopen(path.c_str(), "w");
+    if (fh == nullptr) {
+      std::fprintf(stderr, "abl_netdesign: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(fh, "{\n  \"schema\": \"dgs.netdesign_e26.v1\",\n");
+    std::fprintf(fh, "  \"k\": %d, \"pool\": %d, \"sats\": %d, "
+                 "\"hours\": %.3f,\n", g_k, g_pool, g_sats, g_hours);
+    const auto emit = [fh](const char* key, const EvalPoint& e,
+                           const char* tail) {
+      std::fprintf(fh,
+                   "  \"%s\": {\"latency_p50_min\": %.6f, "
+                   "\"latency_p90_min\": %.6f, \"backlog_end_gb\": %.6f, "
+                   "\"delivered_fraction\": %.6f}%s\n",
+                   key, e.latency_p50_min, e.latency_p90_min,
+                   e.backlog_end_gb, e.delivered_fraction, tail);
+    };
+    emit("greedy", opt_eval, ",");
+    emit("greedy_local_search", refined.eval, ",");
+    emit("paper_style", paper_eval, ",");
+    std::fprintf(fh, "  \"randoms\": [\n");
+    for (std::size_t r = 0; r < random_evals.size(); ++r) {
+      const EvalPoint& e = random_evals[r];
+      std::fprintf(fh,
+                   "    {\"latency_p90_min\": %.6f, "
+                   "\"backlog_end_gb\": %.6f}%s\n",
+                   e.latency_p90_min, e.backlog_end_gb,
+                   r + 1 < random_evals.size() ? "," : "");
+    }
+    std::fprintf(fh, "  ],\n  \"pass\": %s\n}\n", pass ? "true" : "false");
+    std::fclose(fh);
+  }
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_threads = dgs::bench::consume_threads_flag(&argc, argv);
+  g_pool = dgs::bench::consume_int_flag(&argc, argv, "--pool", g_pool);
+  g_sats = dgs::bench::consume_int_flag(&argc, argv, "--sats", g_sats);
+  const int hours = dgs::bench::consume_int_flag(&argc, argv, "--hours", 0);
+  if (hours > 0) g_hours = hours;
+  g_k = dgs::bench::consume_int_flag(&argc, argv, "--k", g_k);
+  g_randoms =
+      dgs::bench::consume_int_flag(&argc, argv, "--randoms", g_randoms);
+  const std::string report_path =
+      dgs::bench::consume_string_flag(&argc, argv, "--report-out");
+  const bool report_only =
+      dgs::bench::consume_int_flag(&argc, argv, "--report", 0) != 0;
+  if (g_pool < 2 || g_sats < 1 || g_k < 1 || g_k > g_pool ||
+      g_randoms < 1) {
+    std::fprintf(stderr, "abl_netdesign: invalid --pool/--sats/--k\n");
+    return 2;
+  }
+
+  benchmark::RegisterBenchmark("BM_NetDesignValueTable",
+                               BM_NetDesignValueTable)
+      ->Arg(g_pool)->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("BM_NetDesignGreedy", BM_NetDesignGreedy)
+      ->Arg(g_pool)->Unit(benchmark::kMillisecond);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!report_only) benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (report_only || !report_path.empty()) return write_report(report_path);
+  return 0;
+}

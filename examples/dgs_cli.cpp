@@ -141,6 +141,7 @@ int cmd_simulate(int argc, char** argv) {
                  "[hours] [--json <file>] [--csv <file>]\n"
                  "       [--metrics-out <file>] [--trace-out <file>] "
                  "[--events-out <file>]\n"
+                 "       [--stations-subset <file>]\n"
                  "       [--fault-profile <%s>] [--fault-seed <n>]\n",
                  faults::profile_names());
     return 2;
@@ -164,6 +165,7 @@ int cmd_simulate(int argc, char** argv) {
   opts.start = now_epoch();
   std::string json_path, csv_path;
   std::string metrics_path, trace_path, events_path;
+  std::string subset_path;
   std::string fault_profile = "none";
   std::uint64_t fault_seed = 1;
   for (int i = 4; i < argc; ++i) {
@@ -177,6 +179,9 @@ int cmd_simulate(int argc, char** argv) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--events-out") == 0 && i + 1 < argc) {
       events_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--stations-subset") == 0 &&
+               i + 1 < argc) {
+      subset_path = argv[++i];
     } else if (std::strcmp(argv[i], "--fault-profile") == 0 &&
                i + 1 < argc) {
       fault_profile = argv[++i];
@@ -187,8 +192,18 @@ int cmd_simulate(int argc, char** argv) {
     }
   }
   opts.collect_timeseries = !csv_path.empty();
-  opts.faults = faults::make_profile(fault_profile, fault_seed,
-                                     static_cast<int>(stations.size()));
+  // Replay on an explicit subset (the netdesign interchange format):
+  // everything downstream of validation — fault-plan station indices
+  // included — refers to the filtered station list.
+  if (!subset_path.empty()) {
+    opts.station_subset = groundseg::load_station_subset(subset_path);
+  }
+  const int effective_stations =
+      opts.station_subset.empty()
+          ? static_cast<int>(stations.size())
+          : static_cast<int>(opts.station_subset.size());
+  opts.faults =
+      faults::make_profile(fault_profile, fault_seed, effective_stations);
   // The brownout channels need a modelled backhaul to degrade.
   if (opts.faults.has_backhaul_faults()) {
     opts.station_backhaul_bps = 50e6;
@@ -196,7 +211,10 @@ int cmd_simulate(int argc, char** argv) {
 
   // One documented validation entry point: every option constraint is
   // checked here, with the offending field named in the error.
-  if (const auto err = opts.validate(static_cast<int>(stations.size()))) {
+  std::vector<int> station_ids;
+  station_ids.reserve(stations.size());
+  for (const auto& gs : stations) station_ids.push_back(gs.id);
+  if (const auto err = opts.validate(effective_stations, station_ids)) {
     std::fprintf(stderr, "error: SimulationOptions.%s: %s\n",
                  err->field.c_str(), err->message.c_str());
     return 2;
@@ -247,8 +265,13 @@ int cmd_simulate(int argc, char** argv) {
     std::printf("wrote timeseries to %s\n", csv_path.c_str());
   }
 
-  std::printf("%zu satellites x %zu stations, %.1f h\n", sats.size(),
-              stations.size(), opts.duration_hours);
+  if (!subset_path.empty()) {
+    std::printf("station subset: %zu of %zu stations (%s)\n",
+                opts.station_subset.size(), stations.size(),
+                subset_path.c_str());
+  }
+  std::printf("%zu satellites x %d stations, %.1f h\n", sats.size(),
+              effective_stations, opts.duration_hours);
   std::printf("delivered %.2f TB of %.2f TB generated (%.1f%%)\n",
               r.total_delivered_bytes / 1e12, r.total_generated_bytes / 1e12,
               100.0 * r.delivered_fraction());

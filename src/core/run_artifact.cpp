@@ -201,6 +201,33 @@ constexpr const char* kStatsMembers[] = {"median", "p90", "p99", "mean",
 constexpr const char* kAggregateMetricMembers[] = {
     "mean", "sd", "ci95", "p50", "p99", "min", "max", "count"};
 
+// Netdesign front schema tables (see netdesign_identity_specs /
+// netdesign_point_specs in the header).  Writer: src/netdesign/pareto.cpp
+// iterates exactly these tables, so writer and validator cannot drift.
+using enum NetdesignFieldKind;
+
+constexpr NetdesignFieldSpec kNetdesignIdentity[] = {
+    {"pool_size", kNInt},
+    {"pool_seed", kNInt},
+    {"num_satellites", kNInt},
+    {"network_seed", kNInt},
+    {"weather_seed", kNInt},
+    {"duration_hours", kNReal},
+    {"step_seconds", kNReal},
+};
+
+constexpr NetdesignFieldSpec kNetdesignPoint[] = {
+    {"stations", kNInt},
+    {"cost", kNReal},
+    {"objective_gb", kNReal},
+    {"latency_p50_min", kNReal},
+    {"latency_p90_min", kNReal},
+    {"backlog_end_gb", kNReal},
+    {"delivered_fraction", kNReal},
+    {"dominated", kNBool},
+    {"station_ids", kNString},
+};
+
 /// Campaign identity fields shared by the manifest and the aggregate
 /// (emitted after schema_version and the artifact tag, in this order).
 enum class CampaignFieldKind { kCInt, kCReal, kCString };
@@ -365,6 +392,98 @@ const util::SampleSet& stats_field(const SimulationResult& r,
   return r.cloud_latency_minutes;
 }
 
+// --- Netdesign front helpers -----------------------------------------------
+
+std::optional<ArtifactError> check_netdesign_field(const JsonValue& v,
+                                                   const std::string& where,
+                                                   NetdesignFieldKind kind) {
+  switch (kind) {
+    case kNInt:
+      return check_number(v, where, true);
+    case kNReal:
+      return check_number(v, where, false);
+    case kNBool:
+      if (v.kind != JsonValue::Kind::kBool) {
+        return err(where, "expected true or false");
+      }
+      return std::nullopt;
+    case kNString:
+      if (v.kind != JsonValue::Kind::kString || v.text.empty()) {
+        return err(where, "expected a non-empty string");
+      }
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// "3,17,42" -> strictly ascending non-negative id count, or -1 on any
+/// malformation.
+int station_ids_count(const std::string& text) {
+  int count = 0;
+  long long prev = -1;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    std::size_t j = i;
+    long long v = 0;
+    while (j < text.size() && text[j] >= '0' && text[j] <= '9') {
+      v = v * 10 + (text[j] - '0');
+      ++j;
+    }
+    if (j == i) return -1;           // empty token
+    if (v <= prev) return -1;        // not strictly ascending
+    prev = v;
+    ++count;
+    if (j == text.size()) break;
+    if (text[j] != ',') return -1;
+    i = j + 1;
+    if (i == text.size()) return -1;  // trailing comma
+  }
+  return count;
+}
+
+std::optional<ArtifactError> check_netdesign_point(const JsonValue& p,
+                                                   const std::string& where) {
+  if (p.kind != JsonValue::Kind::kObject) {
+    return err(where, "expected an object");
+  }
+  const auto specs = netdesign_point_specs();
+  if (p.members.size() != specs.size()) {
+    return err(where, "expected exactly " + std::to_string(specs.size()) +
+                          " members");
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (p.members[i].first != specs[i].key) {
+      return err(where + "." + p.members[i].first,
+                 std::string("expected key \"") + specs[i].key +
+                     "\" at this position");
+    }
+    if (auto e = check_netdesign_field(p.members[i].second,
+                                       where + "." + specs[i].key,
+                                       specs[i].kind)) {
+      return e;
+    }
+  }
+  const double stations = p.find("stations")->number;
+  if (stations < 1.0) {
+    return err(where + ".stations", "must be >= 1");
+  }
+  const double frac = p.find("delivered_fraction")->number;
+  if (frac < 0.0 || frac > 1.0) {
+    return err(where + ".delivered_fraction", "must be in [0, 1]");
+  }
+  const int ids = station_ids_count(p.find("station_ids")->text);
+  if (ids < 0) {
+    return err(where + ".station_ids",
+               "expected comma-joined strictly ascending station ids");
+  }
+  if (ids != static_cast<int>(stations)) {
+    return err(where + ".station_ids",
+               "lists " + std::to_string(ids) + " ids but stations is " +
+                   std::to_string(static_cast<int>(stations)));
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 const JsonValue* JsonValue::find(std::string_view key) const {
@@ -395,6 +514,14 @@ std::span<const char* const> stats_member_keys() { return kStatsMembers; }
 
 std::span<const char* const> aggregate_metric_member_keys() {
   return kAggregateMetricMembers;
+}
+
+std::span<const NetdesignFieldSpec> netdesign_identity_specs() {
+  return kNetdesignIdentity;
+}
+
+std::span<const NetdesignFieldSpec> netdesign_point_specs() {
+  return kNetdesignPoint;
 }
 
 std::string_view timeseries_csv_header() {
@@ -618,6 +745,62 @@ std::optional<ArtifactError> validate_campaign_aggregate_json(
     }
     if (m.find("count")->number < 1.0) {
       return err(where + ".count", "must be >= 1");
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ArtifactError> validate_netdesign_front_json(
+    std::string_view text) {
+  ArtifactError parse_err;
+  const auto doc = parse_restricted_json(text, &parse_err);
+  if (!doc) {
+    return err("front", parse_err.where + ": " + parse_err.message);
+  }
+  std::size_t at = 0;
+  if (auto e = check_artifact_header(*doc, "front", "netdesign_front",
+                                     &at)) {
+    return e;
+  }
+  for (const NetdesignFieldSpec& f : netdesign_identity_specs()) {
+    if (at >= doc->members.size() || doc->members[at].first != f.key) {
+      return err(std::string("front.") + f.key, "missing or out of order");
+    }
+    if (auto e = check_netdesign_field(doc->members[at].second,
+                                       std::string("front.") + f.key,
+                                       f.kind)) {
+      return e;
+    }
+    ++at;
+  }
+  if (at + 1 != doc->members.size() || doc->members[at].first != "points") {
+    return err("front.points", "must be the final key");
+  }
+  const JsonValue& points = doc->members[at].second;
+  if (points.kind != JsonValue::Kind::kObject || points.members.empty()) {
+    return err("front.points", "expected a non-empty object");
+  }
+  long long prev_k = 0;
+  for (const auto& [key, point] : points.members) {
+    const std::string where = "front.points." + key;
+    if (key.size() < 5 || key.compare(0, 2, "k_") != 0) {
+      return err(where, "point keys must look like \"k_004\"");
+    }
+    long long k = 0;
+    for (std::size_t i = 2; i < key.size(); ++i) {
+      if (key[i] < '0' || key[i] > '9') {
+        return err(where, "point keys must look like \"k_004\"");
+      }
+      k = k * 10 + (key[i] - '0');
+    }
+    if (k <= prev_k) {
+      return err(where, "point keys must be strictly ascending");
+    }
+    prev_k = k;
+    if (auto e = check_netdesign_point(point, where)) return e;
+    if (static_cast<long long>(point.find("stations")->number) != k) {
+      return err(where + ".stations",
+                 "must equal the K encoded in the point key");
     }
   }
   return std::nullopt;

@@ -133,4 +133,39 @@ std::optional<ArtifactError> validate_campaign_aggregate_json(
 /// Member keys of one aggregate metric object, in emission order.
 std::span<const char* const> aggregate_metric_member_keys();
 
+// ---------------------------------------------------------------------------
+// Network-design artifacts (src/netdesign): the cost/performance Pareto
+// front emitted by a budget sweep (`dgs.netdesign.v1`).  Same restricted
+// JSON subset; the per-K points live in a "points" object keyed "k_%03d"
+// (ascending) because the subset has no arrays.
+
+enum class NetdesignFieldKind {
+  kNInt,     ///< Integer-valued number (emitted %lld).
+  kNReal,    ///< Real-valued number (emitted %.6f).
+  kNBool,    ///< true / false.
+  kNString,  ///< Non-empty string.
+};
+
+struct NetdesignFieldSpec {
+  const char* key;
+  NetdesignFieldKind kind;
+};
+
+/// Front identity fields (emitted after schema_version + the
+/// "netdesign_front" tag, in this order): what pool and scenario the
+/// sweep optimized over.
+std::span<const NetdesignFieldSpec> netdesign_identity_specs();
+
+/// Ordered member list of one front point.  "station_ids" is the selected
+/// subset as a comma-joined ascending id list; its length must equal the
+/// "stations" member.
+std::span<const NetdesignFieldSpec> netdesign_point_specs();
+
+/// Full schema validation of a netdesign front document: header, identity
+/// fields, non-empty "points" object with ascending "k_NNN" keys matching
+/// each point's "stations" value, exact per-point key set/order/kinds,
+/// and station_ids consistency.
+std::optional<ArtifactError> validate_netdesign_front_json(
+    std::string_view text);
+
 }  // namespace dgs::core

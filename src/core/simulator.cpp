@@ -6,6 +6,7 @@
 #include "src/util/angles.h"
 #include "src/util/check.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <optional>
@@ -54,7 +55,7 @@ std::optional<OptionsError> check_window(const std::string& field,
 }  // namespace
 
 std::optional<OptionsError> SimulationOptions::validate(
-    int num_stations) const {
+    int num_stations, std::span<const int> station_ids) const {
   if (!(duration_hours > 0.0)) {
     return err("duration_hours",
                "must be > 0 (got " + num(duration_hours) + ")");
@@ -94,6 +95,27 @@ std::optional<OptionsError> SimulationOptions::validate(
   if (parallel.chunk_size <= 0) {
     return err("parallel.chunk_size",
                "must be > 0 (got " + num(parallel.chunk_size) + ")");
+  }
+
+  for (std::size_t i = 0; i < station_subset.size(); ++i) {
+    const int id = station_subset[i];
+    const std::string field =
+        "station_subset[" + num(static_cast<double>(i)) + "]";
+    if (id < 0) {
+      return err(field, "station id must be >= 0 (got " + num(id) + ")");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (station_subset[j] == id) {
+        return err(field, "duplicate station id " + num(id));
+      }
+    }
+    if (!station_ids.empty() &&
+        std::find(station_ids.begin(), station_ids.end(), id) ==
+            station_ids.end()) {
+      return err(field,
+                 "unknown station id " + num(id) +
+                     " (not in the loaded station set)");
+    }
   }
 
   for (std::size_t i = 0; i < outages.size(); ++i) {
@@ -200,7 +222,29 @@ Simulator::Simulator(std::vector<groundseg::SatelliteConfig> sats,
       actual_wx_(actual_weather), opts_(opts) {
   DGS_ENSURE(!sats_.empty() && !stations_.empty(),
              "sats=" << sats_.size() << " stations=" << stations_.size());
-  if (const auto e = opts_.validate(static_cast<int>(stations_.size()))) {
+  // Apply the station-subset restriction before anything else: membership
+  // is checked against the *input* station ids, while everything
+  // downstream (fault-plan indices, the visibility engine, metrics) sees
+  // only the filtered list, in input order.
+  std::vector<int> station_ids;
+  station_ids.reserve(stations_.size());
+  for (const groundseg::GroundStation& gs : stations_) {
+    station_ids.push_back(gs.id);
+  }
+  if (!opts_.station_subset.empty()) {
+    std::vector<groundseg::GroundStation> kept;
+    kept.reserve(opts_.station_subset.size());
+    for (groundseg::GroundStation& gs : stations_) {
+      if (std::find(opts_.station_subset.begin(),
+                    opts_.station_subset.end(),
+                    gs.id) != opts_.station_subset.end()) {
+        kept.push_back(std::move(gs));
+      }
+    }
+    stations_ = std::move(kept);
+  }
+  if (const auto e = opts_.validate(static_cast<int>(stations_.size()),
+                                    station_ids)) {
     // dgslint: allow(R4) -- renders OptionsError; format is test-pinned
     throw std::invalid_argument("SimulationOptions." + e->field + ": " +
                                 e->message);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -108,14 +109,25 @@ struct SimulationOptions {
   /// obs::set_trace_enabled.
   obs::Registry* metrics = nullptr;
   obs::EventLog* events = nullptr;
+  /// Restrict the run to these station ids (GroundStation::id), the
+  /// netdesign interchange format (`dgs_cli --stations-subset`, see
+  /// groundseg::read_station_subset).  Empty (the default) runs every
+  /// station passed to the Simulator.  Ids must be unique, non-negative,
+  /// and name stations that exist; the simulator filters its station list
+  /// (preserving input order) before anything else runs, so fault-plan
+  /// station indices refer to the *filtered* list.
+  std::vector<int> station_subset;
 
   /// Validates every field (and their combinations) in one documented
   /// place, replacing the scattered run-time checks the constructor used
   /// to perform.  Returns the first violated constraint, or nullopt when
   /// the options are runnable.  `num_stations` bounds station indices in
   /// the fault plan; pass -1 to skip those checks (e.g. before the
-  /// network is built).
-  std::optional<OptionsError> validate(int num_stations = -1) const;
+  /// network is built).  `station_ids` lists the available
+  /// GroundStation::ids for station_subset membership checks; empty skips
+  /// the membership check (uniqueness/sign are always enforced).
+  std::optional<OptionsError> validate(
+      int num_stations = -1, std::span<const int> station_ids = {}) const;
 
   /// The effective fault plan: `faults` with the deprecated `outages`
   /// shim appended as scheduled windows.  What the simulator actually

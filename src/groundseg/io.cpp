@@ -1,6 +1,8 @@
 #include "src/groundseg/io.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cstddef>
 #include <fstream>
 #include <sstream>
 
@@ -152,6 +154,57 @@ void save_station_file(const std::string& path,
   std::ofstream out(path);
   DGS_ENSURE(out, "cannot write station file: " << path);
   write_station_csv(out, stations);
+}
+
+std::vector<int> read_station_subset(std::istream& in) {
+  std::vector<int> ids;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = rstrip(raw);
+    if (line.empty() || line[0] == '#') continue;
+
+    std::size_t consumed = 0;
+    int id = -1;
+    try {
+      id = std::stoi(line, &consumed);
+    } catch (const std::exception&) {
+      fail(line_no, "expected a station id, got \"" + line + "\"");
+    }
+    if (consumed != line.size()) {
+      fail(line_no, "trailing characters after station id: \"" + line + "\"");
+    }
+    if (id < 0) fail(line_no, "negative station id " + std::to_string(id));
+    if (std::find(ids.begin(), ids.end(), id) != ids.end()) {
+      fail(line_no, "duplicate station id " + std::to_string(id));
+    }
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<int> load_station_subset(const std::string& path) {
+  std::ifstream in(path);
+  DGS_ENSURE(in, "cannot open station-subset file: " << path);
+  return read_station_subset(in);
+}
+
+void write_station_subset(std::ostream& out, const std::vector<int>& ids) {
+  std::vector<int> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  out << "# dgs.stations_subset.v1\n";
+  for (int id : sorted) {
+    DGS_ENSURE_GE(id, 0);
+    out << id << '\n';
+  }
+}
+
+void save_station_subset(const std::string& path,
+                         const std::vector<int>& ids) {
+  std::ofstream out(path);
+  DGS_ENSURE(out, "cannot write station-subset file: " << path);
+  write_station_subset(out, ids);
 }
 
 }  // namespace dgs::groundseg

@@ -38,4 +38,16 @@ void write_station_csv(std::ostream& out,
 void save_station_file(const std::string& path,
                        const std::vector<GroundStation>& stations);
 
+/// Station-subset files (`dgs.stations_subset.v1`): the interchange format
+/// between `dgs_netdesign` (which writes the selected subset) and
+/// `dgs_cli --stations-subset` (which replays any scenario on it).  Text,
+/// one non-negative station id per line; blank lines and '#' comments are
+/// skipped on read.  Writers emit ids sorted ascending under a
+/// `# dgs.stations_subset.v1` banner so files are byte-comparable.
+/// Duplicate or negative ids are rejected naming the offending line.
+std::vector<int> read_station_subset(std::istream& in);
+std::vector<int> load_station_subset(const std::string& path);
+void write_station_subset(std::ostream& out, const std::vector<int>& ids);
+void save_station_subset(const std::string& path, const std::vector<int>& ids);
+
 }  // namespace dgs::groundseg

@@ -54,14 +54,22 @@ const Region& sample_region(util::Rng& rng) {
 }  // namespace
 
 std::vector<GroundStation> generate_dgs_stations(const NetworkOptions& opts) {
-  DGS_ENSURE_GE(opts.num_stations, 1);
+  // Candidate-pool mode (netdesign): an explicit pool size/seed overrides
+  // the network-size-implied pair; everything downstream (region
+  // sampling, TX spread, constraint bitmaps) is unchanged, so pool mode
+  // with (pool_size, pool_seed) == (num_stations, seed) is byte-identical
+  // to legacy mode (regression-pinned).
+  const int num_stations =
+      opts.pool_size > 0 ? opts.pool_size : opts.num_stations;
+  const std::uint64_t seed = opts.pool_size > 0 ? opts.pool_seed : opts.seed;
+  DGS_ENSURE_GE(num_stations, 1);
   DGS_ENSURE(opts.tx_fraction >= 0.0 && opts.tx_fraction <= 1.0,
              "tx_fraction=" << opts.tx_fraction << " outside [0, 1]");
-  util::Rng rng(opts.seed);
+  util::Rng rng(seed);
   std::vector<GroundStation> stations;
-  stations.reserve(opts.num_stations);
+  stations.reserve(num_stations);
 
-  for (int i = 0; i < opts.num_stations; ++i) {
+  for (int i = 0; i < num_stations; ++i) {
     const Region& region = sample_region(rng);
     GroundStation gs;
     gs.id = i;
@@ -83,7 +91,7 @@ std::vector<GroundStation> generate_dgs_stations(const NetworkOptions& opts) {
   // orbit.  At least one station must be TX-capable or the hybrid design
   // cannot bootstrap.
   const int num_tx = std::max(
-      1, static_cast<int>(std::lround(opts.tx_fraction * opts.num_stations)));
+      1, static_cast<int>(std::lround(opts.tx_fraction * num_stations)));
   std::vector<int> by_lon(stations.size());
   std::iota(by_lon.begin(), by_lon.end(), 0);
   std::sort(by_lon.begin(), by_lon.end(), [&](int a, int b) {

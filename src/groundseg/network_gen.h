@@ -30,6 +30,15 @@ struct NetworkOptions {
   /// bitmaps (regulatory / subscription restrictions, §3.1).
   double constraint_denial_fraction = 0.0;
   std::uint64_t seed = 42;
+  /// Candidate-pool controls (src/netdesign): when pool_size > 0,
+  /// generate_dgs_stations draws exactly pool_size sites seeded from
+  /// pool_seed, decoupled from the simulated network's num_stations/seed
+  /// — so the same candidate pool reproduces across tools regardless of
+  /// what network each of them simulates.  The defaults (0) keep the
+  /// legacy behaviour byte-for-byte: num_stations sites from seed
+  /// (pinned by a byte-equality regression test in test_network_gen).
+  int pool_size = 0;
+  std::uint64_t pool_seed = 0;
 };
 
 struct BaselineOptions {

@@ -1,0 +1,61 @@
+#include "src/netdesign/candidate_pool.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/angles.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace dgs::netdesign {
+namespace {
+
+/// Distinct RNG stream for the economics so adding a cost-model field can
+/// never perturb the station population itself (same pattern as
+/// generate_constellation's seed offset).
+constexpr std::uint64_t kEconomicsStream = 0x9e3779b97f4a7c15ull;
+
+}  // namespace
+
+std::vector<CandidateSite> make_candidate_pool(
+    const groundseg::NetworkOptions& net) {
+  const std::vector<groundseg::GroundStation> stations =
+      groundseg::generate_dgs_stations(net);
+  const std::uint64_t seed =
+      (net.pool_size > 0 ? net.pool_seed : net.seed) ^ kEconomicsStream;
+  util::Rng rng(seed);
+
+  std::vector<CandidateSite> pool;
+  pool.reserve(stations.size());
+  for (const groundseg::GroundStation& gs : stations) {
+    CandidateSite site;
+    site.station = gs;
+    // Economics: a site costs a base price, plus dish area (the only
+    // hardware knob the paper's low-complexity design exposes), plus a
+    // logistics premium that grows poleward of 50 deg (the expensive
+    // real estate the paper's polar baseline occupies), plus an uplink
+    // licence premium for TX sites, all scaled by bounded per-site noise.
+    const double d = gs.receiver.dish_diameter_m;
+    const double lat_deg =
+        std::abs(util::rad2deg(gs.location.latitude_rad));
+    double cost = 10.0;
+    cost += 2.0 * d * d;
+    cost += 6.0 * std::max(0.0, lat_deg - 50.0) / 40.0;
+    if (gs.tx_capable) cost += 5.0;
+    cost *= rng.uniform(0.9, 1.15);
+    site.install_cost = cost;
+    site.availability = rng.uniform(0.90, 0.995);
+    pool.push_back(std::move(site));
+  }
+  return pool;
+}
+
+std::vector<groundseg::GroundStation> pool_stations(
+    const std::vector<CandidateSite>& pool) {
+  std::vector<groundseg::GroundStation> stations;
+  stations.reserve(pool.size());
+  for (const CandidateSite& site : pool) stations.push_back(site.station);
+  return stations;
+}
+
+}  // namespace dgs::netdesign

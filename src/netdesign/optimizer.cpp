@@ -1,0 +1,269 @@
+#include "src/netdesign/optimizer.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/util/check.h"
+
+namespace dgs::netdesign {
+namespace {
+
+/// Dense cell index of (sat, step).
+std::size_t cell_of(const ValueTable& table, int sat, int step) {
+  return static_cast<std::size_t>(sat) *
+             static_cast<std::size_t>(table.num_steps) +
+         static_cast<std::size_t>(step);
+}
+
+/// Marginal gain of `entry` against the current per-cell best values.
+double marginal_gain(const ValueTable& table, const CandidateEntry& entry,
+                     const std::vector<double>& best) {
+  double gain = 0.0;
+  for (const PassValue& pass : entry.passes) {
+    for (std::size_t j = 0; j < pass.step_values.size(); ++j) {
+      const std::size_t cell =
+          cell_of(table, pass.sat, pass.first_step + static_cast<int>(j));
+      const double v = pass.step_values[j];
+      if (v > best[cell]) gain += v - best[cell];
+    }
+  }
+  return gain;
+}
+
+/// Folds `entry`'s values into the per-cell best (after accepting it).
+void absorb(const ValueTable& table, const CandidateEntry& entry,
+            std::vector<double>& best) {
+  for (const PassValue& pass : entry.passes) {
+    for (std::size_t j = 0; j < pass.step_values.size(); ++j) {
+      const std::size_t cell =
+          cell_of(table, pass.sat, pass.first_step + static_cast<int>(j));
+      best[cell] = std::max(best[cell], pass.step_values[j]);
+    }
+  }
+}
+
+struct HeapEntry {
+  double gain = 0.0;
+  int candidate = 0;  ///< CandidateEntry::candidate, the tie-break.
+  int stamp = 0;      ///< Selection size the gain was evaluated at.
+};
+
+/// Max-heap on gain; equal gains surface the smaller candidate id first,
+/// which is what makes the selection independent of candidate iteration
+/// order.
+struct HeapLess {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.candidate > b.candidate;
+  }
+};
+
+void validate_table(const ValueTable& table) {
+  DGS_ENSURE(table.num_sats >= 1 && table.num_steps >= 1,
+             "num_sats=" << table.num_sats
+                         << " num_steps=" << table.num_steps);
+  for (const CandidateEntry& entry : table.candidates) {
+    DGS_ENSURE_GE(entry.candidate, 0);
+    for (const PassValue& pass : entry.passes) {
+      DGS_ENSURE(pass.sat >= 0 && pass.sat < table.num_sats,
+                 "pass.sat=" << pass.sat);
+      DGS_ENSURE(pass.first_step >= 0 &&
+                     pass.first_step +
+                             static_cast<int>(pass.step_values.size()) <=
+                         table.num_steps,
+                 "pass window [" << pass.first_step << ", "
+                                 << pass.first_step +
+                                        static_cast<int>(
+                                            pass.step_values.size())
+                                 << ") outside the grid");
+    }
+  }
+}
+
+}  // namespace
+
+double eval_score(const EvalPoint& p) {
+  return p.latency_p90_min + kBacklogWeightMinPerGb * p.backlog_end_gb;
+}
+
+GreedyResult lazy_greedy(const ValueTable& table, const GreedyOptions& opts,
+                         obs::Registry* metrics) {
+  validate_table(table);
+  DGS_ENSURE_GE(opts.k, 1);
+  DGS_ENSURE_GE(opts.budget, 0.0);
+
+  obs::Counter* gain_evals = nullptr;
+  if (metrics != nullptr) {
+    gain_evals = metrics->counter(
+        "dgs_netdesign_gain_evals_total",
+        "Marginal-gain evaluations performed by the lazy-greedy queue");
+  }
+
+  // Entries sorted by candidate id so the initial heap content — and with
+  // it every later tie-break — is independent of table.candidates order.
+  std::vector<const CandidateEntry*> entries;
+  entries.reserve(table.candidates.size());
+  for (const CandidateEntry& e : table.candidates) entries.push_back(&e);
+  std::sort(entries.begin(), entries.end(),
+            [](const CandidateEntry* a, const CandidateEntry* b) {
+              return a->candidate < b->candidate;
+            });
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    DGS_ENSURE(entries[i - 1]->candidate != entries[i]->candidate,
+               "duplicate candidate id " << entries[i]->candidate);
+  }
+
+  std::vector<double> best(static_cast<std::size_t>(table.num_sats) *
+                               static_cast<std::size_t>(table.num_steps),
+                           0.0);
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
+  for (const CandidateEntry* e : entries) {
+    if (gain_evals != nullptr) gain_evals->inc();
+    heap.push(HeapEntry{marginal_gain(table, *e, best), e->candidate, 0});
+  }
+  // candidate id -> position in `entries` (ids need not be dense).
+  const auto entry_of = [&](int candidate) -> const CandidateEntry* {
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), candidate,
+        [](const CandidateEntry* e, int id) { return e->candidate < id; });
+    DGS_CHECK(it != entries.end() && (*it)->candidate == candidate,
+              "heap names an unknown candidate");
+    return *it;
+  };
+
+  GreedyResult result;
+  while (static_cast<int>(result.selected.size()) < opts.k &&
+         !heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    const CandidateEntry* entry = entry_of(top.candidate);
+    if (opts.budget > 0.0 &&
+        result.total_cost + entry->cost > opts.budget) {
+      continue;  // Cost only grows: infeasible now, infeasible forever.
+    }
+    const int stamp = static_cast<int>(result.selected.size());
+    if (top.stamp != stamp) {
+      // Stale upper bound: re-evaluate against the current coverage and
+      // re-queue.  Submodularity guarantees the fresh gain is <= the
+      // stale one, so the heap order stays an upper-bound order.
+      if (gain_evals != nullptr) gain_evals->inc();
+      top.gain = marginal_gain(table, *entry, best);
+      top.stamp = stamp;
+      heap.push(top);
+      continue;
+    }
+    if (top.gain <= 0.0) break;  // Nothing left to cover.
+    result.selected.push_back(entry->candidate);
+    result.gains.push_back(top.gain);
+    result.objective_gb += top.gain;
+    result.total_cost += entry->cost;
+    absorb(table, *entry, best);
+  }
+  return result;
+}
+
+LocalSearchResult local_search(const ValueTable& table,
+                               const std::vector<int>& start_selected,
+                               const SubsetEvalFn& evaluate,
+                               const LocalSearchOptions& opts,
+                               obs::Registry* metrics) {
+  validate_table(table);
+  DGS_ENSURE(!start_selected.empty(), "empty starting selection");
+  DGS_ENSURE(static_cast<bool>(evaluate), "null evaluator");
+
+  obs::Counter* swaps_metric = nullptr;
+  obs::Counter* evals_metric = nullptr;
+  if (metrics != nullptr) {
+    swaps_metric =
+        metrics->counter("dgs_netdesign_swaps_total",
+                         "Accepted improving swaps in local search");
+    evals_metric = metrics->counter(
+        "dgs_netdesign_sim_evals_total",
+        "Full-simulator subset evaluations (local search + fronts)");
+  }
+
+  LocalSearchResult result;
+  result.selected = start_selected;
+  std::sort(result.selected.begin(), result.selected.end());
+
+  const auto entry_of = [&](int candidate) -> const CandidateEntry* {
+    for (const CandidateEntry& e : table.candidates) {
+      if (e.candidate == candidate) return &e;
+    }
+    return nullptr;
+  };
+  const auto cost_of = [&](const std::vector<int>& sel) {
+    double cost = 0.0;
+    for (int c : sel) {
+      const CandidateEntry* e = entry_of(c);
+      DGS_CHECK(e != nullptr, "selection names an unknown candidate");
+      cost += e->cost;
+    }
+    return cost;
+  };
+
+  result.eval = evaluate(result.selected);
+  result.sim_evals = 1;
+  if (evals_metric != nullptr) evals_metric->inc();
+  double cur_cost = cost_of(result.selected);
+  double cur_score = eval_score(result.eval);
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    // Swap-in pool: the top_m unselected candidates by standalone value
+    // (descending, ties toward the smaller id).
+    std::vector<const CandidateEntry*> outside;
+    for (const CandidateEntry& e : table.candidates) {
+      if (std::find(result.selected.begin(), result.selected.end(),
+                    e.candidate) == result.selected.end()) {
+        outside.push_back(&e);
+      }
+    }
+    std::sort(outside.begin(), outside.end(),
+              [](const CandidateEntry* a, const CandidateEntry* b) {
+                const double va = a->standalone_gb();
+                const double vb = b->standalone_gb();
+                if (va != vb) return va > vb;
+                return a->candidate < b->candidate;
+              });
+    if (outside.size() > static_cast<std::size_t>(opts.top_m)) {
+      outside.resize(static_cast<std::size_t>(opts.top_m));
+    }
+
+    bool improved = false;
+    for (std::size_t oi = 0;
+         oi < result.selected.size() && !improved; ++oi) {
+      const int out = result.selected[oi];
+      const CandidateEntry* out_entry = entry_of(out);
+      DGS_CHECK(out_entry != nullptr,
+                "selection names an unknown candidate");
+      for (const CandidateEntry* in : outside) {
+        if (result.sim_evals >= opts.max_evals) break;
+        const double trial_cost =
+            cur_cost - out_entry->cost + in->cost;
+        if (opts.budget > 0.0 && trial_cost > opts.budget) continue;
+
+        std::vector<int> trial = result.selected;
+        trial[oi] = in->candidate;
+        std::sort(trial.begin(), trial.end());
+        const EvalPoint trial_eval = evaluate(trial);
+        ++result.sim_evals;
+        if (evals_metric != nullptr) evals_metric->inc();
+        if (eval_score(trial_eval) + 1e-9 < cur_score) {
+          result.selected = std::move(trial);
+          result.eval = trial_eval;
+          cur_score = eval_score(trial_eval);
+          cur_cost = trial_cost;
+          ++result.swaps;
+          if (swaps_metric != nullptr) swaps_metric->inc();
+          improved = true;
+          break;
+        }
+      }
+      if (result.sim_evals >= opts.max_evals) break;
+    }
+    if (!improved) break;
+  }
+  return result;
+}
+
+}  // namespace dgs::netdesign

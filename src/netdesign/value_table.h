@@ -1,0 +1,77 @@
+// Per-(candidate, pass) marginal-value tables (DESIGN.md §15).
+//
+// The selection objective is a weighted max-coverage function over
+// (satellite, step) cells: a cell covered by several selected stations
+// credits only the best of them, mirroring the scheduler's
+// one-station-per-satellite matching.  The table precomputes, for every
+// candidate, its visible passes and the availability-discounted downlink
+// value of each step in them, by sweeping the VisibilityEngine over the
+// horizon grid once — O(pool x steps) link budgets up front so the greedy
+// optimizer's gain evaluations touch no orbital mechanics at all.
+#pragma once
+
+#include <vector>
+
+#include "src/netdesign/candidate_pool.h"
+#include "src/obs/metrics.h"
+#include "src/util/thread_pool.h"
+#include "src/util/time.h"
+#include "src/weather/provider.h"
+
+namespace dgs::netdesign {
+
+/// One contiguous visibility window of (candidate, sat): step_values[j]
+/// is the value (GB, availability-discounted) of grid step
+/// first_step + j.
+struct PassValue {
+  int sat = 0;
+  int first_step = 0;
+  std::vector<double> step_values;
+};
+
+/// Everything the optimizer needs to know about one candidate.
+struct CandidateEntry {
+  int candidate = 0;        ///< Pool index (== GroundStation::id for
+                            ///< generated pools).
+  double cost = 0.0;        ///< CandidateSite::install_cost.
+  double availability = 1.0;
+  std::vector<PassValue> passes;  ///< Discovery order (ascending
+                                  ///< first_step, engine edge order within
+                                  ///< a step).
+
+  /// Total value if this candidate were the only selected station.
+  double standalone_gb() const;
+};
+
+/// The precomputed instance the optimizer runs on.  Hand-buildable in
+/// tests; build_value_table is the production producer.
+struct ValueTable {
+  int num_sats = 0;
+  int num_steps = 0;
+  double step_seconds = 0.0;
+  std::vector<CandidateEntry> candidates;
+};
+
+struct ValueTableOptions {
+  util::Epoch start;
+  double duration_hours = 24.0;
+  double step_seconds = 60.0;
+  /// Forwarded to the visibility engine's hot loops; any thread count
+  /// yields a bit-identical table (engine contract, DESIGN.md §9).
+  util::ParallelConfig parallel;
+  /// Borrowed; null disables instrumentation (dgs_netdesign_* counters).
+  obs::Registry* metrics = nullptr;
+};
+
+/// Sweeps the engine over the horizon grid and collects each candidate's
+/// passes.  Cell value = availability * predicted_rate_bps * step / 8e9
+/// (GB deliverable in that step at the scheduled MODCOD, discounted by
+/// how often the site is up).  `forecast_weather` may be null (clear-sky
+/// planning).
+ValueTable build_value_table(
+    const std::vector<groundseg::SatelliteConfig>& sats,
+    const std::vector<CandidateSite>& pool,
+    const weather::WeatherProvider* forecast_weather,
+    const ValueTableOptions& opts);
+
+}  // namespace dgs::netdesign

@@ -29,6 +29,42 @@ TEST(StationGen, CountAndDeterminism) {
   }
 }
 
+TEST(StationGen, PoolModeMatchesLegacyByteForByte) {
+  // network_gen.h promises: (pool_size, pool_seed) == (num_stations, seed)
+  // reproduces the legacy generator exactly.  This pin is what lets
+  // netdesign candidate pools interoperate with every existing scenario.
+  NetworkOptions legacy;
+  legacy.num_stations = 40;
+  legacy.seed = 9;
+  NetworkOptions pooled = legacy;
+  pooled.pool_size = 40;
+  pooled.pool_seed = 9;
+  const auto a = generate_dgs_stations(legacy);
+  const auto b = generate_dgs_stations(pooled);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_DOUBLE_EQ(a[i].location.latitude_rad, b[i].location.latitude_rad);
+    EXPECT_DOUBLE_EQ(a[i].location.longitude_rad,
+                     b[i].location.longitude_rad);
+    EXPECT_DOUBLE_EQ(a[i].location.altitude_km, b[i].location.altitude_km);
+    EXPECT_EQ(a[i].tx_capable, b[i].tx_capable);
+    EXPECT_DOUBLE_EQ(a[i].min_elevation_rad, b[i].min_elevation_rad);
+    EXPECT_EQ(a[i].beam_count, b[i].beam_count);
+  }
+  // And a pool bigger than the scenario's station count must leave the
+  // default-options generation untouched (pool_size = 0 path).
+  NetworkOptions untouched;
+  untouched.num_stations = 40;
+  untouched.seed = 9;
+  const auto c = generate_dgs_stations(untouched);
+  ASSERT_EQ(a.size(), c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].location.latitude_rad, c[i].location.latitude_rad);
+  }
+}
+
 TEST(StationGen, FootprintMatchesSatnogsShape) {
   const auto stations = generate_dgs_stations(NetworkOptions{});
   int north = 0, europe_ish = 0;

@@ -80,7 +80,7 @@ R4_SCOPE = "src/"
 
 # R2: a file is on an output path when it lives in an artifact/metrics
 # module or includes one of their headers.
-OUTPUT_PATH_DIRS = ("src/obs/", "src/campaign/")
+OUTPUT_PATH_DIRS = ("src/obs/", "src/campaign/", "src/netdesign/")
 OUTPUT_PATH_FILES = (
     "src/core/run_artifact.cpp",
     "src/core/run_artifact.h",
