@@ -40,7 +40,7 @@ int main() {
   // Baseline loses Svalbard (its busiest polar site) from hour 6 to 18.
   {
     core::SimulationOptions opts = day_sim();
-    opts.outages.push_back(core::StationOutage{0, 6.0, 18.0});
+    opts.faults.outages.push_back(dgs::faults::OutageWindow{0, 6.0, 18.0});
     report("baseline, -1 station (20%) 12 h",
            core::Simulator(setup.sats_6ch, setup.baseline, &wx, opts).run());
   }
@@ -49,8 +49,8 @@ int main() {
   {
     core::SimulationOptions opts = day_sim();
     for (std::size_t g = 0; g < setup.dgs.size(); g += 5) {
-      opts.outages.push_back(
-          core::StationOutage{static_cast<int>(g), 6.0, 18.0});
+      opts.faults.outages.push_back(
+          dgs::faults::OutageWindow{static_cast<int>(g), 6.0, 18.0});
     }
     report("DGS, -20% stations 12 h",
            core::Simulator(setup.sats, setup.dgs, &wx, opts).run());
@@ -65,8 +65,8 @@ int main() {
       const double lat = rad2deg(setup.dgs[g].location.latitude_rad);
       const double lon = rad2deg(setup.dgs[g].location.longitude_rad);
       if (lat > 36.0 && lat < 69.0 && lon > -10.0 && lon < 40.0) {
-        opts.outages.push_back(
-            core::StationOutage{static_cast<int>(g), 6.0, 18.0});
+        opts.faults.outages.push_back(
+            dgs::faults::OutageWindow{static_cast<int>(g), 6.0, 18.0});
         ++killed;
       }
     }

@@ -21,6 +21,7 @@
 #include <exception>
 #include <iostream>
 
+#include "examples/cli_common.h"
 #include "src/campaign/campaign.h"
 #include "src/faults/profiles.h"
 
@@ -58,7 +59,7 @@ int cmd_run(int argc, char** argv) {
   opts.workers = 4;
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
+      return examples::flag_value(argc, argv, &i);
     };
     const char* v = nullptr;
     if (std::strcmp(argv[i], "--profile") == 0 && (v = next())) {

@@ -16,6 +16,7 @@
 
 #include <fstream>
 
+#include "examples/cli_common.h"
 #include "src/core/dgs.h"
 #include "src/core/report.h"
 #include "src/groundseg/io.h"
@@ -163,51 +164,14 @@ int cmd_simulate(int argc, char** argv) {
 
   core::SimulationOptions opts;
   opts.start = now_epoch();
-  std::string json_path, csv_path;
-  std::string metrics_path, trace_path, events_path;
-  std::string subset_path;
-  std::string fault_profile = "none";
-  std::uint64_t fault_seed = 1;
+  examples::CommonFlags flags;
   for (int i = 4; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
-      csv_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
-      metrics_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--events-out") == 0 && i + 1 < argc) {
-      events_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--stations-subset") == 0 &&
-               i + 1 < argc) {
-      subset_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--fault-profile") == 0 &&
-               i + 1 < argc) {
-      fault_profile = argv[++i];
-    } else if (std::strcmp(argv[i], "--fault-seed") == 0 && i + 1 < argc) {
-      fault_seed = std::strtoull(argv[++i], nullptr, 10);
-    } else {
-      opts.duration_hours = std::atof(argv[i]);
-    }
+    if (examples::parse_common_flag(argc, argv, &i, &flags)) continue;
+    opts.duration_hours = std::atof(argv[i]);
   }
-  opts.collect_timeseries = !csv_path.empty();
-  // Replay on an explicit subset (the netdesign interchange format):
-  // everything downstream of validation — fault-plan station indices
-  // included — refers to the filtered station list.
-  if (!subset_path.empty()) {
-    opts.station_subset = groundseg::load_station_subset(subset_path);
-  }
-  const int effective_stations =
-      opts.station_subset.empty()
-          ? static_cast<int>(stations.size())
-          : static_cast<int>(opts.station_subset.size());
-  opts.faults =
-      faults::make_profile(fault_profile, fault_seed, effective_stations);
-  // The brownout channels need a modelled backhaul to degrade.
-  if (opts.faults.has_backhaul_faults()) {
-    opts.station_backhaul_bps = 50e6;
-  }
+  opts.collect_timeseries = !flags.csv_out.empty();
+  const int effective_stations = examples::apply_common_flags(
+      flags, static_cast<int>(stations.size()), &opts);
 
   // One documented validation entry point: every option constraint is
   // checked here, with the offending field named in the error.
@@ -223,52 +187,52 @@ int cmd_simulate(int argc, char** argv) {
   // Observability sinks (DESIGN.md §10): Prometheus text exposition,
   // Chrome-trace JSON, and the JSONL event log.
   obs::Registry registry;
-  if (!metrics_path.empty()) opts.metrics = &registry;
+  if (!flags.metrics_out.empty()) opts.metrics = &registry;
   std::ofstream events_out;
   obs::EventLog event_log;
-  if (!events_path.empty()) {
-    events_out.open(events_path);
+  if (!flags.events_out.empty()) {
+    events_out.open(flags.events_out);
     event_log = obs::EventLog(&events_out);
     opts.events = &event_log;
   }
-  if (!trace_path.empty()) obs::set_trace_enabled(true);
+  if (!flags.trace_out.empty()) obs::set_trace_enabled(true);
 
   weather::SyntheticWeatherProvider wx(42, opts.start,
                                        opts.duration_hours + 1.0);
   const core::SimulationResult r =
       core::Simulator(sats, stations, &wx, opts).run();
 
-  if (!metrics_path.empty()) {
-    std::ofstream out(metrics_path);
+  if (!flags.metrics_out.empty()) {
+    std::ofstream out(flags.metrics_out);
     registry.write_prometheus(out);
     std::printf("wrote %zu metric series to %s\n", registry.series_count(),
-                metrics_path.c_str());
+                flags.metrics_out.c_str());
   }
-  if (!trace_path.empty()) {
-    std::ofstream out(trace_path);
+  if (!flags.trace_out.empty()) {
+    std::ofstream out(flags.trace_out);
     obs::write_chrome_trace(out);
     std::printf("wrote %zu trace spans to %s\n", obs::trace_span_count(),
-                trace_path.c_str());
+                flags.trace_out.c_str());
   }
-  if (!events_path.empty()) {
+  if (!flags.events_out.empty()) {
     events_out.close();
-    std::printf("wrote event log to %s\n", events_path.c_str());
+    std::printf("wrote event log to %s\n", flags.events_out.c_str());
   }
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
+  if (!flags.json_out.empty()) {
+    std::ofstream out(flags.json_out);
     core::write_summary_json(out, r);
-    std::printf("wrote summary to %s\n", json_path.c_str());
+    std::printf("wrote summary to %s\n", flags.json_out.c_str());
   }
-  if (!csv_path.empty()) {
-    std::ofstream out(csv_path);
+  if (!flags.csv_out.empty()) {
+    std::ofstream out(flags.csv_out);
     core::write_timeseries_csv(out, r);
-    std::printf("wrote timeseries to %s\n", csv_path.c_str());
+    std::printf("wrote timeseries to %s\n", flags.csv_out.c_str());
   }
 
-  if (!subset_path.empty()) {
+  if (!flags.stations_subset.empty()) {
     std::printf("station subset: %zu of %zu stations (%s)\n",
                 opts.station_subset.size(), stations.size(),
-                subset_path.c_str());
+                flags.stations_subset.c_str());
   }
   std::printf("%zu satellites x %d stations, %.1f h\n", sats.size(),
               effective_stations, opts.duration_hours);
@@ -286,8 +250,8 @@ int cmd_simulate(int argc, char** argv) {
     std::printf("faults (%s, seed %llu): %.2f GB lost to outages, "
                 "%lld ack retries, %lld replans, %lld plan-upload "
                 "failures\n",
-                fault_profile.c_str(),
-                static_cast<unsigned long long>(fault_seed),
+                flags.fault_profile.c_str(),
+                static_cast<unsigned long long>(flags.fault_seed),
                 r.outage_lost_bytes / 1e9,
                 static_cast<long long>(r.ack_retries),
                 static_cast<long long>(r.replans),

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "examples/cli_common.h"
 #include "src/core/run_artifact.h"
 #include "src/groundseg/io.h"
 #include "src/netdesign/pareto.h"
@@ -74,38 +75,48 @@ int main(int argc, char** argv) {
   std::vector<int> ks = {8, 16, 24};
   double budget = 0.0;
   bool refine = false;
-  int threads = 1;
-  std::string front_path, subset_path, metrics_path;
+  std::string front_path, subset_path;
+  examples::CommonFlags flags;
 
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--pool") == 0 && i + 1 < argc) {
-      net.pool_size = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--pool-seed") == 0 && i + 1 < argc) {
-      net.pool_seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (std::strcmp(argv[i], "--sats") == 0 && i + 1 < argc) {
-      net.num_satellites = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--hours") == 0 && i + 1 < argc) {
-      hours = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--step") == 0 && i + 1 < argc) {
-      step_seconds = std::atof(argv[++i]);
-    } else if (std::strcmp(argv[i], "--k") == 0 && i + 1 < argc) {
-      ks = parse_k_list(argv[++i]);
-    } else if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
-      budget = std::atof(argv[++i]);
+    const char* v = nullptr;
+    if (examples::parse_common_flag(argc, argv, &i, &flags)) {
+      continue;  // --threads / --metrics-out
+    } else if (std::strcmp(argv[i], "--pool") == 0 &&
+               (v = examples::flag_value(argc, argv, &i))) {
+      net.pool_size = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--pool-seed") == 0 &&
+               (v = examples::flag_value(argc, argv, &i))) {
+      net.pool_seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--sats") == 0 &&
+               (v = examples::flag_value(argc, argv, &i))) {
+      net.num_satellites = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--hours") == 0 &&
+               (v = examples::flag_value(argc, argv, &i))) {
+      hours = std::atof(v);
+    } else if (std::strcmp(argv[i], "--step") == 0 &&
+               (v = examples::flag_value(argc, argv, &i))) {
+      step_seconds = std::atof(v);
+    } else if (std::strcmp(argv[i], "--k") == 0 &&
+               (v = examples::flag_value(argc, argv, &i))) {
+      ks = parse_k_list(v);
+    } else if (std::strcmp(argv[i], "--budget") == 0 &&
+               (v = examples::flag_value(argc, argv, &i))) {
+      budget = std::atof(v);
     } else if (std::strcmp(argv[i], "--refine") == 0) {
       refine = true;
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--front-out") == 0 && i + 1 < argc) {
-      front_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--subset-out") == 0 && i + 1 < argc) {
-      subset_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
-      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--front-out") == 0 &&
+               (v = examples::flag_value(argc, argv, &i))) {
+      front_path = v;
+    } else if (std::strcmp(argv[i], "--subset-out") == 0 &&
+               (v = examples::flag_value(argc, argv, &i))) {
+      subset_path = v;
     } else {
       return usage();
     }
   }
+  const int threads = flags.threads;
+  const std::string& metrics_path = flags.metrics_out;
   if (net.pool_size <= 0 || net.num_satellites <= 0 || hours <= 0.0 ||
       step_seconds <= 0.0 || ks.empty() || threads < 0 || budget < 0.0) {
     return usage();

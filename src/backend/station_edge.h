@@ -59,6 +59,14 @@ class StationEdgeQueue {
     uploaded_bytes_metric_ = uploaded_bytes;
   }
 
+  /// Checkpoint access (core::Session): the queue contents in service
+  /// order plus the exact queued-bytes aggregate, restored verbatim.
+  const std::deque<EdgeItem>& items() const { return items_; }
+  void restore_state(std::deque<EdgeItem> items, double queued_bytes) {
+    items_ = std::move(items);
+    queued_bytes_ = queued_bytes;
+  }
+
  private:
   double backhaul_bps_;
   std::deque<EdgeItem> items_;   ///< Priority desc, ground_rx asc.

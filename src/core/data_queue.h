@@ -102,7 +102,8 @@ class OnboardQueue {
   /// then oldest first).
   const std::deque<DataChunk>& chunks() const { return chunks_; }
 
- private:
+  /// One in-flight transmission batch (public for checkpoint I/O; the
+  /// service semantics live entirely in transmit/acknowledge_all).
   struct PendingBatch {
     util::Epoch sent;
     util::Epoch report_ready;        ///< Report available from here on.
@@ -111,6 +112,25 @@ class OnboardQueue {
     std::deque<DataChunk> pieces;    ///< For re-queue when !received.
   };
 
+  /// Checkpoint access (core::Session).  The aggregates are restored
+  /// verbatim rather than recomputed so a resumed run's floating-point
+  /// books are bit-identical to an uninterrupted one.
+  const std::deque<PendingBatch>& pending_batches() const { return pending_; }
+  double capacity_bytes() const { return capacity_bytes_; }
+  void restore_state(std::deque<DataChunk> chunks,
+                     std::deque<PendingBatch> pending, double queued_bytes,
+                     double pending_bytes, double dropped_bytes,
+                     double offered_bytes, double acked_bytes) {
+    chunks_ = std::move(chunks);
+    pending_ = std::move(pending);
+    queued_bytes_ = queued_bytes;
+    pending_bytes_ = pending_bytes;
+    dropped_bytes_ = dropped_bytes;
+    offered_bytes_ = offered_bytes;
+    acked_bytes_ = acked_bytes;
+  }
+
+ private:
   void insert_sorted(DataChunk chunk);
 
   std::deque<DataChunk> chunks_;

@@ -99,6 +99,21 @@ class GeometryCache {
     return static_cast<std::uint64_t>(misses_->value());
   }
 
+  /// Checkpoint access (core::Session): resident entries in ascending
+  /// step order.  Restoring the contents *and* the hit/miss counts keeps
+  /// a resumed run's cache_hit/cache_miss event deltas — and, with a
+  /// registry, the scraped counters — bit-identical to an uninterrupted
+  /// run.
+  const std::map<std::int64_t, StepGeometry>& entries() const {
+    return entries_;
+  }
+  void restore_state(std::map<std::int64_t, StepGeometry> entries,
+                     std::uint64_t hits, std::uint64_t misses) {
+    entries_ = std::move(entries);
+    hits_->reset_to(static_cast<double>(hits));
+    misses_->reset_to(static_cast<double>(misses));
+  }
+
  private:
   util::Epoch base_;
   double step_seconds_;

@@ -1,5 +1,8 @@
 #include "src/core/market.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/util/check.h"
 
 namespace dgs::core {
@@ -35,6 +38,64 @@ EdgeValueModifier BidMatrix::as_modifier() const {
   return [this](int sat, int station, double base) {
     return base * multiplier(sat, station);
   };
+}
+
+TenantArbiter::TenantArbiter(std::vector<TenantSpec> tenants, int num_sats)
+    : tenants_(std::move(tenants)) {
+  DGS_ENSURE(!tenants_.empty(), "tenant arbiter needs at least one tenant");
+  DGS_ENSURE_GT(num_sats, 0);
+  tenant_of_.assign(static_cast<std::size_t>(num_sats), -1);
+  double total_weight = 0.0;
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    DGS_ENSURE_GT(tenants_[t].weight, 0.0);
+    total_weight += tenants_[t].weight;
+    for (const int s : tenants_[t].satellites) {
+      DGS_ENSURE(s >= 0 && s < num_sats,
+                 "tenant '" << tenants_[t].name << "' satellite " << s
+                            << " out of range [0, " << num_sats << ")");
+      DGS_ENSURE(tenant_of_[static_cast<std::size_t>(s)] < 0,
+                 "satellite " << s << " claimed by two tenants");
+      tenant_of_[static_cast<std::size_t>(s)] = static_cast<int>(t);
+    }
+  }
+  entitlement_.resize(tenants_.size());
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    entitlement_[t] = tenants_[t].weight / total_weight;
+  }
+  delivered_.assign(tenants_.size(), 0.0);
+  assignments_.assign(tenants_.size(), 0);
+  scale_.assign(tenants_.size(), 1.0);
+  sat_scale_.assign(static_cast<std::size_t>(num_sats), 1.0);
+}
+
+double TenantArbiter::share(int t) const {
+  double total = 0.0;
+  for (const double d : delivered_) total += d;
+  return total > 0.0 ? delivered_.at(t) / total : entitlement_.at(t);
+}
+
+void TenantArbiter::refresh_scales() {
+  double total = 0.0;
+  for (const double d : delivered_) total += d;
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    const double realized =
+        total > 0.0 ? delivered_[t] / total : entitlement_[t];
+    const double deficit =
+        std::clamp(1.0 - realized / entitlement_[t], -4.0, 1.0);
+    scale_[t] = std::exp2(kDeficitGain * deficit);
+  }
+  for (std::size_t s = 0; s < sat_scale_.size(); ++s) {
+    const int t = tenant_of_[s];
+    sat_scale_[s] = t >= 0 ? scale_[static_cast<std::size_t>(t)] : 1.0;
+  }
+}
+
+void TenantArbiter::restore_state(std::vector<double> delivered,
+                                  std::vector<std::int64_t> assignments) {
+  DGS_ENSURE_EQ(delivered.size(), tenants_.size());
+  DGS_ENSURE_EQ(assignments.size(), tenants_.size());
+  delivered_ = std::move(delivered);
+  assignments_ = std::move(assignments);
 }
 
 }  // namespace dgs::core

@@ -193,10 +193,25 @@ constexpr SummaryFieldSpec kSummaryFields[] = {
     {"plan_upload_failures", kInt},
     {"mean_station_utilization", kReal},
     {"steps", kInt},
+    {"tenants", kTenants},
 };
 
 constexpr const char* kStatsMembers[] = {"median", "p90", "p99", "mean",
                                          "count"};
+
+using enum TenantFieldKind;
+
+constexpr TenantFieldSpec kTenantFields[] = {
+    {"name", kTString},
+    {"weight", kTReal},
+    {"num_satellites", kTInt},
+    {"delivered_tb", kTReal},
+    {"entitlement", kTReal},
+    {"share", kTReal},
+    {"sla_latency_minutes", kTReal},
+    {"sla_attainment", kTReal},
+    {"latency_minutes", kTStats},
+};
 
 constexpr const char* kAggregateMetricMembers[] = {
     "mean", "sd", "ci95", "p50", "p99", "min", "max", "count"};
@@ -227,6 +242,27 @@ constexpr NetdesignFieldSpec kNetdesignPoint[] = {
     {"dominated", kNBool},
     {"station_ids", kNString},
 };
+
+// Checkpoint header identity (emitted after schema_version + the
+// "checkpoint" tag).  Writer: src/core/checkpoint.cpp iterates exactly this
+// table.
+constexpr NetdesignFieldSpec kCheckpointHeader[] = {
+    {"num_satellites", kNInt},
+    {"num_stations", kNInt},
+    {"steps", kNInt},
+    {"step_index", kNInt},
+    {"step_seconds", kNReal},
+    {"duration_hours", kNReal},
+    {"finalized", kNBool},
+    {"options_crc32", kNInt},
+    {"sections", kNInt},
+    {"payload_bytes", kNInt},
+    {"payload_crc32", kNInt},
+};
+
+constexpr const char* kCheckpointSections[] = {
+    "result", "queues", "stations", "planner",
+    "geometry", "matcher", "tenants", "metrics"};
 
 /// Campaign identity fields shared by the manifest and the aggregate
 /// (emitted after schema_version and the artifact tag, in this order).
@@ -284,6 +320,73 @@ std::optional<ArtifactError> check_stats_object(const JsonValue& v,
   const JsonValue* count = v.find("count");
   if (count->number < 1.0) {
     return err(where + ".count", "must be >= 1 (empty sets are null)");
+  }
+  return std::nullopt;
+}
+
+std::optional<ArtifactError> check_tenants_object(const JsonValue& v,
+                                                  const std::string& where) {
+  if (v.kind == JsonValue::Kind::kNull) return std::nullopt;
+  if (v.kind != JsonValue::Kind::kObject) {
+    return err(where, "expected a tenants object or null");
+  }
+  if (v.members.empty()) {
+    return err(where, "empty runs emit null, not an empty object");
+  }
+  long long index = 0;
+  for (const auto& [key, row] : v.members) {
+    const std::string row_where = where + "." + key;
+    // Keys are "t_%03d" in declaration order (the netdesign "k_%03d"
+    // convention, since the restricted subset has no arrays).
+    char expected[8];
+    std::snprintf(expected, sizeof(expected), "t_%03lld", index);
+    if (key != expected) {
+      return err(row_where, std::string("expected key \"") + expected +
+                                "\" at this position");
+    }
+    ++index;
+    if (row.kind != JsonValue::Kind::kObject) {
+      return err(row_where, "expected an object");
+    }
+    const auto specs = tenant_field_specs();
+    if (row.members.size() != specs.size()) {
+      return err(row_where, "expected exactly " +
+                                std::to_string(specs.size()) + " members");
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const auto& [k, val] = row.members[i];
+      const std::string field = row_where + "." + specs[i].key;
+      if (k != specs[i].key) {
+        return err(row_where + "." + k,
+                   std::string("expected key \"") + specs[i].key +
+                       "\" at this position");
+      }
+      switch (specs[i].kind) {
+        case kTInt:
+          if (auto e = check_number(val, field, true)) return e;
+          break;
+        case kTReal:
+          if (auto e = check_number(val, field, false)) return e;
+          break;
+        case kTString:
+          if (val.kind != JsonValue::Kind::kString || val.text.empty()) {
+            return err(field, "expected a non-empty string");
+          }
+          break;
+        case kTStats:
+          if (auto e = check_stats_object(val, field)) return e;
+          break;
+      }
+    }
+    if (row.find("weight")->number <= 0.0) {
+      return err(row_where + ".weight", "must be > 0");
+    }
+    for (const char* frac : {"entitlement", "share", "sla_attainment"}) {
+      const double f = row.find(frac)->number;
+      if (f < 0.0 || f > 1.0) {
+        return err(row_where + "." + frac, "must be in [0, 1]");
+      }
+    }
   }
   return std::nullopt;
 }
@@ -512,6 +615,18 @@ std::span<const SummaryFieldSpec> summary_field_specs() {
 
 std::span<const char* const> stats_member_keys() { return kStatsMembers; }
 
+std::span<const TenantFieldSpec> tenant_field_specs() {
+  return kTenantFields;
+}
+
+std::span<const NetdesignFieldSpec> checkpoint_header_specs() {
+  return kCheckpointHeader;
+}
+
+std::span<const char* const> checkpoint_section_names() {
+  return kCheckpointSections;
+}
+
 std::span<const char* const> aggregate_metric_member_keys() {
   return kAggregateMetricMembers;
 }
@@ -558,6 +673,9 @@ std::optional<ArtifactError> validate_summary_json(std::string_view text) {
         break;
       case kStats:
         if (auto e = check_stats_object(value, where)) return e;
+        break;
+      case kTenants:
+        if (auto e = check_tenants_object(value, where)) return e;
         break;
     }
   }
@@ -806,6 +924,66 @@ std::optional<ArtifactError> validate_netdesign_front_json(
   return std::nullopt;
 }
 
+std::optional<ArtifactError> validate_checkpoint_header_json(
+    std::string_view text) {
+  ArtifactError parse_err;
+  const auto doc = parse_restricted_json(text, &parse_err);
+  if (!doc) {
+    return err("checkpoint", parse_err.where + ": " + parse_err.message);
+  }
+  std::size_t at = 0;
+  if (auto e = check_artifact_header(*doc, "checkpoint", "checkpoint",
+                                     &at)) {
+    return e;
+  }
+  for (const NetdesignFieldSpec& f : checkpoint_header_specs()) {
+    if (at >= doc->members.size() || doc->members[at].first != f.key) {
+      return err(std::string("checkpoint.") + f.key,
+                 "missing or out of order");
+    }
+    if (auto e = check_netdesign_field(doc->members[at].second,
+                                       std::string("checkpoint.") + f.key,
+                                       f.kind)) {
+      return e;
+    }
+    ++at;
+  }
+  if (at != doc->members.size()) {
+    return err("checkpoint." + doc->members[at].first,
+               "unknown trailing key");
+  }
+  const auto field = [&doc](std::string_view key) {
+    return doc->find(key)->number;
+  };
+  for (const char* positive : {"num_satellites", "num_stations", "steps"}) {
+    if (field(positive) < 1.0) {
+      return err(std::string("checkpoint.") + positive, "must be >= 1");
+    }
+  }
+  if (field("step_seconds") <= 0.0 || field("duration_hours") <= 0.0) {
+    return err("checkpoint.step_seconds", "grid must be positive");
+  }
+  if (field("step_index") < 0.0 || field("step_index") > field("steps")) {
+    return err("checkpoint.step_index", "must be in [0, steps]");
+  }
+  for (const char* crc : {"options_crc32", "payload_crc32"}) {
+    const double v = field(crc);
+    if (v < 0.0 || v > 4294967295.0) {
+      return err(std::string("checkpoint.") + crc,
+                 "must fit an unsigned 32-bit value");
+    }
+  }
+  if (field("payload_bytes") < 0.0) {
+    return err("checkpoint.payload_bytes", "must be >= 0");
+  }
+  const auto names = checkpoint_section_names();
+  if (field("sections") != static_cast<double>(names.size())) {
+    return err("checkpoint.sections",
+               "expected " + std::to_string(names.size()) + " sections");
+  }
+  return std::nullopt;
+}
+
 // --- Writers (declared in report.h; the schema table above is the
 // contract they emit) -------------------------------------------------------
 
@@ -820,6 +998,54 @@ void write_timeseries_csv(std::ostream& out, const SimulationResult& result) {
   }
 }
 
+namespace {
+
+/// One tenant row of the summary "tenants" object, iterating
+/// tenant_field_specs so the writer and validator share the key list.
+/// Tenant names are emitted unescaped: validation restricts them to
+/// [a-z][a-z0-9_]*, which needs no JSON escaping.
+void write_tenant_object(std::ostream& out, const TenantOutcome& t) {
+  char buf[192];
+  const auto specs = tenant_field_specs();
+  out << "{";
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const TenantFieldSpec& f = specs[i];
+    const std::string_view key = f.key;
+    if (key == "name") {
+      std::snprintf(buf, sizeof(buf), "\"%s\": \"%s\"", f.key,
+                    t.name.c_str());
+    } else if (key == "num_satellites") {
+      std::snprintf(buf, sizeof(buf), "\"%s\": %lld", f.key,
+                    static_cast<long long>(t.num_satellites));
+    } else if (key == "latency_minutes") {
+      const util::SampleSet& s = t.latency_minutes;
+      if (s.empty()) {
+        std::snprintf(buf, sizeof(buf), "\"%s\": null", f.key);
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      "\"%s\": {\"median\": %.3f, \"p90\": %.3f, "
+                      "\"p99\": %.3f, \"mean\": %.3f, \"count\": %zu}",
+                      f.key, s.percentile(50.0), s.percentile(90.0),
+                      s.percentile(99.0), s.mean(), s.size());
+      }
+    } else {
+      double v = 0.0;
+      if (key == "weight") v = t.weight;
+      else if (key == "delivered_tb") v = t.delivered_bytes / 1e12;
+      else if (key == "entitlement") v = t.entitlement;
+      else if (key == "share") v = t.share;
+      else if (key == "sla_latency_minutes") v = t.sla_latency_minutes;
+      else if (key == "sla_attainment") v = t.sla_attainment;
+      else DGS_CHECK(false, "unmapped tenant summary field");
+      std::snprintf(buf, sizeof(buf), "\"%s\": %.6f", f.key, v);
+    }
+    out << buf << (i + 1 < specs.size() ? ", " : "");
+  }
+  out << "}";
+}
+
+}  // namespace
+
 void write_summary_json(std::ostream& out, const SimulationResult& result) {
   out << "{\n";
   char buf[192];
@@ -830,10 +1056,12 @@ void write_summary_json(std::ostream& out, const SimulationResult& result) {
       case kInt:
         std::snprintf(buf, sizeof(buf), "  \"%s\": %lld", f.key,
                       int_field(result, f.key));
+        out << buf;
         break;
       case kReal:
         std::snprintf(buf, sizeof(buf), "  \"%s\": %.6f", f.key,
                       real_field(result, f.key));
+        out << buf;
         break;
       case kStats: {
         const util::SampleSet& s = stats_field(result, f.key);
@@ -846,10 +1074,27 @@ void write_summary_json(std::ostream& out, const SimulationResult& result) {
                         f.key, s.percentile(50.0), s.percentile(90.0),
                         s.percentile(99.0), s.mean(), s.size());
         }
+        out << buf;
+        break;
+      }
+      case kTenants: {
+        out << "  \"" << f.key << "\": ";
+        if (result.per_tenant.empty()) {
+          out << "null";
+        } else {
+          out << "{";
+          for (std::size_t t = 0; t < result.per_tenant.size(); ++t) {
+            std::snprintf(buf, sizeof(buf), "\"t_%03zu\": ", t);
+            out << buf;
+            write_tenant_object(out, result.per_tenant[t]);
+            if (t + 1 < result.per_tenant.size()) out << ", ";
+          }
+          out << "}";
+        }
         break;
       }
     }
-    out << buf << (i + 1 < specs.size() ? ",\n" : "\n");
+    out << (i + 1 < specs.size() ? ",\n" : "\n");
   }
   out << "}\n";
 }

@@ -29,7 +29,10 @@
 namespace dgs::core {
 
 /// Bumped on any incompatible artifact-shape change (see policy above).
-inline constexpr int kRunArtifactSchemaVersion = 1;
+/// v2: the summary gained the "tenants" field (multi-tenant service mode,
+/// DESIGN.md §16) and the dgs.checkpoint.v1 header joined the artifact
+/// family.
+inline constexpr int kRunArtifactSchemaVersion = 2;
 
 /// One invalid spot in an artifact: where it is and what is wrong,
 /// mirroring OptionsError's shape for CLI error messages.
@@ -68,9 +71,11 @@ std::optional<JsonValue> parse_restricted_json(std::string_view text,
 // Summary JSON schema (one flat object; see report.h for the writer).
 
 enum class SummaryFieldKind {
-  kInt,    ///< Integer-valued number (emitted %lld).
-  kReal,   ///< Real-valued number (emitted %.6f).
-  kStats,  ///< Percentile object {median,p90,p99,mean,count} or null.
+  kInt,      ///< Integer-valued number (emitted %lld).
+  kReal,     ///< Real-valued number (emitted %.6f).
+  kStats,    ///< Percentile object {median,p90,p99,mean,count} or null.
+  kTenants,  ///< Per-tenant object keyed "t_%03d" (tenant_field_specs),
+             ///< or null for single-tenant runs.
 };
 
 struct SummaryFieldSpec {
@@ -85,6 +90,26 @@ std::span<const SummaryFieldSpec> summary_field_specs();
 
 /// Member keys of a kStats percentile object, in emission order.
 std::span<const char* const> stats_member_keys();
+
+// Per-tenant summary rows (the kTenants field; service mode, DESIGN.md
+// §16).  The restricted subset has no arrays, so tenants live in an object
+// keyed "t_%03d" in declaration order, mirroring the netdesign "k_%03d"
+// convention.
+
+enum class TenantFieldKind {
+  kTInt,    ///< Integer-valued number (emitted %lld).
+  kTReal,   ///< Real-valued number (emitted %.6f).
+  kTString, ///< Non-empty string.
+  kTStats,  ///< Percentile object (stats_member_keys) or null.
+};
+
+struct TenantFieldSpec {
+  const char* key;
+  TenantFieldKind kind;
+};
+
+/// Ordered member list of one tenant row in the summary "tenants" object.
+std::span<const TenantFieldSpec> tenant_field_specs();
 
 /// The exact timeseries CSV header row (no trailing newline).
 std::string_view timeseries_csv_header();
@@ -166,6 +191,31 @@ std::span<const NetdesignFieldSpec> netdesign_point_specs();
 /// each point's "stations" value, exact per-point key set/order/kinds,
 /// and station_ids consistency.
 std::optional<ArtifactError> validate_netdesign_front_json(
+    std::string_view text);
+
+// ---------------------------------------------------------------------------
+// Checkpoint artifact (src/core/checkpoint.h): the `dgs.checkpoint.v1`
+// container opens with a restricted-JSON header identifying the run a
+// snapshot belongs to.  The binary framing (magic line, sized sections,
+// CRC) is defined in checkpoint.h; the header's key set lives here so the
+// writer and the validator iterate one spec table like every other
+// artifact.  The magic names the container format; schema_version inside
+// the header is the repo-wide artifact generation, like every artifact.
+
+/// Header identity fields (emitted after schema_version + the
+/// "checkpoint" tag, in this order).  "finalized" records whether the
+/// horizon had completed; the trailing section/payload fields pin the
+/// binary framing that follows the header.
+std::span<const NetdesignFieldSpec> checkpoint_header_specs();
+
+/// Ordered payload section names of a checkpoint, the exact sequence the
+/// writer emits and the reader requires.
+std::span<const char* const> checkpoint_section_names();
+
+/// Full schema validation of a checkpoint header document: artifact
+/// header, exact key set/order/kinds, and range checks (positive grid,
+/// step_index within [0, steps], CRC/size fields representable).
+std::optional<ArtifactError> validate_checkpoint_header_json(
     std::string_view text);
 
 }  // namespace dgs::core

@@ -48,6 +48,10 @@ std::vector<ContactEdge> Scheduler::schedule_instant(
       const double link_bytes =
           c.predicted_rate_bps * config_.quantum_seconds / 8.0;
       c.weight = value_->edge_value(queues[c.sat], when, link_bytes);
+      if (config_.sat_value_scale != nullptr) {
+        c.weight *=
+            (*config_.sat_value_scale)[static_cast<std::size_t>(c.sat)];
+      }
       if (config_.edge_value_modifier) {
         c.weight = config_.edge_value_modifier(c.sat, c.station, c.weight);
       }

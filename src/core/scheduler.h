@@ -22,6 +22,14 @@ struct SchedulerConfig {
   /// Optional hook scaling each edge's value after Phi — bidding (see
   /// BidMatrix::as_modifier), geographic SLAs, operator policy.
   EdgeValueModifier edge_value_modifier;
+  /// Optional per-satellite value multipliers applied between Phi and
+  /// edge_value_modifier: the tenant fair-share arbiter (TenantArbiter)
+  /// points this at its scale vector.  Borrowed; the driver thread may
+  /// rewrite the contents between instants, but they are fixed during one
+  /// schedule_instant call and read per-index, so — unlike the stateful
+  /// edge_value_modifier — the parallel weigh path stays bit-identical to
+  /// serial.  Size must be >= the engine's satellite count.
+  const std::vector<double>* sat_value_scale = nullptr;
   /// Warm-start the stable matcher from the previous instant
   /// (WarmStartMatcher).  Results are identical either way; this is a
   /// performance toggle only.  Applies to the point-to-point kStable path.
@@ -49,6 +57,10 @@ class Scheduler {
 
   const SchedulerConfig& config() const { return config_; }
   const ValueFunction& value_function() const { return *value_; }
+
+  /// Checkpoint access (core::Session): the warm-start matcher whose
+  /// carried-over state must survive a snapshot/restore round trip.
+  WarmStartMatcher& warm_matcher() const { return warm_; }
 
  private:
   const VisibilityEngine* engine_;

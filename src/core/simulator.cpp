@@ -1,14 +1,10 @@
 #include "src/core/simulator.h"
 
-#include "src/backend/station_edge.h"
-#include "src/core/lookahead.h"
-#include "src/obs/trace.h"
-#include "src/util/angles.h"
+#include "src/core/session.h"
 #include "src/util/check.h"
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <optional>
 #include <span>
 #include <sstream>
@@ -31,8 +27,8 @@ std::string num(double v) {
   return s.str();
 }
 
-/// Shared checks for a scheduled outage window (native plan entries and
-/// the deprecated StationOutage shim alike).
+/// Shared checks for a scheduled fault window (station outages and
+/// backhaul degradations alike).
 std::optional<OptionsError> check_window(const std::string& field,
                                          int station_index,
                                          double start_hours,
@@ -52,10 +48,22 @@ std::optional<OptionsError> check_window(const std::string& field,
   return std::nullopt;
 }
 
+bool valid_tenant_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (!(name[0] >= 'a' && name[0] <= 'z')) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::optional<OptionsError> SimulationOptions::validate(
-    int num_stations, std::span<const int> station_ids) const {
+    int num_stations, std::span<const int> station_ids,
+    int num_satellites) const {
   if (!(duration_hours > 0.0)) {
     return err("duration_hours",
                "must be > 0 (got " + num(duration_hours) + ")");
@@ -118,15 +126,6 @@ std::optional<OptionsError> SimulationOptions::validate(
     }
   }
 
-  for (std::size_t i = 0; i < outages.size(); ++i) {
-    const StationOutage& o = outages[i];
-    if (auto e = check_window("outages[" + num(static_cast<double>(i)) +
-                                  "]",
-                              o.station_index, o.start_hours, o.end_hours,
-                              num_stations)) {
-      return e;
-    }
-  }
   for (std::size_t i = 0; i < faults.outages.size(); ++i) {
     const faults::OutageWindow& o = faults.outages[i];
     if (auto e = check_window(
@@ -202,16 +201,93 @@ std::optional<OptionsError> SimulationOptions::validate(
     return err("faults.plan_upload.failure_probability",
                "must be in [0, 1) (got " + num(pu) + ")");
   }
-  return std::nullopt;
-}
 
-faults::FaultPlan SimulationOptions::resolved_faults() const {
-  faults::FaultPlan plan = faults;
-  for (const StationOutage& o : outages) {
-    plan.outages.push_back(faults::OutageWindow{
-        o.station_index, o.start_hours, o.end_hours});
+  // Multi-tenant service mode (DESIGN.md §16).  The tenant slices must
+  // partition the fleet: disjoint always; covering whenever the fleet
+  // size is known.
+  if (!tenants.empty()) {
+    if (lookahead_hours > 0.0) {
+      return err("tenants",
+                 "multi-tenant arbitration requires per-instant "
+                 "scheduling (lookahead_hours must be 0)");
+    }
+    std::vector<char> claimed(
+        num_satellites >= 0 ? static_cast<std::size_t>(num_satellites) : 0,
+        0);
+    std::size_t total_claimed = 0;
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      const TenantSpec& t = tenants[i];
+      const std::string field =
+          "tenants[" + num(static_cast<double>(i)) + "]";
+      if (!valid_tenant_name(t.name)) {
+        return err(field + ".name",
+                   "must match [a-z][a-z0-9_]* (got \"" + t.name + "\")");
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        if (tenants[j].name == t.name) {
+          return err(field + ".name",
+                     "duplicate tenant name \"" + t.name + "\"");
+        }
+      }
+      if (!(t.weight > 0.0) || !std::isfinite(t.weight)) {
+        return err(field + ".weight",
+                   "must be finite and > 0 (got " + num(t.weight) + ")");
+      }
+      if (t.sla_latency_minutes < 0.0) {
+        return err(field + ".sla_latency_minutes",
+                   "must be >= 0 (got " + num(t.sla_latency_minutes) +
+                       ")");
+      }
+      if (t.satellites.empty()) {
+        return err(field + ".satellites",
+                   "tenant must own at least one satellite");
+      }
+      for (std::size_t k = 0; k < t.satellites.size(); ++k) {
+        const int s = t.satellites[k];
+        const std::string sat_field =
+            field + ".satellites[" + num(static_cast<double>(k)) + "]";
+        if (s < 0) {
+          return err(sat_field,
+                     "satellite index must be >= 0 (got " + num(s) + ")");
+        }
+        if (num_satellites >= 0) {
+          if (s >= num_satellites) {
+            return err(sat_field, "satellite index " + num(s) +
+                                      " out of range [0, " +
+                                      num(num_satellites) + ")");
+          }
+          if (claimed[static_cast<std::size_t>(s)] != 0) {
+            return err(sat_field, "satellite " + num(s) +
+                                      " already claimed by an earlier "
+                                      "tenant");
+          }
+          claimed[static_cast<std::size_t>(s)] = 1;
+        } else {
+          for (std::size_t j = 0; j <= i; ++j) {
+            for (std::size_t m = 0;
+                 m < (j == i ? k : tenants[j].satellites.size()); ++m) {
+              if (tenants[j].satellites[m] == s) {
+                return err(sat_field,
+                           "satellite " + num(s) +
+                               " already claimed by an earlier tenant");
+              }
+            }
+          }
+        }
+        total_claimed += 1;
+      }
+    }
+    if (num_satellites >= 0 &&
+        total_claimed != static_cast<std::size_t>(num_satellites)) {
+      return err("tenants",
+                 "tenant slices cover " +
+                     num(static_cast<double>(total_claimed)) + " of " +
+                     num(num_satellites) +
+                     " satellites; every satellite must belong to "
+                     "exactly one tenant");
+    }
   }
-  return plan;
+  return std::nullopt;
 }
 
 Simulator::Simulator(std::vector<groundseg::SatelliteConfig> sats,
@@ -220,760 +296,38 @@ Simulator::Simulator(std::vector<groundseg::SatelliteConfig> sats,
                      const SimulationOptions& opts)
     : sats_(std::move(sats)), stations_(std::move(stations)),
       actual_wx_(actual_weather), opts_(opts) {
+  // Session repeats the full validation at construction; running it here
+  // too preserves the long-standing contract that an invalid Simulator
+  // throws at *construction*, not at run().
   DGS_ENSURE(!sats_.empty() && !stations_.empty(),
              "sats=" << sats_.size() << " stations=" << stations_.size());
-  // Apply the station-subset restriction before anything else: membership
-  // is checked against the *input* station ids, while everything
-  // downstream (fault-plan indices, the visibility engine, metrics) sees
-  // only the filtered list, in input order.
   std::vector<int> station_ids;
   station_ids.reserve(stations_.size());
   for (const groundseg::GroundStation& gs : stations_) {
     station_ids.push_back(gs.id);
   }
+  int num_filtered = static_cast<int>(stations_.size());
   if (!opts_.station_subset.empty()) {
-    std::vector<groundseg::GroundStation> kept;
-    kept.reserve(opts_.station_subset.size());
-    for (groundseg::GroundStation& gs : stations_) {
+    num_filtered = 0;
+    for (const groundseg::GroundStation& gs : stations_) {
       if (std::find(opts_.station_subset.begin(),
                     opts_.station_subset.end(),
                     gs.id) != opts_.station_subset.end()) {
-        kept.push_back(std::move(gs));
+        num_filtered += 1;
       }
     }
-    stations_ = std::move(kept);
   }
-  if (const auto e = opts_.validate(static_cast<int>(stations_.size()),
-                                    station_ids)) {
+  if (const auto e = opts_.validate(num_filtered, station_ids,
+                                    static_cast<int>(sats_.size()))) {
     // dgslint: allow(R4) -- renders OptionsError; format is test-pinned
     throw std::invalid_argument("SimulationOptions." + e->field + ": " +
                                 e->message);
   }
 }
 
-double Simulator::realized_rate_bps(const ContactEdge& e,
-                                    const util::Epoch& when) const {
-  const groundseg::GroundStation& gs = stations_[e.station];
-  weather::WeatherSample wx;
-  if (actual_wx_ != nullptr) {
-    wx = actual_wx_->actual(gs.location.latitude_rad,
-                            gs.location.longitude_rad, when);
-  }
-  link::PathConditions path;
-  path.range_km = e.range_km;
-  path.elevation_rad = e.elevation_rad;
-  path.site_latitude_rad = gs.location.latitude_rad;
-  path.site_altitude_km = gs.location.altitude_km;
-  path.rain_rate_mm_h = wx.rain_rate_mm_h;
-  path.cloud_liquid_kg_m2 = wx.cloud_liquid_kg_m2;
-
-  // The satellite transmits at the *scheduled* MODCOD (receive-only
-  // stations cannot request a change mid-pass).  The transfer succeeds iff
-  // the actual Es/N0 still meets that MODCOD's requirement.  Beamforming
-  // stations pay the same power-split penalty the scheduler assumed.
-  link::ReceiveSystem rx = gs.receiver;
-  if (gs.beam_count > 1) rx.aperture_efficiency /= gs.beam_count;
-  const link::LinkBudget actual =
-      link::evaluate_link(sats_[e.sat].radio, rx, path);
-  if (e.modcod == nullptr) return 0.0;
-  if (actual.esn0_db < e.modcod->required_esn0_db) return 0.0;
-  return link::bitrate_bps(*e.modcod, sats_[e.sat].radio.symbol_rate_hz) *
-         sats_[e.sat].radio.channels;
-}
-
 SimulationResult Simulator::run() {
-  const int num_sats = static_cast<int>(sats_.size());
-  const int num_stations = static_cast<int>(stations_.size());
-  const double dt = opts_.step_seconds;
-  const std::int64_t steps = static_cast<std::int64_t>(
-      std::llround(opts_.duration_hours * 3600.0 / dt));
-
-  // Scheduling sees forecasts; outcomes use the actual field.
-  const weather::WeatherProvider* forecast_wx =
-      opts_.weather_aware ? actual_wx_ : nullptr;
-  VisibilityEngine engine(sats_, stations_, forecast_wx);
-
-  // Parallel hot loops + step-geometry memoization.  Both preserve
-  // bit-identical results; the cache is sized to hold a whole look-ahead
-  // window so a planning sweep propagates each epoch exactly once.
-  util::ThreadPool pool(opts_.parallel);
-  engine.set_thread_pool(&pool);
-  // Must precede Scheduler construction and enable_geometry_cache: both
-  // register their counters against the engine's registry at setup time.
-  engine.set_metrics(opts_.metrics);
-  SchedulerConfig sched_cfg;
-  sched_cfg.matcher = opts_.matcher;
-  sched_cfg.value = opts_.value;
-  sched_cfg.quantum_seconds = dt;
-  sched_cfg.edge_value_modifier = opts_.edge_value_modifier;
-  Scheduler scheduler(&engine, sched_cfg);
-
-  SimulationResult res;
-  res.per_satellite.resize(num_sats);
-
-  // Fault injection (DESIGN.md §11): the plan (with the deprecated
-  // `outages` shim merged in) is expanded onto the step grid once, on the
-  // driver thread; all later queries are pure lookups or stateless hash
-  // draws, so fault behaviour is bit-identical at any thread count.
-  const faults::FaultPlan fault_plan = opts_.resolved_faults();
-  std::optional<faults::FaultTimeline> timeline;
-  if (!fault_plan.empty()) {
-    timeline.emplace(fault_plan, num_stations, steps, dt);
-  }
-  const bool station_faults =
-      timeline.has_value() && timeline->has_station_faults();
-  const bool backhaul_faults =
-      timeline.has_value() && timeline->has_backhaul_faults();
-
-  // Sim-level metrics.  All updates below happen on the driver thread:
-  // byte quantities are non-integer doubles, which the shard-fold
-  // determinism contract (DESIGN.md §10) keeps out of parallel regions.
-  // Each counter mirrors the matching SimulationResult field add-for-add,
-  // so the two stay bit-identical.
-  obs::Registry* const metrics = opts_.metrics;
-  struct {
-    obs::Counter* generated_bytes = nullptr;
-    obs::Counter* delivered_bytes = nullptr;
-    obs::Counter* dropped_bytes = nullptr;
-    obs::Counter* wasted_bytes = nullptr;
-    obs::Counter* requeued_bytes = nullptr;
-    obs::Counter* assignments = nullptr;
-    obs::Counter* failed_assignments = nullptr;
-    obs::Counter* slew_events = nullptr;
-    obs::Counter* steps = nullptr;
-    obs::Counter* ack_batches = nullptr;
-    obs::Counter* plan_uploads = nullptr;
-    obs::Counter* backhaul_received = nullptr;
-    obs::Counter* backhaul_uploaded = nullptr;
-    obs::Gauge* backlog_bytes = nullptr;
-    obs::Gauge* pending_ack_bytes = nullptr;
-    obs::Gauge* station_queued_bytes = nullptr;
-    obs::Histogram* latency_minutes = nullptr;
-  } om;
-  if (metrics != nullptr) {
-    om.generated_bytes = metrics->counter(
-        "dgs_sim_generated_bytes_total", "Bytes captured at the sensors");
-    om.delivered_bytes = metrics->counter(
-        "dgs_sim_delivered_bytes_total", "Bytes captured by the ground");
-    om.dropped_bytes = metrics->counter(
-        "dgs_sim_dropped_bytes_total", "Bytes lost to full recorders");
-    om.wasted_bytes = metrics->counter(
-        "dgs_sim_wasted_bytes_total",
-        "Bytes transmitted into failed (mis-predicted MODCOD) slots");
-    om.requeued_bytes = metrics->counter(
-        "dgs_sim_requeued_bytes_total",
-        "Bytes re-queued for retransmission after a collated report");
-    om.assignments = metrics->counter(
-        "dgs_sim_assignments_total", "Scheduled (sat, station) slots");
-    om.failed_assignments = metrics->counter(
-        "dgs_sim_failed_assignments_total",
-        "Slots whose scheduled MODCOD did not close");
-    om.slew_events = metrics->counter(
-        "dgs_sim_slew_events_total",
-        "Station retargets to a new satellite (slew model on)");
-    om.steps = metrics->counter("dgs_sim_steps_total",
-                                "Simulation steps executed");
-    om.ack_batches = metrics->counter(
-        "dgs_sim_ack_batches_total",
-        "Delivery batches acknowledged via collated reports");
-    om.plan_uploads = metrics->counter(
-        "dgs_sim_plan_uploads_total",
-        "Fresh plans uploaded at transmit-capable contacts");
-    om.backhaul_received = metrics->counter(
-        "dgs_backhaul_received_bytes_total",
-        "Bytes queued at station edges from the downlink");
-    om.backhaul_uploaded = metrics->counter(
-        "dgs_backhaul_uploaded_bytes_total",
-        "Bytes uploaded from station edges to the cloud");
-    om.backlog_bytes = metrics->gauge(
-        "dgs_sim_backlog_bytes", "Bytes queued on board across satellites");
-    om.pending_ack_bytes = metrics->gauge(
-        "dgs_sim_pending_ack_bytes",
-        "Bytes delivered but not yet acknowledged");
-    om.station_queued_bytes = metrics->gauge(
-        "dgs_backhaul_queued_bytes",
-        "Bytes still queued at station edges (not yet in the cloud)");
-    om.latency_minutes = metrics->histogram(
-        "dgs_sim_latency_minutes", "Capture-to-ground latency per chunk",
-        {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
-  }
-
-  // Fault metrics, registered only when a fault plan is active so
-  // fault-free runs keep their exposition unchanged.  Counters mirror the
-  // matching SimulationResult fields add-for-add.
-  struct {
-    obs::Counter* outage_transitions = nullptr;
-    obs::Counter* outage_lost_bytes = nullptr;
-    obs::Counter* ack_retries = nullptr;
-    obs::Counter* replans = nullptr;
-    obs::Counter* plan_upload_failures = nullptr;
-    obs::Counter* backhaul_degraded_steps = nullptr;
-    obs::Gauge* stations_down = nullptr;
-  } fm;
-  if (metrics != nullptr && timeline.has_value()) {
-    fm.outage_transitions = metrics->counter(
-        "dgs_faults_outage_transitions_total",
-        "Station up->down and down->up transitions");
-    fm.outage_lost_bytes = metrics->counter(
-        "dgs_faults_outage_lost_bytes_total",
-        "Bytes transmitted into a faulted station's dead contact");
-    fm.ack_retries = metrics->counter(
-        "dgs_faults_ack_retries_total",
-        "Ack-relay report attempts lost to Internet faults and retried");
-    fm.replans = metrics->counter(
-        "dgs_faults_replans_total",
-        "Look-ahead replans triggered by an assigned station faulting");
-    fm.plan_upload_failures = metrics->counter(
-        "dgs_faults_plan_upload_failures_total",
-        "TX contacts whose TT&C exchange failed");
-    fm.backhaul_degraded_steps = metrics->counter(
-        "dgs_faults_backhaul_degraded_station_steps_total",
-        "Station-steps spent with a degraded backhaul multiplier");
-    fm.stations_down = metrics->gauge(
-        "dgs_faults_stations_down", "Stations currently in outage");
-  }
-
-  // Event-log state: the shared step clock (also stamps the timeseries)
-  // plus per-(sat, station) contact lifecycle tracking.
-  obs::EventLog* const events = opts_.events;
-  const obs::StepClock clock(opts_.start, dt);
-  struct OpenContact {
-    const link::ModCod* modcod = nullptr;
-    int held_steps = 0;
-    std::int64_t last_step = -1;
-  };
-  std::map<std::pair<int, int>, OpenContact> open_contacts;
-  // Station down mask for the current step (empty while no station fault
-  // channel is active, preserving the fault-free fast path).
-  std::vector<char> down;
-  std::vector<char> prev_down(num_stations, 0);
-  if (station_faults) down.assign(static_cast<std::size_t>(num_stations), 0);
-  // Previous step's backhaul multiplier per station, for transition events.
-  std::vector<double> prev_backhaul_mult;
-  if (backhaul_faults) {
-    prev_backhaul_mult.assign(static_cast<std::size_t>(num_stations), 1.0);
-  }
-  std::uint64_t cache_hits_prev = 0;
-  std::uint64_t cache_misses_prev = 0;
-
-  std::vector<OnboardQueue> queues(num_sats);
-  for (int s = 0; s < num_sats; ++s) {
-    if (sats_[s].storage_capacity_bytes > 0.0) {
-      queues[s].set_capacity(sats_[s].storage_capacity_bytes);
-    }
-  }
-  std::vector<util::Epoch> last_plan(num_sats, opts_.start);
-  std::vector<std::int64_t> station_busy(num_stations, 0);
-
-  // Steady-state warm start: pre-existing backlog captured in the past.
-  if (opts_.initial_backlog_bytes > 0.0) {
-    const util::Epoch captured =
-        opts_.start.plus_seconds(-opts_.initial_backlog_age_hours * 3600.0);
-    for (int s = 0; s < num_sats; ++s) {
-      queues[s].generate(opts_.initial_backlog_bytes, captured);
-      res.per_satellite[s].generated_bytes += opts_.initial_backlog_bytes;
-      res.total_generated_bytes += opts_.initial_backlog_bytes;
-      if (om.generated_bytes != nullptr) {
-        om.generated_bytes->inc(opts_.initial_backlog_bytes);
-      }
-    }
-  }
-
-  std::vector<double> leads(num_sats, 0.0);
-
-  // Which satellite each station served in the previous step (-1 = idle);
-  // only maintained when slew is modelled.
-  std::vector<int> prev_served(num_stations, -1);
-
-  // Station edge queues (opts_.station_backhaul_bps > 0).
-  std::vector<backend::StationEdgeQueue> edge_queues;
-  if (opts_.station_backhaul_bps > 0.0) {
-    edge_queues.assign(num_stations,
-                       backend::StationEdgeQueue(opts_.station_backhaul_bps));
-    for (backend::StationEdgeQueue& eq : edge_queues) {
-      eq.set_metrics(om.backhaul_received, om.backhaul_uploaded);
-    }
-  }
-
-  // Look-ahead planning state (opts_.lookahead_hours > 0).
-  const int plan_window_steps =
-      opts_.lookahead_hours > 0.0
-          ? std::max(1, static_cast<int>(
-                            std::llround(opts_.lookahead_hours * 3600.0 / dt)))
-          : 0;
-  engine.enable_geometry_cache(
-      opts_.start, dt, plan_window_steps > 0 ? plan_window_steps : 4);
-
-  HorizonPlan plan;
-  std::int64_t plan_origin = -1;
-
-  for (std::int64_t step = 0; step < steps; ++step) {
-    DGS_TRACE_SPAN("sim.step");
-    // StepClock is the single timestamp source: step_start drives the
-    // physics, end_hours stamps both the timeseries record and every event
-    // this step emits, so the two artifacts join without drift.
-    const util::Epoch now = clock.step_start(step);
-    if (events != nullptr) events->begin_step(step, clock.end_hours(step));
-
-    // 0. Fault state for this step: refresh the station down mask and
-    // emit up/down transitions.  `new_outage` feeds the look-ahead
-    // replan check below.
-    bool new_outage = false;
-    if (station_faults) {
-      timeline->fill_station_down(step, &down);
-      for (int g = 0; g < num_stations; ++g) {
-        if (down[g] != 0 && prev_down[g] == 0) {
-          new_outage = true;
-          if (events != nullptr) events->outage_begin(g);
-          if (fm.outage_transitions != nullptr) {
-            fm.outage_transitions->inc();
-          }
-        } else if (down[g] == 0 && prev_down[g] != 0) {
-          if (events != nullptr) events->outage_end(g);
-          if (fm.outage_transitions != nullptr) {
-            fm.outage_transitions->inc();
-          }
-        }
-      }
-      prev_down.assign(down.begin(), down.end());
-    }
-    const std::span<const char> down_span =
-        station_faults ? std::span<const char>(down)
-                       : std::span<const char>();
-
-    // 1. Imaging: continuous data generation, one chunk per step (two when
-    // an urgent tier is configured).
-    {
-      DGS_TRACE_SPAN("sim.generate");
-      for (int s = 0; s < num_sats; ++s) {
-        const double bytes =
-            sats_[s].data_generation_bytes_per_day * dt / 86400.0;
-        const double urgent = bytes * opts_.urgent_fraction;
-        if (urgent > 0.0) {
-          queues[s].generate(urgent, now, opts_.urgent_priority);
-        }
-        queues[s].generate(bytes - urgent, now);
-        res.per_satellite[s].generated_bytes += bytes;
-        res.total_generated_bytes += bytes;
-        if (om.generated_bytes != nullptr) om.generated_bytes->inc(bytes);
-      }
-    }
-
-    // 2. Plan staleness per satellite.
-    if (opts_.couple_forecast_to_plan_upload) {
-      for (int s = 0; s < num_sats; ++s) {
-        leads[s] = now.seconds_since(last_plan[s]);
-      }
-    }  // else all-zero: always-fresh plans.
-
-    // 3. Schedule this instant: either per-instant matching (with failure
-    // injection applied) or the pre-computed look-ahead horizon plan.
-    std::vector<ContactEdge> assigned;
-    {
-      DGS_TRACE_SPAN("sim.schedule");
-      if (plan_window_steps > 0) {
-        const bool refresh =
-            plan_origin < 0 || step - plan_origin >= plan_window_steps;
-        if (refresh) {
-          const int window = static_cast<int>(
-              std::min<std::int64_t>(plan_window_steps, steps - step));
-          plan = plan_horizon(engine, queues, scheduler.value_function(),
-                              now, window, dt, down_span);
-          plan_origin = step;
-        }
-        assigned = plan.per_step[step - plan_origin];
-        // Replan-on-failure: a station that just went down while the
-        // remainder of this window still assigns it invalidates the plan.
-        // This step executes the stale assignments (in-flight
-        // transmissions into the dead station are lost below); the
-        // horizon from the next step is re-scored with the down mask.
-        if (!refresh && new_outage && step + 1 < steps) {
-          int faulted_station = -1;
-          const auto rel = static_cast<std::size_t>(step - plan_origin);
-          for (std::size_t k = rel;
-               k < plan.per_step.size() && faulted_station < 0; ++k) {
-            for (const ContactEdge& e : plan.per_step[k]) {
-              if (down[e.station] != 0) {
-                faulted_station = e.station;
-                break;
-              }
-            }
-          }
-          if (faulted_station >= 0) {
-            const int window = static_cast<int>(std::min<std::int64_t>(
-                plan_window_steps, steps - (step + 1)));
-            plan = plan_horizon(engine, queues, scheduler.value_function(),
-                                clock.step_start(step + 1), window, dt,
-                                down_span);
-            plan_origin = step + 1;
-            res.replans += 1;
-            if (fm.replans != nullptr) fm.replans->inc();
-            if (events != nullptr) {
-              events->replan(faulted_station, window);
-            }
-          }
-        }
-      } else {
-        assigned = scheduler.schedule_instant(now, queues, leads,
-                                              down_span);
-      }
-    }
-
-    // 4. Execute the assignments against actual weather.  The satellite
-    // always transmits at the scheduled MODCOD and rate (receive-only
-    // stations cannot renegotiate); whether the ground captures it depends
-    // on the actual Es/N0.
-    double step_edge_received = 0.0;
-    {
-      DGS_TRACE_SPAN("sim.execute");
-      for (const ContactEdge& e : assigned) {
-        res.assignments += 1;
-        res.total_matched_value += e.weight;
-        station_busy[e.station] += 1;
-        if (om.assignments != nullptr) om.assignments->inc();
-
-        // Contact lifecycle: a pair entering the assigned set opens a
-        // contact; a MODCOD change mid-pass is a reselection.
-        if (events != nullptr) {
-          const auto key = std::make_pair(e.sat, e.station);
-          auto [it, inserted] = open_contacts.try_emplace(key);
-          OpenContact& oc = it->second;
-          const std::string_view name =
-              e.modcod != nullptr ? e.modcod->name : "none";
-          if (inserted) {
-            events->contact_open(e.sat, e.station, name,
-                                 e.predicted_rate_bps,
-                                 util::rad2deg(e.elevation_rad));
-          } else if (oc.modcod != e.modcod) {
-            events->modcod_selected(e.sat, e.station, name,
-                                    e.predicted_rate_bps);
-          }
-          oc.modcod = e.modcod;
-          oc.held_steps += 1;
-          oc.last_step = step;
-        }
-
-        // A faulted station captures nothing: the satellite transmits
-        // into the dead contact (it cannot tell), and the bytes take the
-        // same missing-pieces requeue path as a mis-predicted MODCOD.
-        const bool station_up = !station_faults || down[e.station] == 0;
-        const bool received = station_up && realized_rate_bps(e, now) > 0.0;
-        // Retargeting the dish costs slew/re-lock time out of the quantum.
-        double effective_dt = dt;
-        if (opts_.slew_seconds > 0.0 && prev_served[e.station] != e.sat) {
-          effective_dt = std::max(0.0, dt - opts_.slew_seconds);
-          res.slew_events += 1;
-          if (om.slew_events != nullptr) om.slew_events->inc();
-        }
-        const double link_bytes = e.predicted_rate_bps * effective_dt / 8.0;
-        // Ack-relay Internet faults: the station's report upload is lost
-        // with some probability and retried with capped exponential
-        // backoff, delaying when the batch's verdict reaches the
-        // operator (and hence the next TX contact).
-        double report_delay_s = 0.0;
-        if (received && fault_plan.has_ack_relay_faults()) {
-          const faults::AckRelayOutcome relay =
-              timeline->ack_relay_outcome(step, e.sat, e.station);
-          if (relay.retries > 0) {
-            report_delay_s = relay.delay_s;
-            res.ack_retries += relay.retries;
-            if (fm.ack_retries != nullptr) {
-              fm.ack_retries->inc(relay.retries);
-            }
-            if (events != nullptr) {
-              events->ack_relay_retry(e.sat, e.station, relay.retries,
-                                      relay.delay_s);
-            }
-          }
-        }
-        const double sent = queues[e.sat].transmit(
-            link_bytes, now,
-            [&](double latency_s, const DataChunk& chunk) {
-              res.latency_minutes.add(latency_s / 60.0);
-              if (om.latency_minutes != nullptr) {
-                om.latency_minutes->observe(latency_s / 60.0);
-              }
-              if (chunk.priority > 1.0) {
-                res.urgent_latency_minutes.add(latency_s / 60.0);
-              } else {
-                res.bulk_latency_minutes.add(latency_s / 60.0);
-              }
-              if (!edge_queues.empty()) {
-                edge_queues[e.station].receive(chunk.total_bytes,
-                                               chunk.priority, chunk.capture,
-                                               now);
-                step_edge_received += chunk.total_bytes;
-              }
-            },
-            received, report_delay_s);
-        if (received) {
-          res.assigned_capacity_bytes += link_bytes;
-          res.per_satellite[e.sat].delivered_bytes += sent;
-          res.total_delivered_bytes += sent;
-          if (om.delivered_bytes != nullptr) om.delivered_bytes->inc(sent);
-        } else {
-          res.failed_assignments += 1;
-          res.wasted_transmission_bytes += sent;
-          if (om.failed_assignments != nullptr) {
-            om.failed_assignments->inc();
-          }
-          if (om.wasted_bytes != nullptr) om.wasted_bytes->inc(sent);
-          if (!station_up) {
-            res.outage_lost_bytes += sent;
-            if (fm.outage_lost_bytes != nullptr) {
-              fm.outage_lost_bytes->inc(sent);
-            }
-            if (events != nullptr) {
-              events->outage_loss(e.sat, e.station, sent);
-            }
-          }
-        }
-        if (events != nullptr) {
-          events->bytes_moved(e.sat, e.station, sent, received);
-        }
-
-        // Transmit-capable contact: collated report (acks + missing pieces)
-        // and a fresh plan upload.  The S-band TT&C uplink is independent
-        // of the X-band downlink outcome, so this happens even if the data
-        // transfer failed.
-        if (stations_[e.station].tx_capable && station_up) {
-          // TT&C plan-upload fault: the whole exchange (acks + fresh
-          // plan) is lost; the satellite keeps its stale plan until the
-          // next TX opportunity.
-          if (fault_plan.has_plan_upload_faults() &&
-              timeline->plan_upload_fails(step, e.sat, e.station)) {
-            res.plan_upload_failures += 1;
-            if (fm.plan_upload_failures != nullptr) {
-              fm.plan_upload_failures->inc();
-            }
-            if (events != nullptr) {
-              events->plan_upload_failed(e.sat, e.station);
-            }
-          } else {
-            double acked_bytes = 0.0;
-            int ack_batches = 0;
-            const double requeued = queues[e.sat].acknowledge_all(
-                now, [&](double delay_s, double bytes) {
-                  res.ack_delay_minutes.add(delay_s / 60.0);
-                  acked_bytes += bytes;
-                  ack_batches += 1;
-                });
-            res.requeued_bytes += requeued;
-            if (om.requeued_bytes != nullptr) {
-              om.requeued_bytes->inc(requeued);
-            }
-            if (om.ack_batches != nullptr && ack_batches > 0) {
-              om.ack_batches->inc(ack_batches);
-            }
-            if (om.plan_uploads != nullptr) om.plan_uploads->inc();
-            if (events != nullptr) {
-              events->ack_relayed(e.sat, e.station, acked_bytes, requeued,
-                                  ack_batches);
-              events->plan_uploaded(e.sat, e.station,
-                                    now.seconds_since(last_plan[e.sat]));
-            }
-            last_plan[e.sat] = now;
-            res.per_satellite[e.sat].tx_contacts += 1;
-          }
-        }
-      }
-    }
-
-    // Contacts absent from this step's assigned set have ended.
-    if (events != nullptr) {
-      for (auto it = open_contacts.begin(); it != open_contacts.end();) {
-        if (it->second.last_step != step) {
-          events->contact_close(it->first.first, it->first.second,
-                                it->second.held_steps);
-          it = open_contacts.erase(it);
-        } else {
-          ++it;
-        }
-      }
-    }
-
-    // 4b. Track which satellite each station served (slew accounting).
-    if (opts_.slew_seconds > 0.0) {
-      std::fill(prev_served.begin(), prev_served.end(), -1);
-      for (const ContactEdge& e : assigned) prev_served[e.station] = e.sat;
-    }
-
-    // 5. Station backhaul: edge queues upload toward the cloud.
-    if (!edge_queues.empty()) {
-      DGS_TRACE_SPAN("sim.backhaul");
-      const util::Epoch upload_t = now.plus_seconds(dt);
-      double step_uploaded = 0.0;
-      std::int64_t degraded_stations = 0;
-      for (int g = 0; g < num_stations; ++g) {
-        double mult = 1.0;
-        if (backhaul_faults) {
-          mult = timeline->backhaul_multiplier(g, step);
-          if (mult < 1.0) {
-            degraded_stations += 1;
-            if (events != nullptr && prev_backhaul_mult[g] >= 1.0) {
-              events->backhaul_fault_begin(g, mult);
-            }
-          } else if (events != nullptr && prev_backhaul_mult[g] < 1.0) {
-            events->backhaul_fault_end(g);
-          }
-          prev_backhaul_mult[static_cast<std::size_t>(g)] = mult;
-        }
-        step_uploaded += edge_queues[static_cast<std::size_t>(g)].drain(
-            dt, upload_t,
-            [&](double latency_s, const backend::EdgeItem&) {
-              res.cloud_latency_minutes.add(latency_s / 60.0);
-            },
-            mult);
-      }
-      if (fm.backhaul_degraded_steps != nullptr && degraded_stations > 0) {
-        fm.backhaul_degraded_steps->inc(
-            static_cast<double>(degraded_stations));
-      }
-      if (events != nullptr) {
-        double queued = 0.0;
-        for (const backend::StationEdgeQueue& eq : edge_queues) {
-          queued += eq.queued_bytes();
-        }
-        events->backhaul_step(step_edge_received, step_uploaded, queued);
-      }
-    }
-
-    // 6. Storage accounting.
-    for (int s = 0; s < num_sats; ++s) {
-      res.per_satellite[s].storage_high_water_bytes =
-          std::max(res.per_satellite[s].storage_high_water_bytes,
-                   queues[s].storage_bytes());
-    }
-
-    // 6b. Conservation audit: every byte a sensor offered must be exactly
-    // one of dropped / queued / awaiting ack / freed by an ack.  A silent
-    // leak here would corrupt every downstream backlog and latency figure.
-#ifdef DGS_ENABLE_DCHECKS
-    for (int s = 0; s < num_sats; ++s) {
-      const std::string audit = queues[s].audit_conservation();
-      DGS_CHECK(audit.empty(), "step " << step << ", sat " << s << ": "
-                                       << audit);
-    }
-#endif
-
-    // 6c. Geometry-cache deltas accrued during this step.
-    if (events != nullptr) {
-      if (const GeometryCache* gc = engine.geometry_cache(); gc != nullptr) {
-        const std::uint64_t h = gc->hits();
-        const std::uint64_t m = gc->misses();
-        if (h > cache_hits_prev) {
-          events->cache_hit(static_cast<std::int64_t>(h - cache_hits_prev));
-        }
-        if (m > cache_misses_prev) {
-          events->cache_miss(
-              static_cast<std::int64_t>(m - cache_misses_prev));
-        }
-        cache_hits_prev = h;
-        cache_misses_prev = m;
-      }
-    }
-
-    // 6d. Step-end gauges.
-    if (metrics != nullptr) {
-      double backlog = 0.0;
-      double pending = 0.0;
-      for (int s = 0; s < num_sats; ++s) {
-        backlog += queues[s].queued_bytes();
-        pending += queues[s].pending_ack_bytes();
-      }
-      om.backlog_bytes->set(backlog);
-      om.pending_ack_bytes->set(pending);
-      double station_queued = 0.0;
-      for (const backend::StationEdgeQueue& eq : edge_queues) {
-        station_queued += eq.queued_bytes();
-      }
-      om.station_queued_bytes->set(station_queued);
-      om.steps->inc();
-      if (fm.stations_down != nullptr) {
-        std::int64_t n_down = 0;
-        for (const char d : down) n_down += (d != 0) ? 1 : 0;
-        fm.stations_down->set(static_cast<double>(n_down));
-      }
-    }
-
-    // 7. Timeseries capture (same StepClock as the event log).
-    if (opts_.collect_timeseries) {
-      StepRecord rec;
-      rec.hours = clock.end_hours(step);
-      rec.delivered_bytes_cum = res.total_delivered_bytes;
-      for (int s = 0; s < num_sats; ++s) {
-        rec.backlog_bytes_total += queues[s].queued_bytes();
-      }
-      rec.active_links = static_cast<int>(assigned.size());
-      rec.failed_cum = res.failed_assignments;
-      res.timeseries.push_back(rec);
-    }
-  }
-
-  // Contacts still open at horizon end close at the final step's stamp.
-  if (events != nullptr) {
-    for (const auto& [key, oc] : open_contacts) {
-      events->contact_close(key.first, key.second, oc.held_steps);
-    }
-  }
-
-  // Final accounting.
-  for (int s = 0; s < num_sats; ++s) {
-    SatelliteOutcome& o = res.per_satellite[s];
-    o.backlog_bytes = queues[s].queued_bytes();
-    o.pending_ack_bytes = queues[s].pending_ack_bytes();
-    o.dropped_bytes = queues[s].dropped_bytes();
-    res.total_dropped_bytes += o.dropped_bytes;
-    res.backlog_gb.add(o.backlog_bytes / 1e9);
-    if (om.dropped_bytes != nullptr) om.dropped_bytes->inc(o.dropped_bytes);
-  }
-  for (const backend::StationEdgeQueue& eq : edge_queues) {
-    res.station_queued_bytes += eq.queued_bytes();
-  }
-  // Whole-run conservation: the result's aggregate counters must agree with
-  // the queues' lifetime books.  Generated splits into delivered + dropped +
-  // still-queued + awaiting-ack, with failed transmissions (wasted) either
-  // re-queued already or still in limbo awaiting their collated report.
-#ifdef DGS_ENABLE_DCHECKS
-  {
-    double offered = 0.0, acked = 0.0, pending = 0.0, queued = 0.0,
-           dropped = 0.0;
-    for (int s = 0; s < num_sats; ++s) {
-      offered += queues[s].offered_bytes();
-      acked += queues[s].acked_bytes();
-      pending += queues[s].pending_ack_bytes();
-      queued += queues[s].queued_bytes();
-      dropped += queues[s].dropped_bytes();
-    }
-    const double tol = 1e-6 * std::max(1.0, offered);
-    DGS_CHECK(std::abs(res.total_generated_bytes - offered) <= tol,
-              "generated=" << res.total_generated_bytes
-                           << " != offered=" << offered);
-    DGS_CHECK(std::abs(res.total_generated_bytes -
-                       (dropped + queued + pending + acked)) <= tol,
-              "generated=" << res.total_generated_bytes << " vs dropped="
-                           << dropped << " + queued=" << queued
-                           << " + pending_ack=" << pending << " + acked="
-                           << acked);
-    // Sent bytes not yet returned by a report are exactly the pending set.
-    DGS_CHECK(std::abs((res.total_delivered_bytes +
-                        res.wasted_transmission_bytes - res.requeued_bytes) -
-                       (acked + pending)) <= tol,
-              "delivered=" << res.total_delivered_bytes << " + wasted="
-                           << res.wasted_transmission_bytes << " - requeued="
-                           << res.requeued_bytes << " vs acked=" << acked
-                           << " + pending_ack=" << pending);
-  }
-#endif
-
-  std::int64_t busy_total = 0;
-  for (std::int64_t b : station_busy) busy_total += b;
-  res.steps = steps;
-  res.mean_station_utilization =
-      steps > 0 ? static_cast<double>(busy_total) /
-                      static_cast<double>(steps * num_stations)
-                : 0.0;
-  return res;
+  Session session(sats_, stations_, actual_wx_, opts_);
+  return session.run_to_end();
 }
 
 }  // namespace dgs::core

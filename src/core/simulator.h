@@ -23,17 +23,6 @@
 
 namespace dgs::core {
 
-/// Deprecated failure-injection shim: the station is unavailable during
-/// [start, end).  New code should configure SimulationOptions::faults
-/// directly; entries here are converted into the fault plan's scheduled
-/// outage windows with identical semantics (see
-/// SimulationOptions::resolved_faults).
-struct StationOutage {
-  int station_index = 0;
-  double start_hours = 0.0;  ///< Relative to the simulation start.
-  double end_hours = 0.0;
-};
-
 /// A single invalid field found by SimulationOptions::validate():
 /// which option is wrong and why, suitable for CLI error messages.
 struct OptionsError {
@@ -51,10 +40,6 @@ struct SimulationOptions {
   /// plan-upload failures, all reproducible from faults.seed.  See
   /// DESIGN.md §11.
   faults::FaultPlan faults;
-  /// Deprecated: prefer `faults.outages`.  Kept as a shim so existing
-  /// configs keep working; merged into the fault plan by
-  /// resolved_faults() with byte-identical results.
-  std::vector<StationOutage> outages;
   MatcherKind matcher = MatcherKind::kStable;
   ValueKind value = ValueKind::kLatency;
   /// Schedule with forecast weather (true) or assume clear sky (false,
@@ -117,6 +102,14 @@ struct SimulationOptions {
   /// (preserving input order) before anything else runs, so fault-plan
   /// station indices refer to the *filtered* list.
   std::vector<int> station_subset;
+  /// Multi-tenant service mode (DESIGN.md §16): the fleet is partitioned
+  /// across named tenants and schedule_instant arbitrates fair shares
+  /// between them (TenantArbiter scaling Phi per satellite).  Empty (the
+  /// default) runs single-tenant with no arbitration.  Validation:
+  /// lowercase unique names, positive weights, satellite slices disjoint
+  /// and covering the whole fleet; incompatible with lookahead_hours > 0
+  /// (the arbiter is defined for per-instant scheduling only).
+  std::vector<TenantSpec> tenants;
 
   /// Validates every field (and their combinations) in one documented
   /// place, replacing the scattered run-time checks the constructor used
@@ -126,13 +119,11 @@ struct SimulationOptions {
   /// network is built).  `station_ids` lists the available
   /// GroundStation::ids for station_subset membership checks; empty skips
   /// the membership check (uniqueness/sign are always enforced).
+  /// `num_satellites` bounds tenant satellite indices and enables the
+  /// fleet-coverage check; -1 skips both.
   std::optional<OptionsError> validate(
-      int num_stations = -1, std::span<const int> station_ids = {}) const;
-
-  /// The effective fault plan: `faults` with the deprecated `outages`
-  /// shim appended as scheduled windows.  What the simulator actually
-  /// runs.
-  faults::FaultPlan resolved_faults() const;
+      int num_stations = -1, std::span<const int> station_ids = {},
+      int num_satellites = -1) const;
 };
 
 /// One simulation step's aggregate state (collect_timeseries).
@@ -155,6 +146,26 @@ struct SatelliteOutcome {
   int tx_contacts = 0;              ///< Plan-upload opportunities used.
 };
 
+/// Per-tenant end-of-run accounting (service mode); empty unless
+/// SimulationOptions::tenants is configured.  Rows are in tenant
+/// declaration order.
+struct TenantOutcome {
+  std::string name;
+  double weight = 0.0;
+  double sla_latency_minutes = 0.0;  ///< 0 = no target.
+  int num_satellites = 0;
+  double generated_bytes = 0.0;
+  double delivered_bytes = 0.0;
+  double backlog_bytes = 0.0;        ///< Queued on board at horizon end.
+  std::int64_t assignments = 0;
+  util::SampleSet latency_minutes;   ///< Per delivered chunk.
+  double entitlement = 0.0;          ///< weight / sum(weights).
+  double share = 0.0;                ///< delivered / total delivered.
+  /// Fraction of delivered chunks within the SLA latency target (1 when
+  /// no target is configured).
+  double sla_attainment = 1.0;
+};
+
 struct SimulationResult {
   util::SampleSet latency_minutes;    ///< Per delivered chunk (all tiers).
   util::SampleSet urgent_latency_minutes;  ///< Chunks with priority > 1.
@@ -169,6 +180,7 @@ struct SimulationResult {
   /// Per-step aggregates; empty unless collect_timeseries was set.
   std::vector<StepRecord> timeseries;
   std::vector<SatelliteOutcome> per_satellite;
+  std::vector<TenantOutcome> per_tenant;  ///< Service mode only.
 
   double total_generated_bytes = 0.0;
   double total_delivered_bytes = 0.0;
@@ -209,6 +221,9 @@ struct SimulationResult {
   }
 };
 
+/// Run-to-completion convenience wrapper over core::Session (session.h),
+/// which owns all mutable per-run state and additionally supports
+/// stepping, mid-run reports, and snapshot/restore checkpointing.
 class Simulator {
  public:
   /// `actual_weather` decides transmission outcomes; it may differ from the
@@ -220,13 +235,10 @@ class Simulator {
             const SimulationOptions& opts);
 
   /// Runs the full horizon.  Deterministic for fixed inputs.
+  /// Equivalent to Session(...).run_to_end().
   SimulationResult run();
 
  private:
-  /// Re-evaluates an assigned edge against actual weather; returns the
-  /// realized information rate (0 when the scheduled MODCOD does not close).
-  double realized_rate_bps(const ContactEdge& e, const util::Epoch& when) const;
-
   std::vector<groundseg::SatelliteConfig> sats_;
   std::vector<groundseg::GroundStation> stations_;
   const weather::WeatherProvider* actual_wx_;

@@ -100,6 +100,8 @@ class VisibilityEngine {
       std::size_t max_bytes = GeometryCache::kDefaultMaxBytes);
   /// The active cache (for tests/telemetry); nullptr when disabled.
   const GeometryCache* geometry_cache() const { return cache_.get(); }
+  /// Mutable access for checkpoint restore (core::Session).
+  GeometryCache* mutable_geometry_cache() { return cache_.get(); }
 
   int num_sats() const { return batch_.size(); }
   int num_stations() const { return static_cast<int>(stations_->size()); }

@@ -37,6 +37,12 @@ std::string format_value(double v) {
 
 }  // namespace
 
+void Counter::reset_to(double v) {
+  for (Shard& s : shards_) s.cell.store(0.0, std::memory_order_relaxed);
+  shards_[static_cast<std::size_t>(internal::this_thread_shard())].cell.store(
+      v, std::memory_order_relaxed);
+}
+
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)) {
   DGS_ENSURE(!bounds_.empty(), "histogram needs at least one bucket bound");
@@ -87,6 +93,32 @@ double Histogram::sum() const {
     total += s.sum.load(std::memory_order_relaxed);
   }
   return total;
+}
+
+std::vector<std::uint64_t> Histogram::folded_cells() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (const Shard& s : shards_) {
+    for (std::size_t b = 0; b < out.size(); ++b) {
+      out[b] += s.cells[b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::reset_to(std::span<const std::uint64_t> cells, double sum) {
+  DGS_ENSURE_EQ(cells.size(), bounds_.size() + 1);
+  for (Shard& s : shards_) {
+    for (std::atomic<std::uint64_t>& c : s.cells) {
+      c.store(0, std::memory_order_relaxed);
+    }
+    s.sum.store(0.0, std::memory_order_relaxed);
+  }
+  Shard& mine =
+      shards_[static_cast<std::size_t>(internal::this_thread_shard())];
+  for (std::size_t b = 0; b < cells.size(); ++b) {
+    mine.cells[b].store(cells[b], std::memory_order_relaxed);
+  }
+  mine.sum.store(sum, std::memory_order_relaxed);
 }
 
 Registry::Entry& Registry::entry_for(const std::string& name, Kind kind,
@@ -169,6 +201,59 @@ std::size_t Registry::series_count() const {
              : 1;
   }
   return n;
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.help = e.help;
+    switch (e.kind) {
+      case Kind::kCounter:
+        m.kind = 0;
+        m.value = e.counter->value();
+        break;
+      case Kind::kGauge:
+        m.kind = 1;
+        m.value = e.gauge->value();
+        break;
+      case Kind::kHistogram:
+        m.kind = 2;
+        m.upper_bounds = e.histogram->upper_bounds();
+        m.cells = e.histogram->folded_cells();
+        m.sum = e.histogram->sum();
+        break;
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+void Registry::restore(std::span<const MetricSnapshot> metrics) {
+  for (const MetricSnapshot& m : metrics) {
+    switch (m.kind) {
+      case 0:
+        counter(m.name, m.help)->reset_to(m.value);
+        break;
+      case 1:
+        gauge(m.name, m.help)->set(m.value);
+        break;
+      case 2: {
+        Histogram* h = histogram(m.name, m.help, m.upper_bounds);
+        DGS_ENSURE(h->upper_bounds() == m.upper_bounds,
+                   "histogram '" << m.name
+                                 << "' restored with different buckets");
+        h->reset_to(m.cells, m.sum);
+        break;
+      }
+      default:
+        DGS_ENSURE(false, "unknown metric kind " << m.kind << " for '"
+                                                 << m.name << "'");
+    }
+  }
 }
 
 bool read_prometheus_sample(std::string_view exposition,

@@ -26,6 +26,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,6 +58,14 @@ class Counter {
     }
     return sum;
   }
+
+  /// Checkpoint restore: replaces the folded value, placing it in the
+  /// *calling thread's* shard so a restored driver thread continues the
+  /// exact fetch_add sequence an uninterrupted run would have produced
+  /// (driver-thread doubles live in one shard; worker increments are
+  /// exact integers, so the fold stays bit-identical — DESIGN.md §16).
+  /// Not safe concurrently with inc().
+  void reset_to(double v);
 
  private:
   struct alignas(64) Shard {
@@ -90,6 +99,14 @@ class Histogram {
   double sum() const;
   const std::vector<double>& upper_bounds() const { return bounds_; }
 
+  /// Non-cumulative per-bucket counts folded across shards; size is
+  /// upper_bounds().size() + 1 with the overflow (+Inf) cell last.
+  std::vector<std::uint64_t> folded_cells() const;
+  /// Checkpoint restore: replaces the folded state (cells as returned by
+  /// folded_cells(), plus the running sum) into the calling thread's
+  /// shard, zeroing the rest.  Same contract as Counter::reset_to.
+  void reset_to(std::span<const std::uint64_t> cells, double sum);
+
  private:
   struct alignas(64) Shard {
     /// One non-cumulative cell per bucket plus the overflow cell.
@@ -98,6 +115,18 @@ class Histogram {
   };
   std::vector<double> bounds_;  ///< Strictly ascending, finite.
   std::array<Shard, kMetricShards> shards_;
+};
+
+/// One registered metric's folded state, captured by Registry::snapshot()
+/// for the dgs.checkpoint.v1 artifact and replayed by Registry::restore().
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  int kind = 0;  ///< 0 = counter, 1 = gauge, 2 = histogram.
+  double value = 0.0;                    ///< Counter/gauge folded value.
+  std::vector<double> upper_bounds;      ///< Histogram bucket bounds.
+  std::vector<std::uint64_t> cells;      ///< Histogram folded_cells().
+  double sum = 0.0;                      ///< Histogram running sum.
 };
 
 /// Owns every metric of one run/process and renders the Prometheus text
@@ -118,6 +147,14 @@ class Registry {
   /// Number of sample series the exposition would emit (one per counter or
   /// gauge; buckets + sum + count per histogram).
   std::size_t series_count() const;
+
+  /// Every entry's folded state in ascending name order (checkpointing).
+  std::vector<MetricSnapshot> snapshot() const;
+  /// Re-applies a snapshot: entries are created when absent (matching the
+  /// conditional registration of e.g. fault metrics) and reset to the
+  /// captured values via the reset_to contract.  Existing entries must
+  /// have the same kind.  Call from the driver thread only.
+  void restore(std::span<const MetricSnapshot> metrics);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };

@@ -152,9 +152,9 @@ class MutationRehearsalTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertTrue(any(f["rule"] == "R2" for f in findings), findings)
 
-    def test_bad_metric_name_in_simulator_fails(self):
+    def test_bad_metric_name_in_session_fails(self):
         code, findings = self._scan_mutated(
-            "src/core/simulator.cpp",
+            "src/core/session.cpp",
             lambda t: t.replace("dgs_sim_assignments_total",
                                 "sim_assignments_total", 1))
         self.assertEqual(code, 1)

@@ -287,11 +287,11 @@ TEST(OptionsValidate, ReportsTheOffendingField) {
   EXPECT_EQ(e->field, "faults.outages[0].station_index");
   opts.faults.outages.clear();
 
-  opts.outages.push_back(StationOutage{0, 3.0, 1.0});
+  opts.faults.outages.push_back(faults::OutageWindow{0, 3.0, 1.0});
   e = opts.validate(5);
   ASSERT_TRUE(e.has_value());
-  EXPECT_EQ(e->field, "outages[0].end_hours");
-  opts.outages.clear();
+  EXPECT_EQ(e->field, "faults.outages[0].end_hours");
+  opts.faults.outages.clear();
 
   opts.faults.ack_relay.loss_probability = 1.0;
   e = opts.validate();
@@ -344,49 +344,6 @@ TEST(OptionsValidate, ConstructorThrowsWithFieldInMessage) {
   opts.faults.outages.push_back(faults::OutageWindow{99, 0.0, 1.0});
   EXPECT_THROW(Simulator(sats, stations, nullptr, opts),
                std::invalid_argument);
-}
-
-// ---------------------------------------------------------------------
-// Deprecated shim: SimulationOptions::outages must behave exactly like
-// the same windows expressed through the new fault plan.
-
-TEST(OutagesShim, LegacyOutagesMatchFaultPlanByteForByte) {
-  groundseg::NetworkOptions net;
-  net.num_satellites = 6;
-  net.num_stations = 12;
-  net.seed = 5;
-  const auto sats = groundseg::generate_constellation(net, kT0);
-  const auto stations = groundseg::generate_dgs_stations(net);
-
-  SimulationOptions base;
-  base.start = kT0;
-  base.duration_hours = 8.0;
-  base.step_seconds = 60.0;
-  base.collect_timeseries = true;
-
-  SimulationOptions legacy = base;
-  legacy.outages.push_back(StationOutage{0, 2.0, 4.0});
-  legacy.outages.push_back(StationOutage{3, 1.0, 1.5});
-
-  SimulationOptions modern = base;
-  modern.faults.outages.push_back(faults::OutageWindow{0, 2.0, 4.0});
-  modern.faults.outages.push_back(faults::OutageWindow{3, 1.0, 1.5});
-
-  const SimulationResult a = Simulator(sats, stations, nullptr, legacy).run();
-  const SimulationResult b = Simulator(sats, stations, nullptr, modern).run();
-
-  EXPECT_EQ(a.total_delivered_bytes, b.total_delivered_bytes);
-  EXPECT_EQ(a.outage_lost_bytes, b.outage_lost_bytes);
-  EXPECT_EQ(a.wasted_transmission_bytes, b.wasted_transmission_bytes);
-  EXPECT_EQ(a.requeued_bytes, b.requeued_bytes);
-  EXPECT_EQ(a.assignments, b.assignments);
-
-  std::ostringstream ra, rb;
-  write_summary_json(ra, a);
-  write_timeseries_csv(ra, a);
-  write_summary_json(rb, b);
-  write_timeseries_csv(rb, b);
-  EXPECT_EQ(ra.str(), rb.str());
 }
 
 }  // namespace

@@ -175,7 +175,7 @@ TEST_F(LookaheadTest, SimulatorAcceptsLookaheadWithOutages) {
   opts.start = kEpoch;
   opts.duration_hours = 2.0;
   opts.lookahead_hours = 1.0;
-  opts.outages.push_back(StationOutage{0, 0.0, 1.0});
+  opts.faults.outages.push_back(faults::OutageWindow{0, 0.0, 1.0});
   Simulator sim(sats_, stations_, nullptr, opts);
   const SimulationResult r = sim.run();
   EXPECT_GT(r.total_delivered_bytes, 0.0);

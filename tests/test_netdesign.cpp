@@ -276,7 +276,7 @@ TEST(NetdesignPipeline, FrontValidatesAndMutationsAreRejected) {
   // Wrong schema version, wrong artifact tag, missing point field,
   // non-ascending station ids: each must fail validation.
   EXPECT_TRUE(core::validate_netdesign_front_json(
-                  corrupt("\"schema_version\": 1", "\"schema_version\": 2"))
+                  corrupt("\"schema_version\": 2", "\"schema_version\": 1"))
                   .has_value());
   EXPECT_TRUE(core::validate_netdesign_front_json(
                   corrupt("netdesign_front", "campaign_summary"))

@@ -47,7 +47,7 @@ TEST(ObsReconcile, TwentyFourHourRunBalancesExactly) {
   opts.urgent_fraction = 0.2;
   opts.station_backhaul_bps = 50e6;
   opts.slew_seconds = 5.0;
-  opts.outages.push_back(StationOutage{0, 2.0, 4.0});
+  opts.faults.outages.push_back(faults::OutageWindow{0, 2.0, 4.0});
 
   obs::Registry registry;
   opts.metrics = &registry;

@@ -49,8 +49,6 @@ const std::set<std::string>& known_fields() {
       "slew_seconds",
       "parallel.num_threads",
       "parallel.chunk_size",
-      "outages[*].station_index",
-      "outages[*].end_hours",
       "faults.outages[*].station_index",
       "faults.outages[*].end_hours",
       "faults.churn.mtbf_hours",
@@ -66,6 +64,12 @@ const std::set<std::string>& known_fields() {
       "faults.ack_relay.max_backoff_s",
       "faults.ack_relay.max_attempts",
       "faults.plan_upload.failure_probability",
+      "tenants",
+      "tenants[*].name",
+      "tenants[*].weight",
+      "tenants[*].sla_latency_minutes",
+      "tenants[*].satellites",
+      "tenants[*].satellites[*]",
   };
   return kFields;
 }
@@ -115,11 +119,6 @@ bool repair(SimulationOptions& o, const std::string& field) {
     o.parallel.num_threads = 1;
   } else if (norm == "parallel.chunk_size") {
     o.parallel.chunk_size = 64;
-  } else if (norm == "outages[*].station_index") {
-    o.outages.at(static_cast<std::size_t>(i)).station_index = 0;
-  } else if (norm == "outages[*].end_hours") {
-    auto& w = o.outages.at(static_cast<std::size_t>(i));
-    w.end_hours = w.start_hours + 1.0;
   } else if (norm == "faults.outages[*].station_index") {
     o.faults.outages.at(static_cast<std::size_t>(i)).station_index = 0;
   } else if (norm == "faults.outages[*].end_hours") {
@@ -154,6 +153,19 @@ bool repair(SimulationOptions& o, const std::string& field) {
     o.faults.ack_relay.max_attempts = 16;
   } else if (norm == "faults.plan_upload.failure_probability") {
     o.faults.plan_upload.failure_probability = 0.0;
+  } else if (norm == "tenants") {
+    o.tenants.clear();
+  } else if (norm == "tenants[*].name") {
+    o.tenants.at(static_cast<std::size_t>(i)).name =
+        "t" + std::to_string(i);
+  } else if (norm == "tenants[*].weight") {
+    o.tenants.at(static_cast<std::size_t>(i)).weight = 1.0;
+  } else if (norm == "tenants[*].sla_latency_minutes") {
+    o.tenants.at(static_cast<std::size_t>(i)).sla_latency_minutes = 0.0;
+  } else if (norm == "tenants[*].satellites") {
+    o.tenants.at(static_cast<std::size_t>(i)).satellites = {100 + i};
+  } else if (norm == "tenants[*].satellites[*]") {
+    o.tenants.at(static_cast<std::size_t>(i)).satellites = {200 + i};
   } else {
     return false;
   }
@@ -202,12 +214,21 @@ const std::vector<Corruption>& corruptions() {
       [](SimulationOptions& o, faults::Pcg32& rng) {
         o.parallel.chunk_size = -static_cast<int>(rng.next() % 2);
       },
-      [](SimulationOptions& o, faults::Pcg32& rng) {
-        o.outages.push_back(
-            {kNumStations + static_cast<int>(rng.next() % 5), 1.0, 2.0});
+      [](SimulationOptions& o, faults::Pcg32&) {
+        // Invalid tenant name (uppercase + punctuation).  The satellite
+        // slice is keyed off the current tenant count so repeated
+        // applications stay disjoint and the *name* is the one error.
+        TenantSpec t;
+        t.name = "Tenant!" + std::to_string(o.tenants.size());
+        t.satellites = {static_cast<int>(o.tenants.size())};
+        o.tenants.push_back(std::move(t));
       },
       [](SimulationOptions& o, faults::Pcg32& rng) {
-        o.outages.push_back({0, 5.0, 5.0 - rng.uniform() - 0.001});
+        TenantSpec t;
+        t.name = "badweight" + std::to_string(o.tenants.size());
+        t.satellites = {static_cast<int>(o.tenants.size())};
+        t.weight = rng.next() % 2 == 0 ? 0.0 : bad_negative(rng);
+        o.tenants.push_back(std::move(t));
       },
       [](SimulationOptions& o, faults::Pcg32& rng) {
         o.faults.outages.push_back(

@@ -146,7 +146,7 @@ TEST(RunArtifactSchema, SummaryAndTimeseriesValidate) {
 }
 
 TEST(RunArtifactSchema, SchemaVersionIsPinned) {
-  ASSERT_EQ(kRunArtifactSchemaVersion, 1);
+  ASSERT_EQ(kRunArtifactSchemaVersion, 2);
   std::stringstream ss;
   write_summary_json(ss, run_small(false));
   double version = 0.0;

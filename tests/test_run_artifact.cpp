@@ -87,7 +87,7 @@ TEST(SummaryValidator, AcceptsTheWriterOutput) {
 
 TEST(SummaryValidator, RejectsWrongSchemaVersion) {
   const auto e = validate_summary_json(replaced(
-      empty_summary(), "\"schema_version\": 1", "\"schema_version\": 2"));
+      empty_summary(), "\"schema_version\": 2", "\"schema_version\": 1"));
   ASSERT_TRUE(e.has_value());
   EXPECT_EQ(e->where, "summary.schema_version");
 }
@@ -212,7 +212,7 @@ TEST(EventsValidator, RejectsMalformedLines) {
 
 std::string valid_manifest() {
   return "{\n"
-         "  \"schema_version\": 1,\n"
+         "  \"schema_version\": 2,\n"
          "  \"artifact\": \"campaign_manifest\",\n"
          "  \"profile\": \"storm\",\n"
          "  \"campaign_seed\": 1,\n"
@@ -252,7 +252,7 @@ TEST(CampaignValidators, RejectHeaderViolations) {
       validate_campaign_manifest_json(valid_aggregate()).has_value());
   // schema_version must be first, and current.
   const auto stale = validate_campaign_manifest_json(replaced(
-      valid_manifest(), "\"schema_version\": 1", "\"schema_version\": 0"));
+      valid_manifest(), "\"schema_version\": 2", "\"schema_version\": 0"));
   ASSERT_TRUE(stale.has_value());
   EXPECT_EQ(stale->where, "manifest.schema_version");
 }

@@ -93,10 +93,10 @@ TEST(RestrictedJsonFuzz, DuplicateKeysParseButFailTheSummarySchema) {
   EXPECT_EQ(doc->find("k")->number, 1.0);
 
   std::string text = valid_summary();
-  const std::string dup = "\"schema_version\": 1,\n  \"schema_version\": 1";
-  const std::size_t pos = text.find("\"schema_version\": 1");
+  const std::string dup = "\"schema_version\": 2,\n  \"schema_version\": 2";
+  const std::size_t pos = text.find("\"schema_version\": 2");
   ASSERT_NE(pos, std::string::npos);
-  text.replace(pos, std::string("\"schema_version\": 1").size(), dup);
+  text.replace(pos, std::string("\"schema_version\": 2").size(), dup);
   const auto err = validate_summary_json(text);
   ASSERT_TRUE(err.has_value());
   EXPECT_FALSE(err->where.empty());
@@ -112,23 +112,23 @@ struct Corruption {
 const std::vector<Corruption>& corruption_table() {
   static const std::vector<Corruption> kTable = {
       {"array value", [](std::string t) {
-         const std::size_t p = t.find(": 1");
+         const std::size_t p = t.find(": 2");
          return t.replace(p, 3, ": [1]");
        }},
       {"bare word literal", [](std::string t) {
-         const std::size_t p = t.find(": 1");
+         const std::size_t p = t.find(": 2");
          return t.replace(p, 3, ": tru");
        }},
       {"uppercase literal", [](std::string t) {
-         const std::size_t p = t.find(": 1");
+         const std::size_t p = t.find(": 2");
          return t.replace(p, 3, ": TRUE");
        }},
       {"double-dot number", [](std::string t) {
-         const std::size_t p = t.find(": 1");
+         const std::size_t p = t.find(": 2");
          return t.replace(p, 3, ": 1.2.3");
        }},
       {"hex number", [](std::string t) {
-         const std::size_t p = t.find(": 1");
+         const std::size_t p = t.find(": 2");
          return t.replace(p, 3, ": 0x10");
        }},
       {"unquoted key", [](std::string t) {
@@ -136,8 +136,8 @@ const std::vector<Corruption>& corruption_table() {
          return t.replace(p, 16, "schema_version");
        }},
       {"missing colon", [](std::string t) {
-         const std::size_t p = t.find("\": 1");
-         return t.replace(p, 4, "\" 1");
+         const std::size_t p = t.find("\": 2");
+         return t.replace(p, 4, "\" 2");
        }},
       {"trailing comma", [](std::string t) {
          const std::size_t p = t.rfind('}');

@@ -1,0 +1,285 @@
+// Steppable Session API: snapshot/restore round trips (DESIGN.md §16).
+//
+// The golden test interrupts a storm-profile lookahead run mid-horizon,
+// snapshots, restores under thread counts 1 and 4, and requires every
+// output surface — summary JSON, Prometheus exposition, event JSONL — to
+// be byte-identical to the uninterrupted run.  Negative-space tests pin
+// the checkpoint validator: truncations, corrupt bytes, and scenario
+// mismatches must all be rejected with std::invalid_argument.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/report.h"
+#include "src/core/session.h"
+#include "src/faults/profiles.h"
+#include "src/obs/events.h"
+#include "src/obs/metrics.h"
+
+namespace dgs::core {
+namespace {
+
+const util::Epoch kT0(util::DateTime{2020, 11, 4, 0, 0, 0.0});
+
+struct Scenario {
+  std::vector<groundseg::SatelliteConfig> sats;
+  std::vector<groundseg::GroundStation> stations;
+  SimulationOptions opts;
+};
+
+// Storm faults + hourly lookahead replanning: the hardest trajectory to
+// reproduce, exercising fault masks, horizon plans, and replans.
+Scenario golden_scenario() {
+  groundseg::NetworkOptions net;
+  net.num_stations = 12;
+  net.num_satellites = 8;
+  net.seed = 13;
+  Scenario s;
+  s.sats = groundseg::generate_constellation(net, kT0);
+  s.stations = groundseg::generate_dgs_stations(net);
+  s.opts.start = kT0;
+  s.opts.duration_hours = 4.0;
+  s.opts.lookahead_hours = 1.0;
+  s.opts.faults = faults::make_profile("storm", 7, net.num_stations);
+  if (s.opts.faults.has_backhaul_faults()) {
+    s.opts.station_backhaul_bps = 50e6;
+  }
+  return s;
+}
+
+std::string summary_bytes(const SimulationResult& r) {
+  std::stringstream ss;
+  write_summary_json(ss, r);
+  return ss.str();
+}
+
+// Every output surface of one full run, captured as bytes.
+struct RunOutputs {
+  std::string summary;
+  std::string prometheus;
+  std::string events;
+};
+
+RunOutputs run_uninterrupted(const Scenario& s, int threads) {
+  SimulationOptions opts = s.opts;
+  opts.parallel.num_threads = threads;
+  obs::Registry registry;
+  opts.metrics = &registry;
+  std::ostringstream events;
+  obs::EventLog log(&events);
+  opts.events = &log;
+  Session session(s.sats, s.stations, nullptr, opts);
+  RunOutputs out;
+  out.summary = summary_bytes(session.run_to_end());
+  std::ostringstream prom;
+  registry.write_prometheus(prom);
+  out.prometheus = prom.str();
+  out.events = events.str();
+  return out;
+}
+
+TEST(Session, RunToEndMatchesSimulatorRun) {
+  const Scenario s = golden_scenario();
+  Session session(s.sats, s.stations, nullptr, s.opts);
+  const std::string via_session = summary_bytes(session.run_to_end());
+  const std::string via_simulator =
+      summary_bytes(Simulator(s.sats, s.stations, nullptr, s.opts).run());
+  EXPECT_EQ(via_session, via_simulator);
+}
+
+TEST(Session, StepAccountingAndDoneContract) {
+  const Scenario s = golden_scenario();
+  Session session(s.sats, s.stations, nullptr, s.opts);
+  EXPECT_EQ(session.step_index(), 0);
+  EXPECT_FALSE(session.done());
+  session.step();
+  EXPECT_EQ(session.step_index(), 1);
+  EXPECT_EQ(session.run_until_hours(2.0),
+            session.num_steps() / 2 - 1);
+  while (!session.done()) session.step();
+  EXPECT_TRUE(session.finalized());
+  EXPECT_THROW(session.step(), std::invalid_argument);
+}
+
+TEST(Session, ReportMidRunDoesNotPerturbTheRun) {
+  const Scenario s = golden_scenario();
+  Session a(s.sats, s.stations, nullptr, s.opts);
+  Session b(s.sats, s.stations, nullptr, s.opts);
+  a.run_until_hours(2.0);
+  const SimulationResult mid = a.report();
+  EXPECT_GT(mid.steps, 0);
+  while (!a.done()) a.step();
+  EXPECT_EQ(summary_bytes(a.report()), summary_bytes(b.run_to_end()));
+}
+
+// The tentpole acceptance test: snapshot at mid-horizon, restore at
+// thread counts 1 and 4, and require the interrupted run's combined
+// outputs to be byte-identical to the uninterrupted baseline.
+TEST(SessionCheckpoint, MidHorizonRestoreIsByteIdenticalAcrossThreads) {
+  const Scenario s = golden_scenario();
+  const RunOutputs baseline = run_uninterrupted(s, 1);
+
+  // First half, snapshotted.
+  obs::Registry reg1;
+  std::ostringstream events1;
+  obs::EventLog log1(&events1);
+  SimulationOptions opts1 = s.opts;
+  opts1.metrics = &reg1;
+  opts1.events = &log1;
+  Session first(s.sats, s.stations, nullptr, opts1);
+  first.run_until_hours(2.0);
+  std::stringstream checkpoint;
+  first.snapshot(checkpoint);
+  const std::string checkpoint_bytes = checkpoint.str();
+  const std::string events_prefix = events1.str();
+
+  for (const int threads : {1, 4}) {
+    SimulationOptions opts2 = s.opts;
+    opts2.parallel.num_threads = threads;
+    obs::Registry reg2;
+    std::ostringstream events2;
+    obs::EventLog log2(&events2);
+    opts2.metrics = &reg2;
+    opts2.events = &log2;
+    std::istringstream in(checkpoint_bytes);
+    std::unique_ptr<Session> restored =
+        Session::restore(in, s.sats, s.stations, nullptr, opts2);
+    EXPECT_EQ(restored->step_index(), first.step_index());
+    const SimulationResult r = restored->run_to_end();
+    EXPECT_EQ(summary_bytes(r), baseline.summary) << "threads=" << threads;
+    std::ostringstream prom;
+    reg2.write_prometheus(prom);
+    EXPECT_EQ(prom.str(), baseline.prometheus) << "threads=" << threads;
+    EXPECT_EQ(events_prefix + events2.str(), baseline.events)
+        << "threads=" << threads;
+  }
+}
+
+// An immediate snapshot (step 0) restores to the full run, and a
+// snapshot after the final step restores as already-done.
+TEST(SessionCheckpoint, EdgeOfHorizonSnapshots) {
+  const Scenario s = golden_scenario();
+  const RunOutputs baseline = run_uninterrupted(s, 1);
+
+  Session fresh(s.sats, s.stations, nullptr, s.opts);
+  std::stringstream cp0;
+  fresh.snapshot(cp0);
+  std::unique_ptr<Session> from0 =
+      Session::restore(cp0, s.sats, s.stations, nullptr, s.opts);
+  EXPECT_EQ(summary_bytes(from0->run_to_end()), baseline.summary);
+
+  Session full(s.sats, s.stations, nullptr, s.opts);
+  const std::string done_summary = summary_bytes(full.run_to_end());
+  std::stringstream cp_end;
+  full.snapshot(cp_end);
+  std::unique_ptr<Session> from_end =
+      Session::restore(cp_end, s.sats, s.stations, nullptr, s.opts);
+  EXPECT_TRUE(from_end->done());
+  EXPECT_TRUE(from_end->finalized());
+  EXPECT_EQ(summary_bytes(from_end->report()), done_summary);
+}
+
+// --- Negative space: the validator must reject every malformed or
+// mismatched checkpoint with std::invalid_argument -------------------------
+
+class SessionCheckpointNegative : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    s_ = golden_scenario();
+    Session session(s_.sats, s_.stations, nullptr, s_.opts);
+    session.run_until_hours(1.0);
+    std::stringstream ss;
+    session.snapshot(ss);
+    bytes_ = ss.str();
+  }
+
+  void expect_rejected(const std::string& data) {
+    std::istringstream in(data);
+    EXPECT_THROW(Session::restore(in, s_.sats, s_.stations, nullptr, s_.opts),
+                 std::invalid_argument);
+  }
+
+  Scenario s_;
+  std::string bytes_;
+};
+
+TEST_F(SessionCheckpointNegative, TruncationsAtEveryLayerAreRejected) {
+  // Inside the magic, inside the header, inside the payload, and one
+  // byte short of complete.
+  for (const std::size_t len :
+       {std::size_t{4}, std::size_t{40}, bytes_.size() / 2,
+        bytes_.size() - 1}) {
+    ASSERT_LT(len, bytes_.size());
+    expect_rejected(bytes_.substr(0, len));
+  }
+}
+
+TEST_F(SessionCheckpointNegative, WrongMagicIsRejected) {
+  std::string t = bytes_;
+  t[0] = 'x';
+  expect_rejected(t);
+}
+
+TEST_F(SessionCheckpointNegative, PayloadBitflipFailsTheCrc) {
+  // Flip one byte deep in the payload; the header CRC must catch it.
+  std::string t = bytes_;
+  t[t.size() - 16] ^= 0x01;
+  expect_rejected(t);
+}
+
+TEST_F(SessionCheckpointNegative, HeaderTamperingIsRejected) {
+  // Doctoring the declared step count trips the identity check.
+  std::string t = bytes_;
+  const std::string key = "\"steps\":";
+  const auto pos = t.find(key);
+  ASSERT_NE(pos, std::string::npos);
+  t[pos + key.size() + 1] = '9';
+  expect_rejected(t);
+}
+
+TEST_F(SessionCheckpointNegative, ScenarioMismatchesAreRejected) {
+  // Different duration.
+  {
+    Scenario other = s_;
+    other.opts.duration_hours = 8.0;
+    std::istringstream in(bytes_);
+    EXPECT_THROW(Session::restore(in, other.sats, other.stations, nullptr,
+                                  other.opts),
+                 std::invalid_argument);
+  }
+  // Different fault plan (options CRC catches trajectory-shaping drift).
+  {
+    Scenario other = s_;
+    other.opts.faults = faults::make_profile("churn", 7, 12);
+    std::istringstream in(bytes_);
+    EXPECT_THROW(Session::restore(in, other.sats, other.stations, nullptr,
+                                  other.opts),
+                 std::invalid_argument);
+  }
+  // Different fleet size.
+  {
+    Scenario other = s_;
+    other.sats.pop_back();
+    std::istringstream in(bytes_);
+    EXPECT_THROW(Session::restore(in, other.sats, other.stations, nullptr,
+                                  other.opts),
+                 std::invalid_argument);
+  }
+}
+
+TEST_F(SessionCheckpointNegative, ThreadCountChangeIsAccepted) {
+  // parallel.* is execution-irrelevant by design: restoring under a
+  // different thread count must succeed.
+  Scenario other = s_;
+  other.opts.parallel.num_threads = 4;
+  std::istringstream in(bytes_);
+  EXPECT_NO_THROW(
+      Session::restore(in, other.sats, other.stations, nullptr, other.opts));
+}
+
+}  // namespace
+}  // namespace dgs::core

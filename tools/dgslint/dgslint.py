@@ -85,10 +85,16 @@ OUTPUT_PATH_FILES = (
     "src/core/run_artifact.cpp",
     "src/core/run_artifact.h",
     "src/core/report.h",
+    "src/core/checkpoint.cpp",
+    "src/core/checkpoint.h",
+    "src/core/session.cpp",
+    "src/core/session.h",
 )
 OUTPUT_PATH_INCLUDES = (
     "src/core/run_artifact.h",
     "src/core/report.h",
+    "src/core/checkpoint.h",
+    "src/core/session.h",
     "src/obs/metrics.h",
     "src/obs/events.h",
 )
@@ -364,7 +370,7 @@ METRIC_CALL_RE = re.compile(
     r"\b(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
 SUMMARY_KEY_USE_RE = re.compile(r"\.\s*(?:scalar|stats)\s*\(\s*\"([^\"]*)\"")
 SUMMARY_SPEC_RE = re.compile(r"\{\s*\"([A-Za-z0-9_]+)\"\s*,\s*k(?:Int|Real|"
-                             r"Stats)\s*\}")
+                             r"Stats|Tenants)\s*\}")
 
 
 def check_r5(f, ctx):
